@@ -1,0 +1,49 @@
+//! Criterion bench: full RK4 steps on CPU and simulated-GPU backends
+//! (Fig. 16 microbenchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gw_bench::grids::{bbh_grid, uniform_grid};
+use gw_bssn::BssnParams;
+use gw_core::backend::{Backend, CpuBackend, GpuBackend, RhsKind};
+use gw_core::rk4::Rk4;
+use gw_core::solver::fill_field;
+use gw_expr::schedule::ScheduleStrategy;
+use gw_gpu_sim::Device;
+use gw_octree::Domain;
+
+fn bench_evolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rk4-step");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let _ = bbh_grid; // larger grids available; the bench uses a small one
+    let mesh = uniform_grid(Domain::centered_cube(16.0), 2);
+    let u = fill_field(&mesh, &|_p, out: &mut [f64]| {
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = if v == 0 || v == 7 || v == 9 || v == 12 || v == 14 { 1.0 } else { 0.0 };
+        }
+    });
+    let rk = Rk4::default();
+    let dt = rk.timestep(&mesh);
+
+    let mut cpu = Backend::Cpu(CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise));
+    cpu.upload(&u);
+    group.bench_function(format!("cpu-pointwise-{}oct", mesh.n_octants()), |b| {
+        b.iter(|| rk.step(&mut cpu, &mesh, dt))
+    });
+
+    let mut gpu = Backend::Gpu(GpuBackend::new(
+        &mesh,
+        BssnParams::default(),
+        RhsKind::Generated(ScheduleStrategy::StagedCse),
+        Device::a100(),
+    ));
+    gpu.upload(&u);
+    group.bench_function(format!("gpu-sim-staged-{}oct", mesh.n_octants()), |b| {
+        b.iter(|| rk.step(&mut gpu, &mesh, dt))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evolution);
+criterion_main!(benches);

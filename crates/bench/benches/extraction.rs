@@ -1,0 +1,55 @@
+//! Criterion bench: wave-extraction pipeline (sphere interpolation, SWSH
+//! projection, Lebedev vs product quadrature).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gw_bench::grids::uniform_grid;
+use gw_core::solver::fill_field;
+use gw_octree::Domain;
+use gw_waveform::lebedev::{integrate, lebedev_rule, product_rule};
+use gw_waveform::swsh::swsh;
+use gw_waveform::{ExtractionSphere, ModeExtractor};
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extraction");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("swsh-2-2", |b| {
+        b.iter(|| swsh(-2, 2, 2, 1.234, 0.567))
+    });
+    group.bench_function("swsh-4-3", |b| {
+        b.iter(|| swsh(-2, 4, 3, 1.234, 0.567))
+    });
+
+    for (name, rule) in [
+        ("lebedev-26", lebedev_rule(7)),
+        ("product-8x16", product_rule(8, 16)),
+    ] {
+        group.bench_function(format!("integrate-{name}"), |b| {
+            b.iter(|| integrate(&rule, |n| n.dir[0] * n.dir[0] * n.dir[2].abs()))
+        });
+    }
+
+    let mesh = uniform_grid(Domain::centered_cube(8.0), 3);
+    let u = fill_field(&mesh, &|p, out: &mut [f64]| {
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = if v == 9 || v == 12 || v == 14 { 1.0 } else { 0.0 };
+        }
+        out[9] += 1e-3 * (0.5 * p[2]).sin();
+        out[12] -= 1e-3 * (0.5 * p[2]).sin();
+    });
+    let sphere = ExtractionSphere::new(4.0, product_rule(8, 16));
+    let mut ex = ModeExtractor::new(sphere, vec![(2, 2), (2, -2), (3, 2)]);
+    let mut t = 0.0;
+    group.bench_function("record-3-modes-128-nodes", |b| {
+        b.iter(|| {
+            t += 1.0;
+            ex.record(t, &mesh, &u)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: octree construction, 2:1 balance (ripple vs bucket —
+//! the DESIGN.md §5 ablation), SFC sort/partition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gw_octree::balance::{balance_octree, balance_octree_bucket};
+use gw_octree::partition::partition_weighted;
+use gw_octree::{
+    complete_octree, refine_loop, BalanceMode, Domain, MortonKey, Puncture, PunctureRefiner,
+};
+
+fn unbalanced_tree() -> Vec<MortonKey> {
+    // Center-refined tree with gross violations.
+    let root_ch = MortonKey::root().children();
+    let mut leaves: Vec<MortonKey> = root_ch[1..].to_vec();
+    let mut k = root_ch[0];
+    for _ in 1..7 {
+        let ch = k.children();
+        leaves.extend_from_slice(&ch[..7]);
+        k = ch[7];
+    }
+    leaves.push(k);
+    leaves.sort();
+    leaves
+}
+
+fn bench_octree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("octree");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let t = unbalanced_tree();
+    group.bench_function("balance-ripple", |b| {
+        b.iter(|| balance_octree(&t, BalanceMode::Full))
+    });
+    group.bench_function("balance-bucket", |b| {
+        b.iter(|| balance_octree_bucket(&t, BalanceMode::Full))
+    });
+    group.bench_function("balance-face-only", |b| {
+        b.iter(|| balance_octree(&t, BalanceMode::Face))
+    });
+
+    group.bench_function("complete-octree", |b| {
+        let keys: Vec<MortonKey> = t.iter().step_by(3).copied().collect();
+        b.iter(|| complete_octree(keys.clone()))
+    });
+
+    group.bench_function("bbh-refine-loop", |b| {
+        let domain = Domain::centered_cube(16.0);
+        let p = Puncture { pos: [3.0, 0.0, 0.0], finest_level: 5, inner_radius: 0.5 };
+        let r = PunctureRefiner::new(vec![p], 2);
+        b.iter(|| refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 12))
+    });
+
+    group.bench_function("sfc-partition-weighted", |b| {
+        let w: Vec<f64> = (0..100_000).map(|i| 1.0 + (i % 7) as f64).collect();
+        b.iter(|| partition_weighted(&w, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_octree);
+criterion_main!(benches);

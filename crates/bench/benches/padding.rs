@@ -1,0 +1,41 @@
+//! Criterion bench: octant-to-patch strategies (Fig. 7 / Table III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gw_bench::table3_grids;
+use gw_mesh::gather::fill_patches_gather;
+use gw_mesh::scatter::{fill_patches_scatter, patches_to_octants};
+use gw_mesh::{Field, PatchField};
+
+fn bench_padding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("padding");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, mesh) in table3_grids(1.0).into_iter().take(2) {
+        let n = mesh.n_octants();
+        let dof = 4;
+        let mut field = Field::zeros(dof, n);
+        for v in 0..dof {
+            for oct in 0..n {
+                for (i, x) in field.block_mut(v, oct).iter_mut().enumerate() {
+                    *x = ((oct * 13 + i) % 97) as f64;
+                }
+            }
+        }
+        let mut patches = PatchField::zeros(dof, n);
+        group.bench_with_input(BenchmarkId::new("scatter", &name), &mesh, |b, m| {
+            b.iter(|| fill_patches_scatter(m, &field, &mut patches))
+        });
+        group.bench_with_input(BenchmarkId::new("gather", &name), &mesh, |b, m| {
+            b.iter(|| fill_patches_gather(m, &field, &mut patches))
+        });
+        let mut back = Field::zeros(dof, n);
+        group.bench_with_input(BenchmarkId::new("patch_to_octant", &name), &mesh, |b, m| {
+            b.iter(|| patches_to_octants(m, &patches, &mut back))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_padding);
+criterion_main!(benches);

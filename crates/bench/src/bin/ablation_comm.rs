@@ -1,0 +1,81 @@
+//! Ablation (DESIGN.md §5): aggregated per-neighbor halo messages vs one
+//! message per ghost octant, and ripple vs bucket 2:1 balancing.
+
+use gw_bench::grids::bbh_grid;
+use gw_bench::table::num;
+use gw_bench::TablePrinter;
+use gw_comm::GhostSchedule;
+use gw_core::multi::dependencies;
+use gw_octree::balance::{balance_octree, balance_octree_bucket, BalanceMode};
+use gw_octree::partition::partition_uniform;
+use gw_octree::{Domain, MortonKey};
+use gw_perfmodel::scaling::Network;
+use std::time::Instant;
+
+fn main() {
+    let mesh = bbh_grid(Domain::centered_cube(16.0), 6.0, 2, 5);
+    let n = mesh.n_octants();
+    println!("grid: {n} octants");
+    let deps = dependencies(&mesh);
+    let net = Network::gpu_interconnect();
+
+    let mut t = TablePrinter::new(&[
+        "ranks",
+        "msgs aggregated",
+        "msgs per-octant",
+        "latency agg (us)",
+        "latency per-oct (us)",
+        "exchange agg (us)",
+        "exchange per-oct (us)",
+    ]);
+    for p in [2usize, 4, 8, 16] {
+        let part = partition_uniform(n, p);
+        let plan = GhostSchedule::build(&part, deps.iter().copied());
+        let (mut ma, mut mo, mut bytes) = (0usize, 0usize, 0u64);
+        for r in 0..p {
+            ma += plan.messages_aggregated(r);
+            mo += plan.messages_per_octant(r);
+            bytes += plan.send_bytes(r, 24, 343);
+        }
+        let t_agg = net.exchange_time(ma, bytes);
+        let t_per = net.exchange_time(mo, bytes);
+        t.row(&[
+            p.to_string(),
+            ma.to_string(),
+            mo.to_string(),
+            num(net.latency * ma as f64 * 1e6),
+            num(net.latency * mo as f64 * 1e6),
+            num(t_agg * 1e6),
+            num(t_per * 1e6),
+        ]);
+    }
+    t.print("Ablation — aggregated vs per-octant halo messages");
+
+    // Balance-algorithm ablation.
+    let root_ch = MortonKey::root().children();
+    let mut leaves: Vec<MortonKey> = root_ch[1..].to_vec();
+    let mut k = root_ch[0];
+    for _ in 1..8 {
+        let ch = k.children();
+        leaves.extend_from_slice(&ch[..7]);
+        k = ch[7];
+    }
+    leaves.push(k);
+    leaves.sort();
+    let t0 = Instant::now();
+    let ripple = balance_octree(&leaves, BalanceMode::Full);
+    let t_ripple = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let bucket = balance_octree_bucket(&leaves, BalanceMode::Full);
+    let t_bucket = t1.elapsed().as_secs_f64();
+    assert_eq!(ripple, bucket);
+    println!(
+        "\nAblation — 2:1 balance: ripple {:.2} ms vs bucket {:.2} ms ({} leaves out),\n\
+         identical trees; face-only balance yields {} leaves (vs {} full).",
+        t_ripple * 1e3,
+        t_bucket * 1e3,
+        ripple.len(),
+        balance_octree(&leaves, BalanceMode::Face).len(),
+        ripple.len()
+    );
+}

@@ -1,0 +1,116 @@
+//! Fig. 17 regenerator: strong scaling — fixed problem size, 1–16
+//! simulated GPUs. Per-rank compute comes from the measured single-device
+//! counters under the A100 RAM model partitioned by the SFC map; the
+//! exchange cost from the actual ghost plan under the GPU-interconnect
+//! model. Real multi-rank runs (gw-core::multi) provide the traffic.
+
+use gw_bench::grids::bbh_grid;
+use gw_bench::table::num;
+use gw_bench::TablePrinter;
+use gw_bssn::BssnParams;
+use gw_comm::GhostSchedule;
+use gw_core::backend::{Backend, GpuBackend, RhsKind};
+use gw_core::multi::dependencies;
+use gw_core::rk4::Rk4;
+use gw_core::solver::fill_field;
+use gw_expr::schedule::ScheduleStrategy;
+use gw_gpu_sim::Device;
+use gw_octree::partition::{imbalance, partition_weighted};
+use gw_octree::Domain;
+use gw_perfmodel::ram::RamModel;
+use gw_perfmodel::scaling::{strong_efficiency, Network};
+
+fn main() {
+    // Fixed-size problem (scaled ~30x below the paper's 257M unknowns).
+    let mesh = bbh_grid(Domain::centered_cube(16.0), 6.0, 2, 6);
+    let n = mesh.n_octants();
+    println!("strong-scaling grid: {} octants, {} unknowns", n, mesh.unknowns(24));
+
+    // Measure one RK4 step's device work on the full grid.
+    let u = fill_field(&mesh, &|p, out: &mut [f64]| {
+        for (v, o) in out.iter_mut().enumerate() {
+            *o = if v == 0 || v == 7 || v == 9 || v == 12 || v == 14 { 1.0 } else { 0.0 };
+        }
+        out[0] += 1e-4 * (-0.01 * (p[0] * p[0] + p[1] * p[1] + p[2] * p[2])).exp();
+    });
+    let mut gpu = Backend::Gpu(GpuBackend::new(
+        &mesh,
+        BssnParams::default(),
+        RhsKind::Generated(ScheduleStrategy::StagedCse),
+        Device::a100(),
+    ));
+    gpu.upload(&u);
+    let rk = Rk4::default();
+    let dt = rk.timestep(&mesh);
+    let before = gpu.counters().unwrap();
+    rk.step(&mut gpu, &mesh, dt);
+    let d = gpu.counters().unwrap().delta_since(&before);
+    let ram = RamModel::a100();
+    let t_step_1gpu = ram.kernel_time(&d);
+    println!("single-device model time per RK4 step: {:.3} ms", t_step_1gpu * 1e3);
+
+    // Per-octant weights ∝ grid points (uniform r^3) — the paper's
+    // partition weight.
+    let weights = vec![1.0f64; n];
+    let net = Network::gpu_interconnect();
+    let deps = dependencies(&mesh);
+
+    let ps = [1usize, 2, 4, 8, 16];
+    // Two projections: at our measured (scaled-down) size, and at the
+    // paper's 257M unknowns. At the paper's size the per-rank ghost
+    // surface shrinks relative to the volume by (V_paper/V_ours)^(1/3),
+    // which is what makes the paper's 4-GPU point 97%-efficient.
+    let paper_unknowns = 257e6;
+    let ours_unknowns = mesh.unknowns(24) as f64;
+    let size_ratio = paper_unknowns / ours_unknowns;
+    let surface_scale = size_ratio.powf(2.0 / 3.0);
+    let rate = t_step_1gpu / ours_unknowns; // seconds per unknown-step
+
+    for (label, vol_scale) in [("measured size", 1.0f64), ("paper size (257M)", size_ratio)] {
+        let mut times = Vec::new();
+        let mut rows: Vec<(usize, f64, f64, f64)> = Vec::new();
+        for &p in &ps {
+            let part = partition_weighted(&weights, p);
+            let plan = GhostSchedule::build(&part, deps.iter().copied());
+            let imb = imbalance(&weights, &part);
+            let work: Vec<f64> = (0..p)
+                .map(|r| rate * vol_scale * ours_unknowns * part.range(r).len() as f64 / n as f64)
+                .collect();
+            // 5 exchanges per RK4 step (4 stages + interface sync); ghost
+            // bytes scale with the surface.
+            let ghost_scale = if vol_scale > 1.0 { surface_scale } else { 1.0 };
+            let mut worst = gw_perfmodel::scaling::StepCost::default();
+            for r in 0..p {
+                let bytes = (plan.send_bytes(r, 24, 343) as f64 * ghost_scale) as u64;
+                let comm = net.exchange_time(plan.messages_aggregated(r), bytes) * 5.0;
+                let c = gw_perfmodel::scaling::StepCost { compute: work[r], comm };
+                if c.total() > worst.total() {
+                    worst = c;
+                }
+            }
+            times.push(worst.total());
+            rows.push((p, worst.compute * 1e3, worst.comm * 1e3, imb));
+        }
+        let eff = strong_efficiency(&ps, &times);
+        let mut t = TablePrinter::new(&[
+            "GPUs",
+            "compute ms",
+            "comm ms",
+            "total ms (5 steps)",
+            "efficiency",
+            "imbalance",
+        ]);
+        for (i, &(p, comp, comm, imb)) in rows.iter().enumerate() {
+            t.row(&[
+                p.to_string(),
+                num(comp),
+                num(comm),
+                num(5.0 * times[i] * 1e3),
+                format!("{:.0}%", eff[i] * 100.0),
+                format!("{imb:.3}"),
+            ]);
+        }
+        t.print(&format!("Fig. 17 — strong scaling at {label}"));
+    }
+    println!("\nPaper GPU efficiencies: 97% (4), 89% (8), 64% (16); CPU: 93/79/66%.");
+}

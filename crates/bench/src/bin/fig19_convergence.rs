@@ -1,0 +1,94 @@
+//! Fig. 19 regenerator: convergence of extracted waveforms with the
+//! refinement tolerance ε.
+//!
+//! The paper compares AMR waveforms against a high-resolution LAZEV
+//! reference as ε decreases. Substitution (DESIGN.md): the reference is
+//! (a) the analytic solution of the linearized wave and (b) a
+//! high-resolution unigrid run of the same physics. We evolve a
+//! linearized GW packet on ε-refined AMR grids and report the Re Ψ₄
+//! (2,2)-mode difference against the reference — the plotted quantity of
+//! Fig. 19.
+
+use gw_bench::table::sci;
+use gw_bench::TablePrinter;
+use gw_bssn::init::LinearWaveData;
+use gw_core::solver::{GwSolver, SolverConfig};
+use gw_core::unigrid::unigrid_solver;
+use gw_mesh::Mesh;
+use gw_octree::{refine_loop, BalanceMode, Domain, InterpErrorRefiner, MortonKey};
+use gw_waveform::{lebedev::product_rule, psi4_from_strain, ExtractionSphere, ModeExtractor};
+
+fn run_amr(eps: f64, horizon: f64) -> (gw_waveform::WaveformSeries, usize) {
+    let domain = Domain::centered_cube(8.0);
+    let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+    // ε-driven refinement on the initial wave profile (cap level 4: the
+    // eps sweep 4e-4 → 1e-4 crosses two refinement transitions).
+    let field = move |p: [f64; 3]| wave.h_plus(p[2], 0.0);
+    let refiner = InterpErrorRefiner::new(field, eps, 2, 4);
+    let leaves =
+        refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+    let mesh = Mesh::build(domain, &leaves);
+    let n_oct = mesh.n_octants();
+    let mut solver = GwSolver::new(
+        SolverConfig { extract_every: 1, ..Default::default() },
+        mesh,
+        |p, out| wave.evaluate(p, out),
+    );
+    let sphere = ExtractionSphere::new(4.0, product_rule(6, 12));
+    solver.add_extractor(ModeExtractor::new(sphere, vec![(2, 2)]));
+    let steps = (horizon / solver.dt()).round().max(4.0) as usize;
+    for _ in 0..steps {
+        solver.step();
+    }
+    let strain = solver.extractors[0].mode(2, 2).unwrap().clone();
+    (psi4_from_strain(&strain), n_oct)
+}
+
+fn main() {
+    let horizon = 0.6;
+    let domain = Domain::centered_cube(8.0);
+    let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+    // Level-4 unigrid reference: finer than every AMR grid in the sweep
+    // (the LAZEV high-resolution stand-in).
+    let mut reference = unigrid_solver(
+        SolverConfig { extract_every: 1, ..Default::default() },
+        domain,
+        4,
+        |p, out| wave.evaluate(p, out),
+    );
+    let sphere = ExtractionSphere::new(4.0, product_rule(6, 12));
+    reference.add_extractor(ModeExtractor::new(sphere, vec![(2, 2)]));
+    println!(
+        "reference: unigrid level 4, {} octants (standing in for LAZEV)",
+        reference.mesh.n_octants()
+    );
+    let ref_steps = (horizon / reference.dt()).round() as usize;
+    for _ in 0..ref_steps {
+        reference.step();
+    }
+    let ref_psi4 = psi4_from_strain(reference.extractors[0].mode(2, 2).unwrap());
+
+    let mut t = TablePrinter::new(&[
+        "eps",
+        "octants",
+        "Linf |Re psi4 - ref|",
+        "RMS diff",
+    ]);
+    let mut prev = f64::INFINITY;
+    let mut monotone = true;
+    for eps in [4e-4, 2e-4, 1e-4] {
+        let (psi4, n_oct) = run_amr(eps, horizon);
+        let linf = psi4.linf_re_diff(&ref_psi4);
+        let rms = psi4.rms_re_diff(&ref_psi4);
+        if linf > prev * 1.05 {
+            monotone = false;
+        }
+        prev = linf;
+        t.row(&[sci(eps), n_oct.to_string(), sci(linf), sci(rms)]);
+    }
+    t.print("Fig. 19 — waveform convergence with refinement tolerance ε");
+    println!(
+        "\nPaper: decreasing ε converges the AMR waveform to the (LAZEV) reference.\n\
+         Monotone decrease observed: {monotone}"
+    );
+}

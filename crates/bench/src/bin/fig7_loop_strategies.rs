@@ -1,0 +1,71 @@
+//! Fig. 7 regenerator: single-core CPU comparison of the padding-zone
+//! computation — loop-over-patches (gather, the Dendro-GR baseline) vs
+//! loop-over-octants (scatter, the paper's approach). The paper reports
+//! ~3× in favor of the scatter on adaptive grids.
+
+use gw_bench::table::num;
+use gw_bench::{table3_grids, TablePrinter};
+use gw_expr::symbols::NUM_VARS;
+use gw_mesh::gather::fill_patches_gather;
+use gw_mesh::scatter::fill_patches_scatter;
+use gw_mesh::{Field, PatchField};
+use std::time::Instant;
+
+fn main() {
+    let mut t = TablePrinter::new(&[
+        "grid",
+        "octants",
+        "adaptivity",
+        "gather (ms)",
+        "scatter (ms)",
+        "speedup",
+        "interp flops gather",
+        "interp flops scatter",
+    ]);
+    for (name, mesh) in table3_grids(1.0) {
+        let n = mesh.n_octants();
+        // One representative variable set (dof = 24 like the paper's
+        // runs would multiply both sides equally; use 4 here to keep the
+        // sweep quick — the ratio is dof-independent).
+        let dof = 4.min(NUM_VARS);
+        let mut field = Field::zeros(dof, n);
+        for v in 0..dof {
+            for oct in 0..n {
+                let b = field.block_mut(v, oct);
+                for (i, x) in b.iter_mut().enumerate() {
+                    *x = (oct * 31 + i * 7 + v) as f64 * 1e-3;
+                }
+            }
+        }
+        let mut pg = PatchField::zeros(dof, n);
+        let mut ps = PatchField::zeros(dof, n);
+        // Warm up.
+        fill_patches_gather(&mesh, &field, &mut pg);
+        fill_patches_scatter(&mesh, &field, &mut ps);
+        let reps = 3;
+        let t0 = Instant::now();
+        let mut fg = 0;
+        for _ in 0..reps {
+            fg = fill_patches_gather(&mesh, &field, &mut pg);
+        }
+        let tg = t0.elapsed().as_secs_f64() / reps as f64 * 1e3;
+        let t1 = Instant::now();
+        let mut fs = 0;
+        for _ in 0..reps {
+            fs = fill_patches_scatter(&mesh, &field, &mut ps);
+        }
+        let ts = t1.elapsed().as_secs_f64() / reps as f64 * 1e3;
+        t.row(&[
+            name,
+            n.to_string(),
+            format!("{:.3}", mesh.adaptivity_ratio()),
+            num(tg),
+            num(ts),
+            format!("{:.2}x", tg / ts),
+            fg.to_string(),
+            fs.to_string(),
+        ]);
+    }
+    t.print("Fig. 7 — loop-over-patches (gather) vs loop-over-octants (scatter), 1 core");
+    println!("\nPaper: scatter ≈3x faster on adaptive grids (redundant interpolation removed).");
+}

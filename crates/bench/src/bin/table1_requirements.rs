@@ -1,0 +1,40 @@
+//! Table I regenerator: resolution and timestep requirements vs mass
+//! ratio (model of section I with the paper's assumptions: M = 1,
+//! d = 8, ~120 points across each horizon).
+
+use gw_bench::table::{num, sci};
+use gw_bench::TablePrinter;
+use gw_perfmodel::requirements::{resolution_requirements, PAPER_TABLE_I};
+
+fn main() {
+    let mut t = TablePrinter::new(&[
+        "q",
+        "dx_min small (ours)",
+        "(paper)",
+        "dx_min large (ours)",
+        "(paper)",
+        "time [M] (ours)",
+        "(paper)",
+        "timesteps (ours)",
+        "(paper)",
+    ]);
+    for &(q, dxs_p, dxl_p, t_p, n_p) in &PAPER_TABLE_I {
+        let r = resolution_requirements(q);
+        t.row(&[
+            format!("{q}"),
+            sci(r.dx_small),
+            sci(dxs_p),
+            sci(r.dx_large),
+            sci(dxl_p),
+            num(r.merger_time),
+            num(t_p),
+            sci(r.timesteps),
+            sci(n_p),
+        ]);
+    }
+    t.print("Table I — resolution requirements vs mass ratio (ours vs paper)");
+    println!(
+        "\nModel: dx = 2 m_i / 120; merger time from full-GR values (q<=16)\n\
+         or quadrupole decay t = (5/256) d^4/(m1 m2 M); steps = time / dx_min."
+    );
+}

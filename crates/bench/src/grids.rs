@@ -1,0 +1,115 @@
+//! Benchmark grid construction.
+//!
+//! * [`table3_grids`] — the five grids `m₁…m₅` of Table III with
+//!   *decreasing adaptivity* at increasing size, built like the paper's:
+//!   `m₁` is a strongly adaptive BBH-like grid, `m₅` nearly uniform.
+//! * [`bbh_like_grids`] — binary-puncture grids at several target sizes
+//!   for the Fig. 15/16 sweeps.
+//! * [`uniform_grid`] — uniform meshes for calibration runs.
+
+use gw_mesh::Mesh;
+use gw_octree::{refine_loop, BalanceMode, Domain, MortonKey, Puncture, PunctureRefiner};
+
+/// Uniform mesh at `level`.
+pub fn uniform_grid(domain: Domain, level: u8) -> Mesh {
+    let mut leaves = vec![MortonKey::root()];
+    for _ in 0..level {
+        leaves = leaves.iter().flat_map(|k| k.children()).collect();
+    }
+    leaves.sort();
+    Mesh::build(domain, &leaves)
+}
+
+/// A BBH-like adaptive grid: two punctures at separation `d` refined
+/// `extra` levels above a base level.
+pub fn bbh_grid(domain: Domain, d: f64, base: u8, finest: u8) -> Mesh {
+    let p1 = Puncture { pos: [d / 2.0, 0.0, 0.0], finest_level: finest, inner_radius: d / 10.0 };
+    let p2 = Puncture { pos: [-d / 2.0, 0.0, 0.0], finest_level: finest, inner_radius: d / 10.0 };
+    let r = PunctureRefiner::new(vec![p1, p2], base);
+    let leaves = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
+    Mesh::build(domain, &leaves)
+}
+
+/// The Table-III grid family: five grids of growing size and shrinking
+/// adaptivity ratio (`m₁` most adaptive). Sizes are scaled down ~4×
+/// from the paper's 400–9304 octants to stay laptop-friendly in debug
+/// runs; pass `scale = 1.0` for paper-sized grids.
+pub fn table3_grids(scale: f64) -> Vec<(String, Mesh)> {
+    let domain = Domain::centered_cube(16.0);
+    let mut out = Vec::new();
+    // (base level, finest level): deep narrow refinement → adaptive;
+    // shallow broad refinement → uniform-ish.
+    let configs: [(u8, u8, f64); 5] = [
+        (2, 5, 1.0), // m1: most adaptive (measured adaptivity ~0.48)
+        (2, 6, 0.6), // ~0.36
+        (3, 6, 1.2), // ~0.25
+        (3, 5, 2.4), // ~0.23
+        (4, 5, 3.0), // m5: nearly uniform (~0.09)
+    ];
+    for (i, &(base, finest, r_in)) in configs.iter().enumerate() {
+        let d = 6.0;
+        let p1 = Puncture {
+            pos: [d / 2.0, 0.0, 0.0],
+            finest_level: finest,
+            inner_radius: r_in * scale.max(0.25),
+        };
+        let p2 = Puncture {
+            pos: [-d / 2.0, 0.0, 0.0],
+            finest_level: finest,
+            inner_radius: r_in * scale.max(0.25),
+        };
+        let rfn = PunctureRefiner::new(vec![p1, p2], base);
+        let leaves = refine_loop(vec![MortonKey::root()], &domain, &rfn, BalanceMode::Full, 16);
+        out.push((format!("m{}", i + 1), Mesh::build(domain, &leaves)));
+    }
+    out
+}
+
+/// BBH grids with octant counts near the requested targets (Fig. 15/16
+/// problem-size sweeps).
+pub fn bbh_like_grids(targets: &[usize]) -> Vec<Mesh> {
+    let domain = Domain::centered_cube(16.0);
+    let mut out = Vec::new();
+    for &t in targets {
+        // Scan finest level until the octant count reaches the target.
+        let mut best: Option<Mesh> = None;
+        for finest in 4..=8u8 {
+            let m = bbh_grid(domain, 6.0, 2, finest);
+            if m.n_octants() >= t || finest == 8 {
+                best = Some(m);
+                break;
+            }
+            best = Some(m);
+        }
+        out.push(best.expect("grid built"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_family_adaptivity_decreases() {
+        let grids = table3_grids(1.0);
+        assert_eq!(grids.len(), 5);
+        let ratios: Vec<f64> = grids.iter().map(|(_, m)| m.adaptivity_ratio()).collect();
+        // m1 clearly more adaptive than m5.
+        assert!(
+            ratios[0] > ratios[4] + 0.05,
+            "adaptivity must decrease m1→m5: {ratios:?}"
+        );
+        let sizes: Vec<usize> = grids.iter().map(|(_, m)| m.n_octants()).collect();
+        assert!(sizes[4] > sizes[0], "m5 should be the largest: {sizes:?}");
+    }
+
+    #[test]
+    fn bbh_grid_refines_punctures() {
+        let m = bbh_grid(Domain::centered_cube(16.0), 6.0, 2, 5);
+        let lmax = m.octants.iter().map(|o| o.level).max().unwrap();
+        let lmin = m.octants.iter().map(|o| o.level).min().unwrap();
+        assert_eq!(lmax, 5);
+        assert!(lmin <= 3);
+    }
+}

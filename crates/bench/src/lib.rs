@@ -1,0 +1,11 @@
+//! Shared helpers for the table/figure regenerators.
+//!
+//! Each binary in `src/bin` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4). They print aligned text tables with the paper's
+//! values alongside ours where applicable.
+
+pub mod grids;
+pub mod table;
+
+pub use grids::{bbh_like_grids, table3_grids, uniform_grid};
+pub use table::TablePrinter;

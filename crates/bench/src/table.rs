@@ -1,0 +1,86 @@
+//! Aligned text-table printing for the regenerators.
+
+/// A minimal fixed-width table printer.
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render to stdout.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format in scientific notation like the paper's tables.
+pub fn sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+/// Format a float with 3 significant-ish decimals.
+pub fn num(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panic() {
+        let mut t = TablePrinter::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["333".into(), "4".into()]);
+        t.print("test");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TablePrinter::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(sci(78000.0), "7.80e4");
+        assert_eq!(num(0.123456), "0.1235");
+        assert_eq!(num(1234.0), "1234");
+    }
+}

@@ -1,0 +1,309 @@
+//! Initial data.
+//!
+//! * [`PunctureData`] — Brandt–Brügmann moving-puncture data: conformally
+//!   flat metric with ψ = 1 + Σ mᵢ/(2rᵢ), Bowen–York extrinsic curvature
+//!   for momenta/spins, pre-collapsed lapse α = ψ⁻², zero shift. This is
+//!   the approximate (non-elliptically-solved) variant: exact for
+//!   time-symmetric (P = S = 0) multi-holes, first-order accurate in
+//!   P, S otherwise — the standard substitute for the TwoPunctures solver
+//!   (see DESIGN.md).
+//! * [`LinearWaveData`] — a linearized gravitational plane-wave packet
+//!   with closed-form time evolution, used by the propagation and
+//!   convergence experiments (Fig. 19/21 substitutions).
+
+use gw_expr::symbols::{var, NUM_VARS};
+
+/// One black hole's puncture parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PunctureSpec {
+    /// Bare mass.
+    pub mass: f64,
+    /// Position.
+    pub pos: [f64; 3],
+    /// Linear (Bowen–York) momentum.
+    pub momentum: [f64; 3],
+    /// Spin.
+    pub spin: [f64; 3],
+}
+
+/// Brandt–Brügmann puncture initial data for a set of holes.
+#[derive(Clone, Debug)]
+pub struct PunctureData {
+    pub punctures: Vec<PunctureSpec>,
+    /// Softening radius to avoid the coordinate singularity at the
+    /// puncture (points within get the softened value; physical runs keep
+    /// the puncture off grid points).
+    pub eps: f64,
+}
+
+impl PunctureData {
+    pub fn new(punctures: Vec<PunctureSpec>) -> Self {
+        Self { punctures, eps: 1e-6 }
+    }
+
+    /// Quasi-circular equal/unequal-mass binary of mass ratio `q` with
+    /// total mass 1 and coordinate separation `d`: masses m₁ = q/(1+q),
+    /// m₂ = 1/(1+q), placed on the x axis about the center of mass, with
+    /// tangential momenta ±P ŷ estimated from the Newtonian circular
+    /// orbit (P = μ √(M/d)).
+    pub fn binary(q: f64, d: f64) -> Self {
+        assert!(q >= 1.0 && d > 0.0);
+        let m1 = q / (1.0 + q);
+        let m2 = 1.0 / (1.0 + q);
+        let x1 = d * m2; // about the COM: m1 x1 = m2 x2
+        let x2 = -d * m1;
+        let mu = m1 * m2;
+        let p = mu * (1.0f64 / d).sqrt();
+        Self::new(vec![
+            PunctureSpec { mass: m1, pos: [x1, 0.0, 0.0], momentum: [0.0, p, 0.0], spin: [0.0; 3] },
+            PunctureSpec {
+                mass: m2,
+                pos: [x2, 0.0, 0.0],
+                momentum: [0.0, -p, 0.0],
+                spin: [0.0; 3],
+            },
+        ])
+    }
+
+    /// Conformal factor ψ at a point.
+    pub fn psi(&self, p: [f64; 3]) -> f64 {
+        let mut s = 1.0;
+        for bh in &self.punctures {
+            let r = dist(p, bh.pos).max(self.eps);
+            s += bh.mass / (2.0 * r);
+        }
+        s
+    }
+
+    /// Bowen–York conformal extrinsic curvature Â_ij at a point.
+    pub fn abar(&self, p: [f64; 3]) -> [[f64; 3]; 3] {
+        let mut a = [[0.0f64; 3]; 3];
+        for bh in &self.punctures {
+            let rvec = [p[0] - bh.pos[0], p[1] - bh.pos[1], p[2] - bh.pos[2]];
+            let r = dist(p, bh.pos).max(self.eps);
+            let n = [rvec[0] / r, rvec[1] / r, rvec[2] / r];
+            let pn = bh.momentum[0] * n[0] + bh.momentum[1] * n[1] + bh.momentum[2] * n[2];
+            // Momentum part: 3/(2r²)[Pᵢnⱼ + Pⱼnᵢ − (δᵢⱼ − nᵢnⱼ)(P·n)].
+            for i in 0..3 {
+                for j in 0..3 {
+                    let delta = if i == j { 1.0 } else { 0.0 };
+                    a[i][j] += 1.5 / (r * r)
+                        * (bh.momentum[i] * n[j] + bh.momentum[j] * n[i]
+                            - (delta - n[i] * n[j]) * pn);
+                }
+            }
+            // Spin part: 3/r³ [εₖᵢₗ Sᵏ nˡ nⱼ + εₖⱼₗ Sᵏ nˡ nᵢ].
+            let sxn = cross(bh.spin, n);
+            for i in 0..3 {
+                for j in 0..3 {
+                    a[i][j] += 3.0 / (r * r * r) * (sxn[i] * n[j] + sxn[j] * n[i]);
+                }
+            }
+        }
+        a
+    }
+
+    /// Evaluate all 24 BSSN fields at a point (flat conformal metric).
+    pub fn evaluate(&self, p: [f64; 3], out: &mut [f64]) {
+        debug_assert!(out.len() >= NUM_VARS);
+        out.iter_mut().take(NUM_VARS).for_each(|v| *v = 0.0);
+        let psi = self.psi(p);
+        let chi = psi.powi(-4);
+        out[var::ALPHA] = psi.powi(-2); // pre-collapsed lapse
+        out[var::CHI] = chi;
+        out[var::gt(0, 0)] = 1.0;
+        out[var::gt(1, 1)] = 1.0;
+        out[var::gt(2, 2)] = 1.0;
+        // Ã_ij = ψ^{-6} Â_ij (conformal weight), K = 0.
+        let abar = self.abar(p);
+        let w = psi.powi(-6);
+        for i in 0..3 {
+            for j in i..3 {
+                out[var::at(i, j)] = w * abar[i][j];
+            }
+        }
+    }
+
+    /// ADM-like mass estimate (sum of bare masses; adequate for grid
+    /// sizing).
+    pub fn total_mass(&self) -> f64 {
+        self.punctures.iter().map(|b| b.mass).sum()
+    }
+}
+
+fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let d = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+    (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// A linearized `+`-polarized gravitational wave packet travelling along
+/// `z`: h₊(z, t) = A f(z − t) with a Gaussian-modulated sine profile.
+///
+/// In transverse-traceless gauge, to linear order:
+/// γ̃_xx = 1 + h₊, γ̃_yy = 1 − h₊, Ã_xx = −½ ∂_t h₊ = ½ h₊′,
+/// Ã_yy = −½ ∂_t h₊ = −... (signs below), everything else flat. The
+/// closed-form solution h₊(z − t) makes this the convergence reference.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearWaveData {
+    /// Amplitude (must be ≪ 1 for the linearization).
+    pub amplitude: f64,
+    /// Packet center at t = 0.
+    pub center: f64,
+    /// Gaussian width.
+    pub width: f64,
+    /// Carrier wavenumber.
+    pub k: f64,
+}
+
+impl LinearWaveData {
+    pub fn new(amplitude: f64, center: f64, width: f64, k: f64) -> Self {
+        assert!(amplitude.abs() < 0.1, "linearized data needs a small amplitude");
+        Self { amplitude, center, width, k }
+    }
+
+    /// Profile f(ζ) with ζ = z − t (right-moving packet).
+    pub fn profile(&self, zeta: f64) -> f64 {
+        let u = zeta - self.center;
+        (-u * u / (self.width * self.width)).exp() * (self.k * u).sin()
+    }
+
+    /// d f / d ζ.
+    pub fn profile_deriv(&self, zeta: f64) -> f64 {
+        let u = zeta - self.center;
+        let g = (-u * u / (self.width * self.width)).exp();
+        g * (self.k * (self.k * u).cos() - 2.0 * u / (self.width * self.width) * (self.k * u).sin())
+    }
+
+    /// Analytic h₊ at (z, t).
+    pub fn h_plus(&self, z: f64, t: f64) -> f64 {
+        self.amplitude * self.profile(z - t)
+    }
+
+    /// Evaluate all 24 BSSN fields at a point at t = 0.
+    pub fn evaluate(&self, p: [f64; 3], out: &mut [f64]) {
+        debug_assert!(out.len() >= NUM_VARS);
+        out.iter_mut().take(NUM_VARS).for_each(|v| *v = 0.0);
+        let h = self.amplitude * self.profile(p[2]);
+        let hdot = -self.amplitude * self.profile_deriv(p[2]); // ∂_t at t=0
+        out[var::ALPHA] = 1.0;
+        out[var::CHI] = 1.0;
+        out[var::gt(0, 0)] = 1.0 + h;
+        out[var::gt(1, 1)] = 1.0 - h;
+        out[var::gt(2, 2)] = 1.0;
+        // ∂_t γ̃_ij = −2αÃ_ij  ⇒  Ã_xx = −½ ḣ, Ã_yy = +½ ḣ.
+        out[var::at(0, 0)] = -0.5 * hdot;
+        out[var::at(1, 1)] = 0.5 * hdot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_puncture_matches_schwarzschild_isotropic() {
+        let d = PunctureData::new(vec![PunctureSpec {
+            mass: 1.0,
+            pos: [0.0; 3],
+            momentum: [0.0; 3],
+            spin: [0.0; 3],
+        }]);
+        let r = 5.0;
+        let psi = d.psi([r, 0.0, 0.0]);
+        assert!((psi - 1.1).abs() < 1e-14);
+        let mut u = vec![0.0; NUM_VARS];
+        d.evaluate([r, 0.0, 0.0], &mut u);
+        assert!((u[var::CHI] - 1.1f64.powi(-4)).abs() < 1e-14);
+        assert_eq!(u[var::K], 0.0);
+        // Time-symmetric: Ã = 0.
+        for i in 0..3 {
+            for j in i..3 {
+                assert_eq!(u[var::at(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_masses_and_com() {
+        let q = 4.0;
+        let b = PunctureData::binary(q, 8.0);
+        assert!((b.total_mass() - 1.0).abs() < 1e-14);
+        let m1 = b.punctures[0].mass;
+        let m2 = b.punctures[1].mass;
+        assert!((m1 / m2 - q).abs() < 1e-12);
+        // Center of mass at origin.
+        let com: f64 = b.punctures.iter().map(|p| p.mass * p.pos[0]).sum();
+        assert!(com.abs() < 1e-12);
+        // Opposite momenta.
+        assert!((b.punctures[0].momentum[1] + b.punctures[1].momentum[1]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn bowen_york_abar_is_trace_free() {
+        let d = PunctureData::new(vec![PunctureSpec {
+            mass: 0.5,
+            pos: [1.0, 0.0, 0.0],
+            momentum: [0.1, 0.2, -0.05],
+            spin: [0.0, 0.0, 0.3],
+        }]);
+        for p in [[3.0, 1.0, -2.0], [0.0, 4.0, 0.5], [-2.0, -2.0, -2.0]] {
+            let a = d.abar(p);
+            let tr = a[0][0] + a[1][1] + a[2][2];
+            assert!(tr.abs() < 1e-12, "trace {tr} at {p:?}");
+            // Symmetric.
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert!((a[i][j] - a[j][i]).abs() < 1e-13);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abar_falls_off() {
+        let d = PunctureData::new(vec![PunctureSpec {
+            mass: 0.5,
+            pos: [0.0; 3],
+            momentum: [0.0, 0.2, 0.0],
+            spin: [0.0; 3],
+        }]);
+        let near = d.abar([2.0, 0.0, 0.0])[0][1].abs();
+        let far = d.abar([8.0, 0.0, 0.0])[0][1].abs();
+        // Momentum part ~ r⁻²: factor 16.
+        assert!((near / far - 16.0).abs() < 0.5, "ratio {}", near / far);
+    }
+
+    #[test]
+    fn linear_wave_fields() {
+        let w = LinearWaveData::new(1e-3, 0.0, 2.0, 1.5);
+        let mut u = vec![0.0; NUM_VARS];
+        w.evaluate([0.3, -0.1, 0.7], &mut u);
+        let h = w.h_plus(0.7, 0.0);
+        assert!((u[var::gt(0, 0)] - (1.0 + h)).abs() < 1e-15);
+        assert!((u[var::gt(1, 1)] - (1.0 - h)).abs() < 1e-15);
+        assert_eq!(u[var::gt(2, 2)], 1.0);
+        // Trace-free Ã: Ã_xx + Ã_yy = 0.
+        assert!((u[var::at(0, 0)] + u[var::at(1, 1)]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wave_packet_translates() {
+        let w = LinearWaveData::new(1e-3, -5.0, 1.0, 2.0);
+        // h(z, t) = h(z − t, 0).
+        for (z, t) in [(0.0, 5.0), (2.0, 7.0), (-1.0, 4.0)] {
+            assert!((w.h_plus(z, t) - w.h_plus(z - t, 0.0)).abs() < 1e-15);
+        }
+        // At the packet center the envelope is 1 and the slope is the
+        // carrier wavenumber.
+        assert!(w.h_plus(-5.0, 0.0).abs() < 1e-6); // sin(0) node at center
+        assert!((w.profile_deriv(-5.0) - 2.0).abs() < 1e-12);
+    }
+}

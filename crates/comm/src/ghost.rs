@@ -1,0 +1,187 @@
+//! Ghost (halo) exchange planning.
+//!
+//! Each rank owns a contiguous SFC range of octants (the partition).
+//! Scatter dependencies that cross partition boundaries require remote
+//! octant blocks; the plan lists, per rank pair, exactly which octants
+//! must travel. Messages are aggregated per destination rank (one message
+//! per neighbor per exchange — the aggregation the ablation in DESIGN.md
+//! §5 compares against per-octant messages).
+
+use gw_octree::partition::PartitionMap;
+
+/// Dependencies: `(src_octant, dst_octant)` pairs (global indices) from
+/// the mesh scatter map.
+pub type Dependency = (u32, u32);
+
+/// The per-rank ghost exchange plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GhostPlan {
+    /// `sends[r][q]` = sorted global octant ids rank `r` sends to rank `q`.
+    pub sends: Vec<Vec<Vec<u32>>>,
+    /// `recvs[r][q]` = sorted global octant ids rank `r` receives from `q`
+    /// (mirror of `sends[q][r]`).
+    pub recvs: Vec<Vec<Vec<u32>>>,
+}
+
+/// Builder + queries.
+pub struct GhostSchedule;
+
+impl GhostSchedule {
+    /// Build the plan from the partition and the cross-octant
+    /// dependencies.
+    pub fn build(partition: &PartitionMap, deps: impl Iterator<Item = Dependency>) -> GhostPlan {
+        let p = partition.parts();
+        let mut sends: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p]; p];
+        for (src, dst) in deps {
+            let rs = partition.owner_of_index(src as usize);
+            let rd = partition.owner_of_index(dst as usize);
+            if rs != rd {
+                sends[rs][rd].push(src);
+            }
+        }
+        for row in sends.iter_mut() {
+            for list in row.iter_mut() {
+                list.sort_unstable();
+                list.dedup();
+            }
+        }
+        let mut recvs: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p]; p];
+        for r in 0..p {
+            for q in 0..p {
+                recvs[r][q] = sends[q][r].clone();
+            }
+        }
+        GhostPlan { sends, recvs }
+    }
+}
+
+impl GhostPlan {
+    pub fn parts(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Octants rank `r` ships in one exchange (all destinations).
+    pub fn send_volume_octants(&self, r: usize) -> usize {
+        self.sends[r].iter().map(|l| l.len()).sum()
+    }
+
+    /// Bytes rank `r` ships per exchange for a `dof`-variable field with
+    /// `block_points` points per octant.
+    pub fn send_bytes(&self, r: usize, dof: usize, block_points: usize) -> u64 {
+        (self.send_volume_octants(r) * dof * block_points * 8) as u64
+    }
+
+    /// Aggregated messages per exchange from rank `r` (≤ p−1).
+    pub fn messages_aggregated(&self, r: usize) -> usize {
+        self.sends[r].iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// Unaggregated (one message per octant) count — the ablation
+    /// baseline.
+    pub fn messages_per_octant(&self, r: usize) -> usize {
+        self.send_volume_octants(r)
+    }
+
+    /// All ghost octants rank `r` will hold (sorted global ids).
+    pub fn ghosts_of(&self, r: usize) -> Vec<u32> {
+        let mut v: Vec<u32> = self.recvs[r].iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total bytes on the wire per exchange.
+    pub fn total_bytes(&self, dof: usize, block_points: usize) -> u64 {
+        (0..self.parts()).map(|r| self.send_bytes(r, dof, block_points)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_octree::partition::partition_uniform;
+
+    /// A 1D-like chain of octants where octant i depends on i−1 and i+1.
+    fn chain_deps(n: usize) -> Vec<Dependency> {
+        let mut d = Vec::new();
+        for i in 0..n as u32 {
+            if i > 0 {
+                d.push((i - 1, i));
+                d.push((i, i - 1));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn chain_partition_ghosts_are_boundary_octants() {
+        let n = 12;
+        let part = partition_uniform(n, 3); // [0..4), [4..8), [8..12)
+        let plan = GhostSchedule::build(&part, chain_deps(n).into_iter());
+        // Rank 0 sends octant 3 to rank 1; receives octant 4.
+        assert_eq!(plan.sends[0][1], vec![3]);
+        assert_eq!(plan.recvs[0][1], vec![4]);
+        assert_eq!(plan.ghosts_of(0), vec![4]);
+        // Middle rank has ghosts on both sides.
+        assert_eq!(plan.ghosts_of(1), vec![3, 8]);
+        // No self-sends.
+        for r in 0..3 {
+            assert!(plan.sends[r][r].is_empty());
+        }
+    }
+
+    #[test]
+    fn message_counts_aggregated_vs_per_octant() {
+        let n = 100;
+        let part = partition_uniform(n, 4);
+        // Dense deps: everyone near a cut talks across it; add a wide
+        // stencil of ±3.
+        let mut deps = Vec::new();
+        for i in 0..n as i64 {
+            for d in -3i64..=3 {
+                let j = i + d;
+                if d != 0 && j >= 0 && j < n as i64 {
+                    deps.push((i as u32, j as u32));
+                }
+            }
+        }
+        let plan = GhostSchedule::build(&part, deps.into_iter());
+        for r in 0..4 {
+            let agg = plan.messages_aggregated(r);
+            let per = plan.messages_per_octant(r);
+            assert!(agg <= per);
+            assert!(agg <= 3); // at most both neighbors in a 1D chain
+            if r == 1 || r == 2 {
+                assert_eq!(agg, 2);
+                assert_eq!(per, 6); // 3 octants to each side
+            }
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let part = partition_uniform(4, 2);
+        let plan = GhostSchedule::build(&part, chain_deps(4).into_iter());
+        // One octant each way: 2 × dof × pts × 8 bytes total.
+        assert_eq!(plan.total_bytes(24, 343), 2 * 24 * 343 * 8);
+    }
+
+    #[test]
+    fn single_rank_has_no_ghosts() {
+        let part = partition_uniform(10, 1);
+        let plan = GhostSchedule::build(&part, chain_deps(10).into_iter());
+        assert_eq!(plan.send_volume_octants(0), 0);
+        assert!(plan.ghosts_of(0).is_empty());
+    }
+
+    #[test]
+    fn symmetric_dependencies_give_symmetric_plan() {
+        let part = partition_uniform(20, 4);
+        let plan = GhostSchedule::build(&part, chain_deps(20).into_iter());
+        for r in 0..4 {
+            for q in 0..4 {
+                assert_eq!(plan.sends[r][q], plan.recvs[q][r]);
+            }
+        }
+    }
+}

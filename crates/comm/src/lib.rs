@@ -1,0 +1,22 @@
+//! Simulated MPI: rank-parallel execution with typed message passing.
+//!
+//! The paper's distributed layer (Intel MPI on Frontera / Lonestar 6) is
+//! replaced — per the DESIGN.md substitution policy — by an in-process
+//! world: ranks are OS threads, point-to-point messages are crossbeam
+//! channels, and collectives are built on them. Message counts and byte
+//! volumes are metered per rank, which is what the weak/strong scaling
+//! models (Figs. 17, 18, 20) consume.
+//!
+//! * [`world`] — [`world::World::run`] spawns `p` ranks and gives each a
+//!   [`world::RankCtx`] with `send`/`recv`, barriers and collectives
+//!   (allreduce, gather, alltoallv, broadcast).
+//! * [`ghost`] — the ghost/halo exchange schedule: given an octant
+//!   partition and the cross-partition scatter dependencies, build the
+//!   per-rank aggregated message plan (one message per neighbor rank per
+//!   round — the aggregation ablation of DESIGN.md §5).
+
+pub mod ghost;
+pub mod world;
+
+pub use ghost::{GhostPlan, GhostSchedule};
+pub use world::{RankCtx, TrafficStats, World};

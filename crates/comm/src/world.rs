@@ -1,0 +1,312 @@
+//! The rank world: threads + channels + collectives.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// A tagged message between ranks.
+struct Message {
+    tag: u64,
+    payload: Vec<u8>,
+}
+
+/// Per-rank communication traffic counters.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    pub messages_sent: AtomicU64,
+    pub bytes_sent: AtomicU64,
+}
+
+/// The world: matrix of channels between `p` ranks.
+pub struct World {
+    size: usize,
+    senders: Vec<Vec<Sender<Message>>>, // senders[src][dst]
+    receivers: Vec<Mutex<Vec<Receiver<Message>>>>, // receivers[dst][src]
+    barrier: Barrier,
+    traffic: Vec<TrafficStats>,
+}
+
+impl World {
+    fn new(size: usize) -> Arc<Self> {
+        assert!(size >= 1);
+        let mut senders: Vec<Vec<Sender<Message>>> = (0..size).map(|_| Vec::new()).collect();
+        let mut receivers: Vec<Vec<Receiver<Message>>> = (0..size).map(|_| Vec::new()).collect();
+        for dst_chans in receivers.iter_mut() {
+            for src_senders in senders.iter_mut() {
+                let (tx, rx) = unbounded();
+                src_senders.push(tx);
+                dst_chans.push(rx);
+            }
+        }
+        Arc::new(Self {
+            size,
+            senders,
+            receivers: receivers.into_iter().map(Mutex::new).collect(),
+            barrier: Barrier::new(size),
+            traffic: (0..size).map(|_| TrafficStats::default()).collect(),
+        })
+    }
+
+    /// Spawn `size` ranks, run `body` on each, return the per-rank results
+    /// in rank order. Panics in a rank propagate.
+    pub fn run<T, F>(size: usize, body: F) -> (Vec<T>, Vec<(u64, u64)>)
+    where
+        T: Send,
+        F: Fn(RankCtx<'_>) -> T + Sync,
+    {
+        let world = Self::new(size);
+        let results: Vec<Mutex<Option<T>>> = (0..size).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for rank in 0..size {
+                let world = Arc::clone(&world);
+                let slot = &results[rank];
+                let body = &body;
+                scope.spawn(move || {
+                    let ctx = RankCtx { world: &world, rank };
+                    let out = body(ctx);
+                    *slot.lock().unwrap() = Some(out);
+                });
+            }
+        });
+        let outs = results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("rank completed"))
+            .collect();
+        let traffic = world
+            .traffic
+            .iter()
+            .map(|t| {
+                (t.messages_sent.load(Ordering::Relaxed), t.bytes_sent.load(Ordering::Relaxed))
+            })
+            .collect();
+        (outs, traffic)
+    }
+}
+
+/// A rank's handle to the world.
+pub struct RankCtx<'a> {
+    world: &'a World,
+    rank: usize,
+}
+
+impl RankCtx<'_> {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.world.size
+    }
+
+    /// Point-to-point send (non-blocking; unbounded buffering).
+    pub fn send(&self, dst: usize, tag: u64, payload: &[f64]) {
+        let bytes: Vec<u8> = payload.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let t = &self.world.traffic[self.rank];
+        t.messages_sent.fetch_add(1, Ordering::Relaxed);
+        t.bytes_sent.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.world.senders[self.rank][dst]
+            .send(Message { tag, payload: bytes })
+            .expect("receiver alive");
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`.
+    /// Messages from one sender arrive in order; mismatched tags are an
+    /// error (the solver's schedules are deterministic).
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+        let guard = self.world.receivers[self.rank].lock().unwrap();
+        let msg = guard[src].recv().expect("sender alive");
+        drop(guard);
+        assert_eq!(msg.tag, tag, "rank {} got tag {} from {src}, wanted {tag}", self.rank, msg.tag);
+        msg.payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&self) {
+        self.world.barrier.wait();
+    }
+
+    /// Sum-allreduce of one value.
+    pub fn allreduce_sum(&self, v: f64) -> f64 {
+        self.allreduce(v, |a, b| a + b)
+    }
+
+    /// Max-allreduce of one value.
+    pub fn allreduce_max(&self, v: f64) -> f64 {
+        self.allreduce(v, f64::max)
+    }
+
+    fn allreduce(&self, v: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        // Gather to rank 0, reduce, broadcast. O(p) — fine for the rank
+        // counts we simulate; the traffic model uses message counts, not
+        // this implementation's latency.
+        const TAG: u64 = u64::MAX - 1;
+        if self.rank == 0 {
+            let mut acc = v;
+            for src in 1..self.size() {
+                let x = self.recv(src, TAG);
+                acc = op(acc, x[0]);
+            }
+            for dst in 1..self.size() {
+                self.send(dst, TAG, &[acc]);
+            }
+            acc
+        } else {
+            self.send(0, TAG, &[v]);
+            self.recv(0, TAG)[0]
+        }
+    }
+
+    /// Gather variable-length vectors to every rank (allgatherv).
+    pub fn allgatherv(&self, mine: &[f64]) -> Vec<Vec<f64>> {
+        const TAG: u64 = u64::MAX - 2;
+        for dst in 0..self.size() {
+            if dst != self.rank {
+                self.send(dst, TAG, mine);
+            }
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == self.rank {
+                out.push(mine.to_vec());
+            } else {
+                out.push(self.recv(src, TAG));
+            }
+        }
+        out
+    }
+
+    /// Personalized all-to-all: `sends[dst]` goes to rank `dst`; returns
+    /// `recvs[src]`.
+    pub fn alltoallv(&self, sends: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(sends.len(), self.size());
+        const TAG: u64 = u64::MAX - 3;
+        for (dst, payload) in sends.iter().enumerate() {
+            if dst != self.rank {
+                self.send(dst, TAG, payload);
+            }
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == self.rank {
+                out.push(sends[self.rank].clone());
+            } else {
+                out.push(self.recv(src, TAG));
+            }
+        }
+        out
+    }
+
+    /// Broadcast from root.
+    pub fn broadcast(&self, root: usize, data: &[f64]) -> Vec<f64> {
+        const TAG: u64 = u64::MAX - 4;
+        if self.rank == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(dst, TAG, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let (out, traffic) = World::run(1, |ctx| {
+            assert_eq!(ctx.rank(), 0);
+            assert_eq!(ctx.size(), 1);
+            ctx.allreduce_sum(5.0)
+        });
+        assert_eq!(out, vec![5.0]);
+        assert_eq!(traffic[0], (0, 0));
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let p = 4;
+        let (out, traffic) = World::run(p, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 7, &[ctx.rank() as f64]);
+            ctx.recv(prev, 7)[0]
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+        for t in traffic {
+            assert_eq!(t.0, 1);
+            assert_eq!(t.1, 8);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let (out, _) = World::run(5, |ctx| {
+            let s = ctx.allreduce_sum(ctx.rank() as f64);
+            let m = ctx.allreduce_max(ctx.rank() as f64 * 2.0);
+            (s, m)
+        });
+        for (s, m) in out {
+            assert_eq!(s, 10.0);
+            assert_eq!(m, 8.0);
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchanges_personalized_data() {
+        let p = 3;
+        let (out, _) = World::run(p, |ctx| {
+            let sends: Vec<Vec<f64>> = (0..p)
+                .map(|dst| vec![(ctx.rank() * 10 + dst) as f64; ctx.rank() + 1])
+                .collect();
+            ctx.alltoallv(&sends)
+        });
+        for (rank, recvs) in out.iter().enumerate() {
+            for (src, data) in recvs.iter().enumerate() {
+                assert_eq!(data.len(), src + 1);
+                assert!(data.iter().all(|&v| v == (src * 10 + rank) as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let (out, _) = World::run(4, |ctx| ctx.broadcast(2, &[9.0, 8.0]));
+        for v in out {
+            assert_eq!(v, vec![9.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_collects_all() {
+        let (out, _) = World::run(3, |ctx| {
+            let mine = vec![ctx.rank() as f64; ctx.rank() + 1];
+            ctx.allgatherv(&mine)
+        });
+        for recvs in out {
+            assert_eq!(recvs.len(), 3);
+            for (src, v) in recvs.iter().enumerate() {
+                assert_eq!(v.len(), src + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::AtomicUsize;
+        let counter = AtomicUsize::new(0);
+        World::run(4, |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank's increment is visible.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

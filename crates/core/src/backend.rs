@@ -1,0 +1,765 @@
+//! Execution backends: host (CPU) and simulated-device (GPU).
+//!
+//! Both backends hold the evolved state *resident* (the GPU backend in
+//! device buffers), expose RK4's primitive operations over named buffer
+//! slots, and produce bit-identical results — the property behind the
+//! paper's Fig. 21 CPU-vs-GPU waveform overlay.
+
+use gw_bssn::rhs::{bssn_rhs_patch, RhsMode, RhsWorkspace};
+use gw_bssn::sommerfeld::sommerfeld_rhs_point;
+use gw_bssn::BssnParams;
+use gw_expr::bssn::build_bssn_rhs;
+use gw_expr::schedule::{schedule, ScheduleStrategy};
+use gw_expr::symbols::{NUM_INPUTS, NUM_VARS};
+use gw_expr::tape::Tape;
+use gw_gpu_sim::{CounterSnapshot, Device, LaunchConfig};
+use gw_mesh::scatter::{fill_boundary_padding, fill_patches_scatter, sync_interfaces};
+use gw_mesh::{Field, Mesh, PatchField};
+use gw_stencil::patch::{PatchLayout, BLOCK_VOLUME, PADDING, PATCH_VOLUME, POINTS_PER_SIDE};
+
+/// Resident buffer slots used by the RK4 driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Buf {
+    /// The solution.
+    U,
+    /// RK stage input.
+    Stage,
+    /// RHS output.
+    K,
+    /// RK accumulator.
+    Acc,
+}
+
+const NUM_BUFS: usize = 4;
+
+fn buf_index(b: Buf) -> usize {
+    match b {
+        Buf::U => 0,
+        Buf::Stage => 1,
+        Buf::K => 2,
+        Buf::Acc => 3,
+    }
+}
+
+/// Which `A`-component implementation the RHS uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RhsKind {
+    /// Handwritten pointwise code.
+    Pointwise,
+    /// Generated tape with the given scheduling strategy (Table II).
+    Generated(ScheduleStrategy),
+}
+
+fn build_tape(kind: RhsKind, params: BssnParams) -> Option<Tape> {
+    match kind {
+        RhsKind::Pointwise => None,
+        RhsKind::Generated(strategy) => {
+            let rhs = build_bssn_rhs(params);
+            let sch = schedule(&rhs.graph, &rhs.outputs, strategy);
+            Some(Tape::compile(&rhs.graph, &sch, 56))
+        }
+    }
+}
+
+/// Per-octant boundary-face mask: bit `2a` = low face on axis `a`, bit
+/// `2a+1` = high face. Sommerfeld conditions are applied at points on
+/// these faces.
+fn boundary_face_masks(mesh: &Mesh) -> Vec<u8> {
+    let mut masks = vec![0u8; mesh.n_octants()];
+    for &(oct, delta) in &mesh.boundary_regions {
+        for a in 0..3 {
+            if delta[a] == -1 && delta[(a + 1) % 3] == 0 && delta[(a + 2) % 3] == 0 {
+                masks[oct as usize] |= 1 << (2 * a);
+            }
+            if delta[a] == 1 && delta[(a + 1) % 3] == 0 && delta[(a + 2) % 3] == 0 {
+                masks[oct as usize] |= 1 << (2 * a + 1);
+            }
+        }
+    }
+    masks
+}
+
+/// True if local point (i, j, k) lies on a masked boundary face.
+#[inline]
+fn on_masked_face(mask: u8, i: usize, j: usize, k: usize) -> bool {
+    let r = POINTS_PER_SIDE - 1;
+    (mask & 0b000001 != 0 && i == 0)
+        || (mask & 0b000010 != 0 && i == r)
+        || (mask & 0b000100 != 0 && j == 0)
+        || (mask & 0b001000 != 0 && j == r)
+        || (mask & 0b010000 != 0 && k == 0)
+        || (mask & 0b100000 != 0 && k == r)
+}
+
+/// Apply the Sommerfeld override to an octant's freshly computed RHS
+/// blocks. Reuses the derivative workspace filled by `bssn_rhs_patch`.
+fn sommerfeld_fix(
+    mesh: &Mesh,
+    oct: usize,
+    mask: u8,
+    patches: &[&[f64]],
+    ws: &RhsWorkspace,
+    inputs_buf: &mut [f64],
+    point_out: &mut [f64],
+    out: &mut [&mut [f64]],
+) {
+    if mask == 0 {
+        return;
+    }
+    let o = PatchLayout::octant();
+    for (i, j, k) in o.iter() {
+        if !on_masked_face(mask, i, j, k) {
+            continue;
+        }
+        let pt = o.idx(i, j, k);
+        let fields = gw_bssn::derivs::fields_at(patches, i, j, k);
+        ws.derivs.assemble_inputs(&fields, pt, inputs_buf);
+        let pos = mesh.point_coords(oct, i, j, k);
+        sommerfeld_rhs_point(inputs_buf, pos, point_out);
+        for v in 0..NUM_VARS {
+            out[v][pt] = point_out[v];
+        }
+    }
+}
+
+/// Public wrapper for the distributed driver (`multi.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn sommerfeld_fix_public(
+    mesh: &Mesh,
+    oct: usize,
+    mask: u8,
+    patches: &[&[f64]],
+    ws: &RhsWorkspace,
+    inputs_buf: &mut [f64],
+    point_out: &mut [f64],
+    out: &mut [&mut [f64]],
+) {
+    sommerfeld_fix(mesh, oct, mask, patches, ws, inputs_buf, point_out, out)
+}
+
+/// Public wrapper for the distributed driver.
+pub fn boundary_face_masks_public(mesh: &Mesh) -> Vec<u8> {
+    boundary_face_masks(mesh)
+}
+
+/// Host (CPU) backend: sequential loops over octants — the reference
+/// implementation and the "CPU node" side of the paper's comparisons.
+pub struct CpuBackend {
+    params: BssnParams,
+    tape: Option<Tape>,
+    bufs: [Field; NUM_BUFS],
+    patches: PatchField,
+    masks: Vec<u8>,
+    ws: RhsWorkspace,
+    inputs_buf: Vec<f64>,
+    point_out: Vec<f64>,
+    /// Accumulated (derivative flops, A flops) across eval_rhs calls.
+    pub flops: (u64, u64),
+}
+
+impl CpuBackend {
+    pub fn new(mesh: &Mesh, params: BssnParams, kind: RhsKind) -> Self {
+        let tape = build_tape(kind, params);
+        let n = mesh.n_octants();
+        let slots = tape.as_ref().map(|t| t.n_slots).unwrap_or(1);
+        Self {
+            params,
+            tape,
+            bufs: std::array::from_fn(|_| Field::zeros(NUM_VARS, n)),
+            patches: PatchField::zeros(NUM_VARS, n),
+            masks: boundary_face_masks(mesh),
+            ws: RhsWorkspace::new(slots),
+            inputs_buf: vec![0.0; NUM_INPUTS],
+            point_out: vec![0.0; NUM_VARS],
+            flops: (0, 0),
+        }
+    }
+
+    pub fn upload(&mut self, u: &Field) {
+        self.bufs[0] = u.clone();
+    }
+
+    pub fn download(&self) -> Field {
+        self.bufs[0].clone()
+    }
+
+    pub fn eval_rhs(&mut self, mesh: &Mesh, input: Buf, output: Buf) {
+        let (bi, bo) = (buf_index(input), buf_index(output));
+        assert_ne!(bi, bo);
+        // Split borrows.
+        let (inp, out) = if bi < bo {
+            let (a, b) = self.bufs.split_at_mut(bo);
+            (&a[bi], &mut b[0])
+        } else {
+            let (a, b) = self.bufs.split_at_mut(bi);
+            (&b[0], &mut a[bo])
+        };
+        fill_patches_scatter(mesh, inp, &mut self.patches);
+        fill_boundary_padding(mesh, &mut self.patches, NUM_VARS);
+        let mode = match &self.tape {
+            Some(t) => RhsMode::Tape(t),
+            None => RhsMode::Pointwise,
+        };
+        for e in 0..mesh.n_octants() {
+            let h = mesh.octants[e].h;
+            let patch_refs: Vec<&[f64]> =
+                (0..NUM_VARS).map(|v| self.patches.patch(v, e)).collect();
+            // Gather mutable output block views.
+            let mut out_blocks: Vec<&mut [f64]> = Vec::with_capacity(NUM_VARS);
+            // Safety: blocks (v, e) are disjoint slices of the field.
+            unsafe {
+                let base = out.as_mut_slice().as_mut_ptr();
+                for v in 0..NUM_VARS {
+                    let off = (v * mesh.n_octants() + e) * BLOCK_VOLUME;
+                    out_blocks
+                        .push(std::slice::from_raw_parts_mut(base.add(off), BLOCK_VOLUME));
+                }
+            }
+            let (df, af) =
+                bssn_rhs_patch(&patch_refs, h, &self.params, &mode, &mut self.ws, &mut out_blocks);
+            self.flops.0 += df;
+            self.flops.1 += af;
+            sommerfeld_fix(
+                mesh,
+                e,
+                self.masks[e],
+                &patch_refs,
+                &self.ws,
+                &mut self.inputs_buf,
+                &mut self.point_out,
+                &mut out_blocks,
+            );
+        }
+    }
+
+    pub fn axpy(&mut self, y: Buf, a: f64, x: Buf) {
+        let (yi, xi) = (buf_index(y), buf_index(x));
+        assert_ne!(yi, xi);
+        let (ys, xs) = two_mut(&mut self.bufs, yi, xi);
+        ys.axpy(a, xs);
+    }
+
+    pub fn assign_axpy(&mut self, y: Buf, base: Buf, a: f64, x: Buf) {
+        let yi = buf_index(y);
+        let (bi, xi) = (buf_index(base), buf_index(x));
+        assert!(yi != bi && yi != xi);
+        // Clone-free triple borrow via raw split.
+        let ptr = self.bufs.as_mut_ptr();
+        // Safety: indices are pairwise distinct.
+        unsafe {
+            let ys = &mut *ptr.add(yi);
+            let bs = &*ptr.add(bi);
+            let xs = &*ptr.add(xi);
+            ys.assign_axpy(bs, a, xs);
+        }
+    }
+
+    pub fn copy(&mut self, dst: Buf, src: Buf) {
+        let (di, si) = (buf_index(dst), buf_index(src));
+        assert_ne!(di, si);
+        let (d, s) = two_mut(&mut self.bufs, di, si);
+        d.as_mut_slice().copy_from_slice(s.as_slice());
+    }
+
+    pub fn sync_interfaces(&mut self, mesh: &Mesh) {
+        sync_interfaces(mesh, &mut self.bufs[0]);
+    }
+}
+
+fn two_mut(bufs: &mut [Field; NUM_BUFS], a: usize, b: usize) -> (&mut Field, &Field) {
+    assert_ne!(a, b);
+    let ptr = bufs.as_mut_ptr();
+    // Safety: a != b.
+    unsafe { (&mut *ptr.add(a), &*ptr.add(b)) }
+}
+
+/// Simulated-GPU backend: block-per-octant kernels on a `gw-gpu-sim`
+/// device with full traffic metering (Algorithm 1's device side).
+pub struct GpuBackend {
+    pub device: Device,
+    params: BssnParams,
+    tape: Option<Tape>,
+    bufs: [gw_gpu_sim::DeviceBuffer<f64>; NUM_BUFS],
+    patches: gw_gpu_sim::DeviceBuffer<f64>,
+    masks: Vec<u8>,
+    n_oct: usize,
+}
+
+impl GpuBackend {
+    pub fn new(mesh: &Mesh, params: BssnParams, kind: RhsKind, device: Device) -> Self {
+        let tape = build_tape(kind, params);
+        let n = mesh.n_octants();
+        let bufs = std::array::from_fn(|_| device.alloc::<f64>(NUM_VARS * n * BLOCK_VOLUME));
+        let patches = device.alloc::<f64>(NUM_VARS * n * PATCH_VOLUME);
+        Self { device, params, tape, bufs, patches, masks: boundary_face_masks(mesh), n_oct: n }
+    }
+
+    pub fn upload(&mut self, u: &Field) {
+        self.device.htod_into(u.as_slice(), &mut self.bufs[0]);
+    }
+
+    pub fn download(&self) -> Field {
+        Field::from_vec(NUM_VARS, self.n_oct, self.device.dtoh(&self.bufs[0]))
+    }
+
+    pub fn counters(&self) -> CounterSnapshot {
+        self.device.counters().snapshot()
+    }
+
+    /// Octant-to-patch kernel: grid `(|E|, dof)`, one block per
+    /// octant×variable (the paper's launch geometry).
+    fn o2p_kernel(&mut self, mesh: &Mesh, input: Buf) {
+        let n = self.n_oct;
+        let inp = self.device.kernel_view(&self.bufs[buf_index(input)]);
+        let patches = self.device.kernel_view_mut(&mut self.patches);
+        let prolong = gw_stencil::interp::Prolongation::new();
+        let table_len = prolong.table_len();
+        self.device.launch(LaunchConfig::grid2(n, NUM_VARS, "octant-to-patch"), |ctx| {
+            let e = ctx.bx;
+            let var = ctx.by;
+            // Global → shared: the octant's nodal values (Algorithm 2
+            // line 2) plus the interpolation table (line 3).
+            let src = &inp[(var * n + e) * BLOCK_VOLUME..(var * n + e + 1) * BLOCK_VOLUME];
+            ctx.global_load(BLOCK_VOLUME);
+            let mut shared = ctx.shared_alloc(BLOCK_VOLUME);
+            shared.copy_from_slice(src);
+            ctx.global_load(table_len);
+            // Own interior (shared → global).
+            let patch_off = (var * n + e) * PATCH_VOLUME;
+            {
+                // Safety: each (e, var) block owns its own patch interior.
+                let dst = unsafe { patches.slice_mut(patch_off, PATCH_VOLUME) };
+                gw_stencil::patch::octant_to_patch_interior(&shared, dst);
+                ctx.global_store(BLOCK_VOLUME);
+            }
+            let ops = mesh.scatter_of(e);
+            let needs_prolong =
+                ops.iter().any(|op| op.kind == gw_mesh::ScatterKind::Prolong);
+            let mut fine13 = Vec::new();
+            if needs_prolong {
+                fine13 = ctx.shared_alloc(
+                    gw_stencil::interp::FINE_SIDE.pow(3),
+                );
+                let fl = prolong.prolong3d(&shared, &mut fine13);
+                ctx.flops(fl);
+            }
+            for op in ops {
+                let dst_off = (var * n + op.dst as usize) * PATCH_VOLUME;
+                // Safety: (dst, delta, ownership) regions are disjoint
+                // across blocks by construction (see gw-mesh::grid).
+                let dst = unsafe { patches.slice_mut(dst_off, PATCH_VOLUME) };
+                let (written, _) = gw_mesh::scatter::apply_scatter_op(op, &shared, &fine13, dst);
+                ctx.global_store(written as usize);
+            }
+        });
+        // Boundary padding fill (host-trivial: a tiny clamped-copy kernel).
+        let patches2 = self.device.kernel_view_mut(&mut self.patches);
+        let regions = &mesh.boundary_regions;
+        self.device.launch(
+            LaunchConfig::grid2(regions.len(), NUM_VARS, "boundary-fill"),
+            |ctx| {
+                let (oct, delta) = regions[ctx.bx];
+                let var = ctx.by;
+                let off = (var * n + oct as usize) * PATCH_VOLUME;
+                // Safety: each (region, var) block writes its own padding
+                // region of one patch.
+                let patch = unsafe { patches2.slice_mut(off, PATCH_VOLUME) };
+                let p = PatchLayout::padded();
+                let mut cnt = 0usize;
+                for pz in gw_mesh::scatter::region_range(delta[2]) {
+                    for py in gw_mesh::scatter::region_range(delta[1]) {
+                        for px in gw_mesh::scatter::region_range(delta[0]) {
+                            let cx = px.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                            let cy = py.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                            let cz = pz.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                            patch[p.idx(px, py, pz)] = patch[p.idx(cx, cy, cz)];
+                            cnt += 1;
+                        }
+                    }
+                }
+                ctx.global_load(cnt);
+                ctx.global_store(cnt);
+            },
+        );
+    }
+
+    /// Fused RHS kernel: grid `(|E|)`, one block per octant patch.
+    fn rhs_kernel(&mut self, mesh: &Mesh, output: Buf) {
+        let n = self.n_oct;
+        let patches = self.device.kernel_view(&self.patches);
+        let out = self.device.kernel_view_mut(&mut self.bufs[buf_index(output)]);
+        let params = self.params;
+        let tape = &self.tape;
+        let masks = &self.masks;
+        let spill_per_point = tape
+            .as_ref()
+            .map(|t| (t.spill_stats.spill_load_bytes, t.spill_stats.spill_store_bytes))
+            .unwrap_or((0, 0));
+        self.device.launch(LaunchConfig::grid1(n, "bssn-rhs"), |ctx| {
+            let e = ctx.bx;
+            let h = mesh.octants[e].h;
+            let patch_refs: Vec<&[f64]> = (0..NUM_VARS)
+                .map(|v| &patches[(v * n + e) * PATCH_VOLUME..(v * n + e + 1) * PATCH_VOLUME])
+                .collect();
+            ctx.global_load(NUM_VARS * PATCH_VOLUME);
+            thread_local! {
+                static WS: std::cell::RefCell<Option<RhsWorkspace>> =
+                    const { std::cell::RefCell::new(None) };
+            }
+            WS.with(|cell| {
+                let mut borrow = cell.borrow_mut();
+                let slots = tape.as_ref().map(|t| t.n_slots).unwrap_or(1);
+                let ws = borrow.get_or_insert_with(|| RhsWorkspace::new(slots));
+                let mode = match tape {
+                    Some(t) => RhsMode::Tape(t),
+                    None => RhsMode::Pointwise,
+                };
+                let mut out_blocks: Vec<&mut [f64]> = (0..NUM_VARS)
+                    .map(|v| {
+                        let off = (v * n + e) * BLOCK_VOLUME;
+                        // Safety: block (e) exclusively owns octant e's
+                        // output blocks for all variables.
+                        unsafe { out.slice_mut(off, BLOCK_VOLUME) }
+                    })
+                    .collect();
+                let (df, af) =
+                    bssn_rhs_patch(&patch_refs, h, &params, &mode, ws, &mut out_blocks);
+                ctx.flops(df + af);
+                // Derivative staging traffic (thread-local stores+loads of
+                // the 210 blocks, the paper's register-pressure source).
+                ctx.shared_traffic(2 * 210 * BLOCK_VOLUME);
+                ctx.spill(
+                    spill_per_point.0 * BLOCK_VOLUME as u64,
+                    spill_per_point.1 * BLOCK_VOLUME as u64,
+                );
+                let mut inputs_buf = vec![0.0; NUM_INPUTS];
+                let mut point_out = vec![0.0; NUM_VARS];
+                sommerfeld_fix(
+                    mesh,
+                    e,
+                    masks[e],
+                    &patch_refs,
+                    ws,
+                    &mut inputs_buf,
+                    &mut point_out,
+                    &mut out_blocks,
+                );
+            });
+            ctx.global_store(NUM_VARS * BLOCK_VOLUME);
+        });
+    }
+
+    pub fn eval_rhs(&mut self, mesh: &Mesh, input: Buf, output: Buf) {
+        assert_ne!(buf_index(input), buf_index(output));
+        self.o2p_kernel(mesh, input);
+        self.rhs_kernel(mesh, output);
+    }
+
+    /// Run only the octant-to-patch (+ boundary fill) kernel — used by
+    /// the Table III / Fig. 14 kernel-level measurements.
+    pub fn o2p_only(&mut self, mesh: &Mesh, input: Buf) {
+        self.o2p_kernel(mesh, input);
+    }
+
+    /// Run only the fused RHS kernel (patches must be current) — used by
+    /// the Fig. 11/14/15 kernel-level measurements.
+    pub fn rhs_only(&mut self, mesh: &Mesh, output: Buf) {
+        self.rhs_kernel(mesh, output);
+    }
+
+    pub fn axpy(&mut self, y: Buf, a: f64, x: Buf) {
+        let (yi, xi) = (buf_index(y), buf_index(x));
+        assert_ne!(yi, xi);
+        let len = self.bufs[yi].len();
+        let ptr = self.bufs.as_mut_ptr();
+        // Safety: distinct indices.
+        let (yb, xb) = unsafe { (&mut *ptr.add(yi), &*ptr.add(xi)) };
+        let xs = self.device.kernel_view(xb);
+        let ys = self.device.kernel_view_mut(yb);
+        let blocks = len.div_ceil(4096);
+        self.device.launch(LaunchConfig::grid1(blocks, "axpy"), |ctx| {
+            let s = ctx.bx * 4096;
+            let e = (s + 4096).min(len);
+            // Safety: disjoint chunks.
+            let yv = unsafe { ys.slice_mut(s, e - s) };
+            for (yy, &xx) in yv.iter_mut().zip(xs[s..e].iter()) {
+                *yy += a * xx;
+            }
+            ctx.global_load(2 * (e - s));
+            ctx.global_store(e - s);
+            ctx.flops(2 * (e - s) as u64);
+        });
+    }
+
+    pub fn assign_axpy(&mut self, y: Buf, base: Buf, a: f64, x: Buf) {
+        let (yi, bi, xi) = (buf_index(y), buf_index(base), buf_index(x));
+        assert!(yi != bi && yi != xi);
+        let len = self.bufs[yi].len();
+        let ptr = self.bufs.as_mut_ptr();
+        // Safety: pairwise distinct.
+        let (yb, bb, xb) = unsafe { (&mut *ptr.add(yi), &*ptr.add(bi), &*ptr.add(xi)) };
+        let bs = self.device.kernel_view(bb);
+        let xs = self.device.kernel_view(xb);
+        let ys = self.device.kernel_view_mut(yb);
+        let blocks = len.div_ceil(4096);
+        self.device.launch(LaunchConfig::grid1(blocks, "assign-axpy"), |ctx| {
+            let s = ctx.bx * 4096;
+            let e = (s + 4096).min(len);
+            // Safety: disjoint chunks.
+            let yv = unsafe { ys.slice_mut(s, e - s) };
+            for i in 0..(e - s) {
+                yv[i] = bs[s + i] + a * xs[s + i];
+            }
+            ctx.global_load(2 * (e - s));
+            ctx.global_store(e - s);
+            ctx.flops(2 * (e - s) as u64);
+        });
+    }
+
+    pub fn copy(&mut self, dst: Buf, src: Buf) {
+        let (di, si) = (buf_index(dst), buf_index(src));
+        assert_ne!(di, si);
+        let ptr = self.bufs.as_mut_ptr();
+        // Safety: distinct.
+        let (db, sb) = unsafe { (&mut *ptr.add(di), &*ptr.add(si)) };
+        self.device.d2d(sb, db);
+    }
+
+    pub fn sync_interfaces(&mut self, mesh: &Mesh) {
+        let n = self.n_oct;
+        let buf = self.device.kernel_view_mut(&mut self.bufs[0]);
+        let syncs = &mesh.syncs;
+        self.device.launch(LaunchConfig::grid1(NUM_VARS, "iface-sync"), |ctx| {
+            let var = ctx.bx;
+            for c in syncs {
+                let sv = unsafe {
+                    buf.read((var * n + c.src_oct as usize) * BLOCK_VOLUME + c.src_idx as usize)
+                };
+                // Safety: sync targets are unique (deduplicated at grid
+                // build) and vars are per-block.
+                unsafe {
+                    buf.write(
+                        (var * n + c.dst_oct as usize) * BLOCK_VOLUME + c.dst_idx as usize,
+                        sv,
+                    )
+                };
+            }
+            ctx.global_load(syncs.len());
+            ctx.global_store(syncs.len());
+        });
+    }
+}
+
+/// The backend selector used by the solver.
+pub enum Backend {
+    Cpu(CpuBackend),
+    Gpu(GpuBackend),
+}
+
+impl Backend {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Cpu(_) => "cpu",
+            Backend::Gpu(_) => "gpu-sim",
+        }
+    }
+
+    pub fn upload(&mut self, u: &Field) {
+        match self {
+            Backend::Cpu(b) => b.upload(u),
+            Backend::Gpu(b) => b.upload(u),
+        }
+    }
+
+    pub fn download(&self) -> Field {
+        match self {
+            Backend::Cpu(b) => b.download(),
+            Backend::Gpu(b) => b.download(),
+        }
+    }
+
+    pub fn eval_rhs(&mut self, mesh: &Mesh, input: Buf, output: Buf) {
+        match self {
+            Backend::Cpu(b) => b.eval_rhs(mesh, input, output),
+            Backend::Gpu(b) => b.eval_rhs(mesh, input, output),
+        }
+    }
+
+    pub fn axpy(&mut self, y: Buf, a: f64, x: Buf) {
+        match self {
+            Backend::Cpu(b) => b.axpy(y, a, x),
+            Backend::Gpu(b) => b.axpy(y, a, x),
+        }
+    }
+
+    pub fn assign_axpy(&mut self, y: Buf, base: Buf, a: f64, x: Buf) {
+        match self {
+            Backend::Cpu(b) => b.assign_axpy(y, base, a, x),
+            Backend::Gpu(b) => b.assign_axpy(y, base, a, x),
+        }
+    }
+
+    pub fn copy(&mut self, dst: Buf, src: Buf) {
+        match self {
+            Backend::Cpu(b) => b.copy(dst, src),
+            Backend::Gpu(b) => b.copy(dst, src),
+        }
+    }
+
+    pub fn sync_interfaces(&mut self, mesh: &Mesh) {
+        match self {
+            Backend::Cpu(b) => b.sync_interfaces(mesh),
+            Backend::Gpu(b) => b.sync_interfaces(mesh),
+        }
+    }
+
+    pub fn counters(&self) -> Option<CounterSnapshot> {
+        match self {
+            Backend::Cpu(_) => None,
+            Backend::Gpu(b) => Some(b.counters()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_octree::{balance_octree, complete_octree, BalanceMode, Domain, MortonKey};
+
+    fn small_mesh() -> Mesh {
+        let mut leaves = vec![];
+        for c in MortonKey::root().children() {
+            leaves.extend(c.children());
+        }
+        leaves.sort();
+        Mesh::build(Domain::centered_cube(8.0), &leaves)
+    }
+
+    fn adaptive_mesh() -> Mesh {
+        let c0 = MortonKey::root().children()[0];
+        let fine: Vec<MortonKey> = c0.children()[7].children().to_vec();
+        let t = complete_octree(fine);
+        let t = balance_octree(&t, BalanceMode::Full);
+        Mesh::build(Domain::centered_cube(8.0), &t)
+    }
+
+    fn wavey_state(mesh: &Mesh) -> Field {
+        let w = gw_bssn::init::LinearWaveData::new(1e-2, 0.0, 2.0, 1.0);
+        let mut f = Field::zeros(NUM_VARS, mesh.n_octants());
+        let mut vals = vec![0.0; NUM_VARS];
+        for oct in 0..mesh.n_octants() {
+            let l = PatchLayout::octant();
+            for (i, j, k) in l.iter() {
+                w.evaluate(mesh.point_coords(oct, i, j, k), &mut vals);
+                for v in 0..NUM_VARS {
+                    f.block_mut(v, oct)[l.idx(i, j, k)] = vals[v];
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn cpu_and_gpu_rhs_agree_bitwise() {
+        for mesh in [small_mesh(), adaptive_mesh()] {
+            let u = wavey_state(&mesh);
+            let params = BssnParams::default();
+            let mut cpu = CpuBackend::new(&mesh, params, RhsKind::Pointwise);
+            let mut gpu =
+                GpuBackend::new(&mesh, params, RhsKind::Pointwise, Device::a100());
+            cpu.upload(&u);
+            gpu.upload(&u);
+            cpu.eval_rhs(&mesh, Buf::U, Buf::K);
+            gpu.eval_rhs(&mesh, Buf::U, Buf::K);
+            // Compare the K buffers.
+            let ck = cpu.bufs[buf_index(Buf::K)].clone();
+            let gk = Field::from_vec(
+                NUM_VARS,
+                mesh.n_octants(),
+                gpu.device.dtoh(&gpu.bufs[buf_index(Buf::K)]),
+            );
+            for (a, b) in ck.as_slice().iter().zip(gk.as_slice().iter()) {
+                assert_eq!(a, b, "CPU and GPU RHS must agree bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_tape_matches_pointwise_on_backend() {
+        let mesh = small_mesh();
+        let u = wavey_state(&mesh);
+        let params = BssnParams::default();
+        let mut a = CpuBackend::new(&mesh, params, RhsKind::Pointwise);
+        let mut b = CpuBackend::new(
+            &mesh,
+            params,
+            RhsKind::Generated(ScheduleStrategy::BinaryReduce),
+        );
+        a.upload(&u);
+        b.upload(&u);
+        a.eval_rhs(&mesh, Buf::U, Buf::K);
+        b.eval_rhs(&mesh, Buf::U, Buf::K);
+        for (x, y) in a.bufs[2].as_slice().iter().zip(b.bufs[2].as_slice().iter()) {
+            assert!((x - y).abs() < 1e-10 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gpu_counters_meter_traffic() {
+        let mesh = small_mesh();
+        let u = wavey_state(&mesh);
+        let mut gpu = GpuBackend::new(
+            &mesh,
+            BssnParams::default(),
+            RhsKind::Generated(ScheduleStrategy::StagedCse),
+            Device::a100(),
+        );
+        gpu.upload(&u);
+        let before = gpu.counters();
+        gpu.eval_rhs(&mesh, Buf::U, Buf::K);
+        let after = gpu.counters();
+        let d = after.delta_since(&before);
+        assert!(d.flops > 0);
+        assert!(d.global_load_bytes > 0);
+        assert!(d.global_store_bytes > 0);
+        assert!(d.launches >= 2); // o2p + boundary + rhs
+        assert!(d.spill_load_bytes > 0, "generated kernel must report spills");
+        // The RHS is bandwidth bound: AI well below the A100 ridge.
+        assert!(d.arithmetic_intensity() < 10.0);
+    }
+
+    #[test]
+    fn axpy_ops_work_on_both_backends() {
+        let mesh = small_mesh();
+        let u = wavey_state(&mesh);
+        let params = BssnParams::default();
+        let mut cpu = CpuBackend::new(&mesh, params, RhsKind::Pointwise);
+        let mut gpu = GpuBackend::new(&mesh, params, RhsKind::Pointwise, Device::a100());
+        cpu.upload(&u);
+        gpu.upload(&u);
+        // Stage = U + 0.5*U = 1.5 U (using copy to set up K := U first).
+        cpu.copy(Buf::K, Buf::U);
+        gpu.copy(Buf::K, Buf::U);
+        cpu.assign_axpy(Buf::Stage, Buf::U, 0.5, Buf::K);
+        gpu.assign_axpy(Buf::Stage, Buf::U, 0.5, Buf::K);
+        cpu.axpy(Buf::Stage, 1.0, Buf::K);
+        gpu.axpy(Buf::Stage, 1.0, Buf::K);
+        let c = cpu.bufs[1].clone();
+        let g = gpu.device.dtoh(&gpu.bufs[1]);
+        for ((a, b), &orig) in c.as_slice().iter().zip(g.iter()).zip(u.as_slice().iter()) {
+            assert_eq!(a, b);
+            assert!((a - 2.5 * orig).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mesh = small_mesh();
+        let u = wavey_state(&mesh);
+        let mut gpu =
+            GpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise, Device::a100());
+        gpu.upload(&u);
+        let back = gpu.download();
+        assert_eq!(u.as_slice(), back.as_slice());
+    }
+}

@@ -1,0 +1,205 @@
+//! Checkpoint / restart.
+//!
+//! Production NR runs last days (Table IV: up to 388 hours), so restart
+//! capability is table stakes. A checkpoint captures the grid (leaf
+//! keys), the solver time/step counters and the full state vector in a
+//! self-describing little-endian binary format built on the `bytes`
+//! crate.
+
+use crate::solver::{GwSolver, SolverConfig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gw_expr::symbols::NUM_VARS;
+use gw_mesh::{Field, Mesh};
+use gw_octree::{Domain, MortonKey};
+
+const MAGIC: u32 = 0x6777_6370; // "gwcp"
+const VERSION: u32 = 1;
+
+/// A deserialized checkpoint.
+pub struct Checkpoint {
+    pub domain: Domain,
+    pub leaves: Vec<MortonKey>,
+    pub time: f64,
+    pub steps_taken: u64,
+    pub state: Field,
+}
+
+/// Serialize the solver's restartable state.
+pub fn save(solver: &GwSolver) -> Bytes {
+    let u = solver.state();
+    let n = solver.mesh.n_octants();
+    let mut buf = BytesMut::with_capacity(64 + n * 16 + u.as_slice().len() * 8);
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    for a in 0..3 {
+        buf.put_f64_le(solver.mesh.domain.min[a]);
+    }
+    for a in 0..3 {
+        buf.put_f64_le(solver.mesh.domain.max[a]);
+    }
+    buf.put_f64_le(solver.time);
+    buf.put_u64_le(solver.steps_taken);
+    buf.put_u64_le(n as u64);
+    for o in &solver.mesh.octants {
+        buf.put_u32_le(o.key.x());
+        buf.put_u32_le(o.key.y());
+        buf.put_u32_le(o.key.z());
+        buf.put_u8(o.key.level());
+    }
+    buf.put_u64_le(u.as_slice().len() as u64);
+    for &v in u.as_slice() {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a checkpoint.
+pub fn load(mut data: Bytes) -> Result<Checkpoint, String> {
+    let need = |data: &Bytes, n: usize| -> Result<(), String> {
+        if data.remaining() < n {
+            Err("truncated checkpoint".into())
+        } else {
+            Ok(())
+        }
+    };
+    need(&data, 8)?;
+    if data.get_u32_le() != MAGIC {
+        return Err("not a gw-amr checkpoint (bad magic)".into());
+    }
+    if data.get_u32_le() != VERSION {
+        return Err("unsupported checkpoint version".into());
+    }
+    need(&data, 6 * 8 + 8 + 8 + 8)?;
+    let mut min = [0.0; 3];
+    let mut max = [0.0; 3];
+    for m in min.iter_mut() {
+        *m = data.get_f64_le();
+    }
+    for m in max.iter_mut() {
+        *m = data.get_f64_le();
+    }
+    let time = data.get_f64_le();
+    let steps_taken = data.get_u64_le();
+    let n = data.get_u64_le() as usize;
+    need(&data, n * 13)?;
+    let mut leaves = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = data.get_u32_le();
+        let y = data.get_u32_le();
+        let z = data.get_u32_le();
+        let l = data.get_u8();
+        leaves.push(MortonKey::new(x, y, z, l));
+    }
+    need(&data, 8)?;
+    let len = data.get_u64_le() as usize;
+    need(&data, len * 8)?;
+    let mut vals = Vec::with_capacity(len);
+    for _ in 0..len {
+        vals.push(data.get_f64_le());
+    }
+    if len != n * NUM_VARS * gw_stencil::patch::BLOCK_VOLUME {
+        return Err("state length inconsistent with grid".into());
+    }
+    let state = Field::from_vec(NUM_VARS, n, vals);
+    Ok(Checkpoint { domain: Domain { min, max }, leaves, time, steps_taken, state })
+}
+
+/// Rebuild a solver from a checkpoint.
+pub fn restore(config: SolverConfig, cp: Checkpoint) -> GwSolver {
+    let mesh = Mesh::build(cp.domain, &cp.leaves);
+    let mut solver = GwSolver::new(config, mesh, |_p, out| {
+        out.iter_mut().for_each(|v| *v = 0.0);
+    });
+    solver.backend.upload(&cp.state);
+    solver.time = cp.time;
+    solver.steps_taken = cp.steps_taken;
+    solver
+}
+
+/// Save to a file.
+pub fn save_to_file(solver: &GwSolver, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, save(solver))
+}
+
+/// Load from a file.
+pub fn load_from_file(path: &str) -> Result<Checkpoint, String> {
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    load(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_bssn::init::LinearWaveData;
+
+    fn demo_solver() -> GwSolver {
+        let domain = Domain::centered_cube(8.0);
+        let mut leaves = vec![MortonKey::root()];
+        for _ in 0..2 {
+            leaves = leaves.iter().flat_map(|k| k.children()).collect();
+        }
+        leaves.sort();
+        let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+        GwSolver::new(
+            SolverConfig::default(),
+            Mesh::build(domain, &leaves),
+            move |p, out| wave.evaluate(p, out),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut s = demo_solver();
+        s.step();
+        s.step();
+        let bytes = save(&s);
+        let cp = load(bytes).unwrap();
+        assert_eq!(cp.time, s.time);
+        assert_eq!(cp.steps_taken, 2);
+        assert_eq!(cp.leaves.len(), s.mesh.n_octants());
+        assert_eq!(cp.state.as_slice(), s.state().as_slice());
+    }
+
+    #[test]
+    fn restored_solver_continues_identically() {
+        // Evolve 4 steps straight vs 2 steps + checkpoint/restore + 2
+        // steps: bit-identical results.
+        let mut a = demo_solver();
+        for _ in 0..4 {
+            a.step();
+        }
+        let mut b = demo_solver();
+        b.step();
+        b.step();
+        let cp = load(save(&b)).unwrap();
+        let mut c = restore(SolverConfig::default(), cp);
+        c.step();
+        c.step();
+        assert_eq!(c.steps_taken, 4);
+        assert!((c.time - a.time).abs() < 1e-14);
+        for (x, y) in a.state().as_slice().iter().zip(c.state().as_slice().iter()) {
+            assert_eq!(x, y, "restart must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load(Bytes::from_static(b"nonsense")).is_err());
+        let mut s = demo_solver();
+        s.step();
+        let good = save(&s);
+        let truncated = good.slice(..good.len() / 2);
+        assert!(load(truncated).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let s = demo_solver();
+        let path = std::env::temp_dir().join("gw_amr_test.ckpt");
+        let path = path.to_str().unwrap();
+        save_to_file(&s, path).unwrap();
+        let cp = load_from_file(path).unwrap();
+        assert_eq!(cp.state.as_slice(), s.state().as_slice());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,42 @@
+//! `gw-core` — the paper's contribution: a GPU-accelerated octree-AMR
+//! solver for the BSSN formulation of the Einstein equations.
+//!
+//! The solver implements Algorithm 1 of the paper:
+//!
+//! ```text
+//! for each regrid window:
+//!     M ← construct_grid(u)          (host; gw-octree + gw-mesh)
+//!     v ← host_to_device(u)
+//!     for each of f_r timesteps:     (device)
+//!         v̂ ← octant-to-patch(v)     (scatter + interpolation)
+//!         ŵ ← RHS(v̂)                 (fused 210-derivative + A kernel)
+//!         w ← patch-to-octant(ŵ)
+//!         v ← AXPY(w, v, Δt)         (RK4 stages)
+//!     u ← device_to_host(v)
+//! ```
+//!
+//! * [`backend`] — the two execution backends: [`backend::CpuBackend`]
+//!   (host loops; the Dendro-GR-like CPU path) and
+//!   [`backend::GpuBackend`] (kernels on the `gw-gpu-sim` device with
+//!   block-per-octant mapping and full traffic metering).
+//! * [`rk4`] — RK4 time integration over a backend.
+//! * [`solver`] — [`solver::GwSolver`]: grid management, evolution,
+//!   Sommerfeld boundaries, wave extraction hooks, regridding.
+//! * [`regrid`] — intergrid state transfer (copy / prolong / inject).
+//! * [`unigrid`] — a uniform-grid reference solver (the convergence
+//!   reference standing in for LAZEV in Fig. 19; see DESIGN.md).
+//! * [`multi`] — multi-rank (simulated multi-GPU) evolution with ghost
+//!   exchange over `gw-comm`, feeding the scaling studies.
+
+pub mod backend;
+pub mod checkpoint;
+pub mod multi;
+pub mod params;
+pub mod regrid;
+pub mod rk4;
+pub mod solver;
+pub mod unigrid;
+
+pub use backend::{Backend, CpuBackend, GpuBackend};
+pub use rk4::Rk4;
+pub use solver::{GwSolver, SolverConfig};

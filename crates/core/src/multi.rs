@@ -1,0 +1,354 @@
+//! Distributed (multi-rank / multi-GPU) evolution.
+//!
+//! Octants are partitioned across ranks along the space-filling curve;
+//! each rank evolves its contiguous range, exchanging ghost octant blocks
+//! with neighbor ranks before every RHS evaluation (the `halo_exchange`
+//! of Algorithm 1). The distributed result is bit-identical to the
+//! single-rank run — the per-point arithmetic is unchanged — which the
+//! tests assert; the value of this module for the paper's experiments is
+//! the *metered traffic* feeding the scaling models (Figs. 17/18/20).
+
+use gw_bssn::rhs::{bssn_rhs_patch, RhsMode, RhsWorkspace};
+use gw_bssn::BssnParams;
+use gw_comm::{GhostPlan, GhostSchedule, RankCtx, World};
+use gw_expr::symbols::{NUM_INPUTS, NUM_VARS};
+use gw_mesh::gather::fill_patches_gather;
+use gw_mesh::{Field, Mesh, PatchField};
+use gw_octree::partition::{partition_uniform, PartitionMap};
+use gw_stencil::patch::BLOCK_VOLUME;
+
+/// Result of a distributed run.
+pub struct DistributedResult {
+    pub state: Field,
+    /// Per-rank (messages, bytes) sent.
+    pub traffic: Vec<(u64, u64)>,
+    /// Per-rank owned-octant × step work counts.
+    pub work: Vec<u64>,
+    /// The ghost plan used (for the scaling models).
+    pub plan: GhostPlan,
+}
+
+/// All cross-octant data dependencies of one RHS + sync step.
+pub fn dependencies(mesh: &Mesh) -> Vec<(u32, u32)> {
+    let mut deps: Vec<(u32, u32)> = mesh.scatter.iter().map(|op| (op.src, op.dst)).collect();
+    deps.extend(mesh.syncs.iter().map(|c| (c.src_oct, c.dst_oct)));
+    deps.sort_unstable();
+    deps.dedup();
+    deps
+}
+
+/// Exchange ghost blocks of `field` according to the plan (all 24 vars of
+/// each listed octant).
+fn exchange(
+    ctx: &RankCtx<'_>,
+    plan: &GhostPlan,
+    part: &PartitionMap,
+    field: &mut Field,
+    tag: u64,
+) {
+    let r = ctx.rank();
+    let n = field.n_oct;
+    // Post sends.
+    for q in 0..ctx.size() {
+        let list = &plan.sends[r][q];
+        if list.is_empty() {
+            continue;
+        }
+        let mut payload = Vec::with_capacity(list.len() * NUM_VARS * BLOCK_VOLUME);
+        for &oct in list {
+            for v in 0..NUM_VARS {
+                payload.extend_from_slice(field.block(v, oct as usize));
+            }
+        }
+        ctx.send(q, tag, &payload);
+    }
+    // Receive.
+    for q in 0..ctx.size() {
+        let list = &plan.recvs[r][q];
+        if list.is_empty() {
+            continue;
+        }
+        let payload = ctx.recv(q, tag);
+        assert_eq!(payload.len(), list.len() * NUM_VARS * BLOCK_VOLUME);
+        let mut off = 0;
+        for &oct in list {
+            for v in 0..NUM_VARS {
+                field
+                    .block_mut(v, oct as usize)
+                    .copy_from_slice(&payload[off..off + BLOCK_VOLUME]);
+                off += BLOCK_VOLUME;
+            }
+        }
+    }
+    let _ = (n, part);
+}
+
+/// Local RHS evaluation over owned octants (gather-based padding so only
+/// owned patches are touched).
+#[allow(clippy::too_many_arguments)]
+fn eval_rhs_local(
+    mesh: &Mesh,
+    owned: std::ops::Range<usize>,
+    params: &BssnParams,
+    input: &Field,
+    patches: &mut PatchField,
+    ws: &mut RhsWorkspace,
+    masks: &[u8],
+    out: &mut Field,
+) {
+    // Padding for owned patches (gather touches exactly dst ∈ owned).
+    // We reuse the full-mesh gather but restrict to the owned range.
+    fill_patches_gather_range(mesh, input, patches, owned.clone());
+    gw_mesh::scatter::fill_boundary_padding_range(mesh, patches, NUM_VARS, owned.clone());
+    let mut inputs_buf = vec![0.0; NUM_INPUTS];
+    let mut point_out = vec![0.0; NUM_VARS];
+    for e in owned {
+        let h = mesh.octants[e].h;
+        let patch_refs: Vec<&[f64]> = (0..NUM_VARS).map(|v| patches.patch(v, e)).collect();
+        let mut out_blocks: Vec<&mut [f64]> = Vec::with_capacity(NUM_VARS);
+        // Safety: blocks (v, e) are disjoint slices.
+        unsafe {
+            let base = out.as_mut_slice().as_mut_ptr();
+            for v in 0..NUM_VARS {
+                let off = (v * mesh.n_octants() + e) * BLOCK_VOLUME;
+                out_blocks.push(std::slice::from_raw_parts_mut(base.add(off), BLOCK_VOLUME));
+            }
+        }
+        bssn_rhs_patch(&patch_refs, h, params, &RhsMode::Pointwise, ws, &mut out_blocks);
+        crate::backend::sommerfeld_fix_public(
+            mesh,
+            e,
+            masks[e],
+            &patch_refs,
+            ws,
+            &mut inputs_buf,
+            &mut point_out,
+            &mut out_blocks,
+        );
+    }
+}
+
+/// Gather-based padding restricted to a destination range.
+fn fill_patches_gather_range(
+    mesh: &Mesh,
+    field: &Field,
+    patches: &mut PatchField,
+    range: std::ops::Range<usize>,
+) {
+    // Equivalent to gw_mesh::gather::fill_patches_gather but only for
+    // dst ∈ range.
+    use gw_stencil::interp::{ProlongWorkspace, Prolongation, FINE_SIDE};
+    let prolong = Prolongation::new();
+    let mut ws = ProlongWorkspace::new();
+    let mut fine13 = vec![0.0f64; FINE_SIDE * FINE_SIDE * FINE_SIDE];
+    for var in 0..field.dof {
+        for b in range.clone() {
+            gw_stencil::patch::octant_to_patch_interior(
+                field.block(var, b),
+                patches.patch_mut(var, b),
+            );
+            for op in mesh.gather_of(b) {
+                let src = field.block(var, op.src as usize);
+                if op.kind == gw_mesh::ScatterKind::Prolong {
+                    prolong.prolong3d_ws(src, &mut fine13, &mut ws);
+                }
+                let dst = patches.patch_mut(var, op.dst as usize);
+                gw_mesh::scatter::apply_scatter_op(op, src, &fine13, dst);
+            }
+        }
+    }
+    let _ = fill_patches_gather; // same algorithm, range-restricted
+}
+
+/// Evolve `steps` RK4 steps on `ranks` simulated ranks.
+pub fn evolve_distributed(
+    mesh: &Mesh,
+    u0: &Field,
+    ranks: usize,
+    steps: usize,
+    courant: f64,
+    params: BssnParams,
+) -> DistributedResult {
+    let n = mesh.n_octants();
+    let part = partition_uniform(n, ranks);
+    let plan = GhostSchedule::build(&part, dependencies(mesh).into_iter());
+    let h_min = mesh.octants.iter().map(|o| o.h).fold(f64::INFINITY, f64::min);
+    let dt = courant * h_min;
+    let masks = crate::backend::boundary_face_masks_public(mesh);
+
+    let plan_ref = &plan;
+    let part_ref = &part;
+    let masks_ref = &masks;
+    let (mut results, traffic) = World::run(ranks, move |ctx| {
+        let r = ctx.rank();
+        let owned = part_ref.range(r);
+        let mut u = u0.clone();
+        let mut stage = Field::zeros(NUM_VARS, n);
+        let mut k = Field::zeros(NUM_VARS, n);
+        let mut acc = Field::zeros(NUM_VARS, n);
+        let mut patches = PatchField::zeros(NUM_VARS, n);
+        let mut ws = RhsWorkspace::new(1);
+        let mut work = 0u64;
+        let mut tag = 0u64;
+        for _ in 0..steps {
+            // k1.
+            exchange(&ctx, plan_ref, part_ref, &mut u, tag);
+            tag += 1;
+            eval_rhs_local(mesh, owned.clone(), &params, &u, &mut patches, &mut ws, masks_ref, &mut k);
+            for e in owned.clone() {
+                for v in 0..NUM_VARS {
+                    for (a, (b, kk)) in acc.block_mut(v, e).iter_mut().zip(
+                        u.block(v, e).iter().zip(k.block(v, e).iter()),
+                    ) {
+                        *a = b + dt / 6.0 * kk;
+                    }
+                    for (s, (b, kk)) in stage.block_mut(v, e).iter_mut().zip(
+                        u.block(v, e).iter().zip(k.block(v, e).iter()),
+                    ) {
+                        *s = b + dt / 2.0 * kk;
+                    }
+                }
+            }
+            // k2, k3.
+            for (w_acc, w_stage) in [(dt / 3.0, dt / 2.0), (dt / 3.0, dt)] {
+                exchange(&ctx, plan_ref, part_ref, &mut stage, tag);
+                tag += 1;
+                eval_rhs_local(
+                    mesh, owned.clone(), &params, &stage, &mut patches, &mut ws, masks_ref, &mut k,
+                );
+                for e in owned.clone() {
+                    for v in 0..NUM_VARS {
+                        for (a, kk) in acc.block_mut(v, e).iter_mut().zip(k.block(v, e).iter()) {
+                            *a += w_acc * kk;
+                        }
+                        for (s, (b, kk)) in stage.block_mut(v, e).iter_mut().zip(
+                            u.block(v, e).iter().zip(k.block(v, e).iter()),
+                        ) {
+                            *s = b + w_stage * kk;
+                        }
+                    }
+                }
+            }
+            // k4.
+            exchange(&ctx, plan_ref, part_ref, &mut stage, tag);
+            tag += 1;
+            eval_rhs_local(
+                mesh, owned.clone(), &params, &stage, &mut patches, &mut ws, masks_ref, &mut k,
+            );
+            for e in owned.clone() {
+                for v in 0..NUM_VARS {
+                    for (uu, (a, kk)) in u.block_mut(v, e).iter_mut().zip(
+                        acc.block(v, e).iter().zip(k.block(v, e).iter()),
+                    ) {
+                        *uu = a + dt / 6.0 * kk;
+                    }
+                }
+            }
+            // Interface sync needs updated ghosts.
+            exchange(&ctx, plan_ref, part_ref, &mut u, tag);
+            tag += 1;
+            for c in &mesh.syncs {
+                if !owned.contains(&(c.dst_oct as usize)) {
+                    continue;
+                }
+                for v in 0..NUM_VARS {
+                    let sv = u.block(v, c.src_oct as usize)[c.src_idx as usize];
+                    u.block_mut(v, c.dst_oct as usize)[c.dst_idx as usize] = sv;
+                }
+            }
+            work += owned.len() as u64;
+        }
+        // Return owned blocks.
+        let mut owned_data = Vec::with_capacity(owned.len() * NUM_VARS * BLOCK_VOLUME);
+        for e in owned.clone() {
+            for v in 0..NUM_VARS {
+                owned_data.extend_from_slice(u.block(v, e));
+            }
+        }
+        (owned_data, work)
+    });
+
+    // Reassemble the global state from per-rank owned blocks.
+    let mut state = Field::zeros(NUM_VARS, n);
+    let mut work = Vec::with_capacity(ranks);
+    for (r, (data, w)) in results.drain(..).enumerate() {
+        work.push(w);
+        let mut off = 0;
+        for e in part.range(r) {
+            for v in 0..NUM_VARS {
+                state.block_mut(v, e).copy_from_slice(&data[off..off + BLOCK_VOLUME]);
+                off += BLOCK_VOLUME;
+            }
+        }
+    }
+    DistributedResult { state, traffic, work, plan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Backend, CpuBackend, RhsKind};
+    use crate::rk4::Rk4;
+    use crate::solver::fill_field;
+    use gw_bssn::init::LinearWaveData;
+    use gw_octree::{balance_octree, complete_octree, BalanceMode, Domain, MortonKey};
+
+    fn adaptive_mesh() -> Mesh {
+        let c0 = MortonKey::root().children()[0];
+        let fine: Vec<MortonKey> = c0.children()[7].children().to_vec();
+        let t = complete_octree(fine);
+        let t = balance_octree(&t, BalanceMode::Full);
+        Mesh::build(Domain::centered_cube(8.0), &t)
+    }
+
+    #[test]
+    fn distributed_matches_single_rank_bitwise() {
+        let mesh = adaptive_mesh();
+        let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+        let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+        let params = BssnParams::default();
+        // Reference: single-rank backend.
+        let mut backend = Backend::Cpu(CpuBackend::new(&mesh, params, RhsKind::Pointwise));
+        backend.upload(&u0);
+        let rk = Rk4::default();
+        let dt = rk.timestep(&mesh);
+        let steps = 2;
+        for _ in 0..steps {
+            rk.step(&mut backend, &mesh, dt);
+        }
+        let reference = backend.download();
+        for ranks in [1usize, 2, 3] {
+            let result = evolve_distributed(&mesh, &u0, ranks, steps, 0.25, params);
+            for (a, b) in reference.as_slice().iter().zip(result.state.as_slice().iter()) {
+                assert_eq!(a, b, "rank count {ranks} must not change results");
+            }
+            if ranks > 1 {
+                let total_msgs: u64 = result.traffic.iter().map(|t| t.0).sum();
+                assert!(total_msgs > 0, "multi-rank must exchange ghosts");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_scales_with_cut_surface() {
+        let mesh = adaptive_mesh();
+        let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+        let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+        let params = BssnParams::default();
+        let t2 = evolve_distributed(&mesh, &u0, 2, 1, 0.25, params);
+        let t4 = evolve_distributed(&mesh, &u0, 4, 1, 0.25, params);
+        let bytes2: u64 = t2.traffic.iter().map(|t| t.1).sum();
+        let bytes4: u64 = t4.traffic.iter().map(|t| t.1).sum();
+        assert!(bytes4 > bytes2, "more ranks ⇒ more cut surface ({bytes2} vs {bytes4})");
+    }
+
+    #[test]
+    fn work_counts_match_partition() {
+        let mesh = adaptive_mesh();
+        let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+        let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+        let r = evolve_distributed(&mesh, &u0, 3, 2, 0.25, BssnParams::default());
+        let total: u64 = r.work.iter().sum();
+        assert_eq!(total, 2 * mesh.n_octants() as u64);
+    }
+}

@@ -1,0 +1,210 @@
+//! Solver parameter files.
+//!
+//! The paper's artifact drives runs with JSON parameter files
+//! (`BSSN_GR/pars/q1.par.json`). We support the same workflow with a
+//! small built-in parser for the flat JSON subset those files use
+//! (string/number/bool values, no nesting) — kept dependency-free on
+//! purpose (see DESIGN.md's dependency policy).
+
+use crate::backend::RhsKind;
+use crate::solver::SolverConfig;
+use gw_bssn::BssnParams;
+use gw_expr::schedule::ScheduleStrategy;
+use std::collections::HashMap;
+
+/// A parsed flat JSON object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Number(f64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Parse a flat JSON object (`{"key": value, ...}` with scalar values).
+pub fn parse_flat_json(text: &str) -> Result<HashMap<String, JsonValue>, String> {
+    let mut out = HashMap::new();
+    let s = text.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.trim_end().strip_suffix('}'))
+        .ok_or("expected a JSON object {...}")?;
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // Key.
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected quoted key at: {rest:.20}"))?;
+        let kq = rest.find('"').ok_or("unterminated key")?;
+        let key = rest[..kq].to_string();
+        rest = rest[kq + 1..].trim_start();
+        rest = rest.strip_prefix(':').ok_or("expected ':' after key")?.trim_start();
+        // Value.
+        let (value, consumed) = if let Some(r2) = rest.strip_prefix('"') {
+            let vq = r2.find('"').ok_or("unterminated string value")?;
+            (JsonValue::Str(r2[..vq].to_string()), vq + 2)
+        } else if rest.starts_with("true") {
+            (JsonValue::Bool(true), 4)
+        } else if rest.starts_with("false") {
+            (JsonValue::Bool(false), 5)
+        } else {
+            let end = rest
+                .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+                .unwrap_or(rest.len());
+            let num: f64 = rest[..end]
+                .parse()
+                .map_err(|e| format!("bad number '{}': {e}", &rest[..end]))?;
+            (JsonValue::Number(num), end)
+        };
+        out.insert(key, value);
+        rest = rest[consumed..].trim_start();
+        if let Some(r2) = rest.strip_prefix(',') {
+            rest = r2.trim_start();
+        } else {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Full run description parsed from a par file.
+#[derive(Clone, Debug)]
+pub struct RunParams {
+    /// Mass ratio of the binary (puncture initial data).
+    pub q: f64,
+    /// Coordinate separation.
+    pub separation: f64,
+    /// Domain half-width.
+    pub domain_half: f64,
+    pub base_level: u8,
+    pub finest_level: u8,
+    pub steps: usize,
+    pub extract_every: usize,
+    pub extract_radius: f64,
+    pub config: SolverConfig,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        Self {
+            q: 1.0,
+            separation: 6.0,
+            domain_half: 16.0,
+            base_level: 2,
+            finest_level: 5,
+            steps: 8,
+            extract_every: 2,
+            extract_radius: 8.0,
+            config: SolverConfig::default(),
+        }
+    }
+}
+
+impl RunParams {
+    /// Parse a par file's text.
+    pub fn from_json(text: &str) -> Result<RunParams, String> {
+        let map = parse_flat_json(text)?;
+        let mut p = RunParams::default();
+        let num = |m: &HashMap<String, JsonValue>, k: &str, d: f64| -> Result<f64, String> {
+            match m.get(k) {
+                None => Ok(d),
+                Some(JsonValue::Number(v)) => Ok(*v),
+                Some(other) => Err(format!("{k}: expected number, got {other:?}")),
+            }
+        };
+        p.q = num(&map, "q", p.q)?;
+        p.separation = num(&map, "separation", p.separation)?;
+        p.domain_half = num(&map, "domain_half", p.domain_half)?;
+        p.base_level = num(&map, "base_level", p.base_level as f64)? as u8;
+        p.finest_level = num(&map, "finest_level", p.finest_level as f64)? as u8;
+        p.steps = num(&map, "steps", p.steps as f64)? as usize;
+        p.extract_every = num(&map, "extract_every", p.extract_every as f64)? as usize;
+        p.extract_radius = num(&map, "extract_radius", p.extract_radius)?;
+        let mut bssn = BssnParams::default();
+        bssn.eta = num(&map, "eta", bssn.eta)?;
+        bssn.ko_sigma = num(&map, "ko_sigma", bssn.ko_sigma)?;
+        bssn.chi_floor = num(&map, "chi_floor", bssn.chi_floor)?;
+        p.config.params = bssn;
+        p.config.courant = num(&map, "courant", p.config.courant)?;
+        p.config.extract_every = p.extract_every;
+        if let Some(JsonValue::Bool(g)) = map.get("use_gpu") {
+            p.config.use_gpu = *g;
+        }
+        if let Some(JsonValue::Str(r)) = map.get("rhs") {
+            p.config.rhs_kind = match r.as_str() {
+                "pointwise" => RhsKind::Pointwise,
+                "sympygr" => RhsKind::Generated(ScheduleStrategy::CseTopo),
+                "binary-reduce" => RhsKind::Generated(ScheduleStrategy::BinaryReduce),
+                "staged" | "staged+cse" => RhsKind::Generated(ScheduleStrategy::StagedCse),
+                other => return Err(format!("unknown rhs kind '{other}'")),
+            };
+        }
+        Ok(p)
+    }
+
+    /// Load from a file path.
+    pub fn from_file(path: &str) -> Result<RunParams, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_json() {
+        let m = parse_flat_json(
+            r#"{ "q": 2.0, "use_gpu": true, "rhs": "staged", "steps": 16 }"#,
+        )
+        .unwrap();
+        assert_eq!(m["q"], JsonValue::Number(2.0));
+        assert_eq!(m["use_gpu"], JsonValue::Bool(true));
+        assert_eq!(m["rhs"], JsonValue::Str("staged".into()));
+        assert_eq!(m["steps"], JsonValue::Number(16.0));
+    }
+
+    #[test]
+    fn run_params_from_json() {
+        let p = RunParams::from_json(
+            r#"{
+                "q": 4.0,
+                "separation": 8.0,
+                "domain_half": 32.0,
+                "finest_level": 6,
+                "eta": 1.5,
+                "ko_sigma": 0.3,
+                "courant": 0.2,
+                "use_gpu": true,
+                "rhs": "binary-reduce",
+                "steps": 4
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(p.q, 4.0);
+        assert_eq!(p.separation, 8.0);
+        assert_eq!(p.finest_level, 6);
+        assert!(p.config.use_gpu);
+        assert_eq!(p.config.courant, 0.2);
+        assert_eq!(p.config.params.eta, 1.5);
+        assert!(matches!(
+            p.config.rhs_kind,
+            RhsKind::Generated(ScheduleStrategy::BinaryReduce)
+        ));
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let p = RunParams::from_json(r#"{ "q": 2.0 }"#).unwrap();
+        assert_eq!(p.q, 2.0);
+        assert_eq!(p.domain_half, 16.0);
+        assert!(!p.config.use_gpu);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(RunParams::from_json("not json").is_err());
+        assert!(RunParams::from_json(r#"{ "rhs": "quantum" }"#).is_err());
+        assert!(RunParams::from_json(r#"{ "q": "abc" }"#).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Uniform-grid reference solver.
+//!
+//! Fig. 19 of the paper compares AMR waveforms against the LAZEV code as
+//! an independent trusted reference. Our substitution (DESIGN.md) is a
+//! **unigrid** run of the same physics at high resolution: it shares the
+//! PDE implementation but exercises none of the AMR machinery
+//! (no 2:1 interfaces, no interpolation, no scatter cases beyond
+//! same-level copy), so AMR-specific errors show up against it.
+
+use crate::solver::{GwSolver, SolverConfig};
+use gw_mesh::Mesh;
+use gw_octree::{Domain, MortonKey};
+
+/// Build a uniform mesh at the given refinement level.
+pub fn uniform_mesh(domain: Domain, level: u8) -> Mesh {
+    let mut leaves = vec![MortonKey::root()];
+    for _ in 0..level {
+        leaves = leaves.iter().flat_map(|k| k.children()).collect();
+    }
+    leaves.sort();
+    Mesh::build(domain, &leaves)
+}
+
+/// Create a unigrid solver (no regridding).
+pub fn unigrid_solver(
+    mut config: SolverConfig,
+    domain: Domain,
+    level: u8,
+    init: impl Fn([f64; 3], &mut [f64]),
+) -> GwSolver {
+    config.regrid_every = 0;
+    GwSolver::new(config, uniform_mesh(domain, level), init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mesh_has_no_interfaces() {
+        let m = uniform_mesh(Domain::centered_cube(4.0), 2);
+        assert_eq!(m.n_octants(), 64);
+        assert!(m.syncs.is_empty());
+        assert_eq!(m.adaptivity_ratio(), 0.0);
+    }
+
+    #[test]
+    fn unigrid_solver_runs() {
+        let wave = gw_bssn::init::LinearWaveData::new(1e-4, 0.0, 1.5, 1.0);
+        let mut s = unigrid_solver(
+            SolverConfig::default(),
+            Domain::centered_cube(6.0),
+            2,
+            |p, out| wave.evaluate(p, out),
+        );
+        s.step();
+        assert!(s.state().linf_all() < 2.0);
+    }
+}

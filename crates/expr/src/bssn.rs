@@ -1,0 +1,670 @@
+//! The full BSSN right-hand side, built symbolically.
+//!
+//! Transcribes Eqs. (1)–(19) of the paper into the expression DAG: the 24
+//! evolution equations for `α, β^i, B^i, χ, K, γ̃_ij, Ã_ij, Γ̃^i` with
+//! 1+log slicing and Gamma-driver shift, Kreiss–Oliger dissipation folded
+//! in as the 72 KO input symbols.
+//!
+//! One deliberate correction: Eq. (17) as printed carries `+½ γ̃^lm ∂_lm
+//! γ̃_ij`; the standard BSSN Ricci tensor (Baumgarte & Shapiro, Eq. 11.52)
+//! has `−½`, which is what every production code (including Dendro-GR's
+//! generator) implements — we use `−½`.
+//!
+//! The construction deliberately mirrors how SymPyGR writes the equations:
+//! tensorial loops over free indices with implicit sums expanded, leaning
+//! on hash-consing to discover the shared subexpressions.
+
+use crate::graph::{ExprGraph, NodeId};
+use crate::symbols::{var, SymbolTable as S, NUM_OUTPUTS};
+use crate::tensor::{contract2, inv_sym3, Sym3, Vec3};
+
+/// Physical/gauge parameters baked into the generated RHS.
+#[derive(Clone, Copy, Debug)]
+pub struct BssnParams {
+    /// Gamma-driver damping η (Eq. 3).
+    pub eta: f64,
+    /// Kreiss–Oliger dissipation strength σ.
+    pub ko_sigma: f64,
+    /// Floor applied to χ before the `1/χ` terms (moving-puncture
+    /// regularization; Dendro-GR's `CHI_FLOOR`). Applied at input
+    /// assembly so the handwritten and generated paths see identical
+    /// values.
+    pub chi_floor: f64,
+}
+
+impl Default for BssnParams {
+    fn default() -> Self {
+        Self { eta: 2.0, ko_sigma: 0.4, chi_floor: 1e-4 }
+    }
+}
+
+/// The generated RHS: the DAG plus the 24 output roots (ordered like the
+/// variable table) and the per-equation root groups used by the staged
+/// scheduler.
+pub struct BssnRhs {
+    pub graph: ExprGraph,
+    pub outputs: Vec<NodeId>,
+    pub params: BssnParams,
+}
+
+/// Build the complete symbolic BSSN RHS.
+pub fn build_bssn_rhs(params: BssnParams) -> BssnRhs {
+    let mut g = ExprGraph::new();
+    let gr = &mut g;
+
+    // ---- Field symbols -------------------------------------------------
+    let alpha = S::value(gr, var::ALPHA);
+    let beta = Vec3([
+        S::value(gr, var::beta(0)),
+        S::value(gr, var::beta(1)),
+        S::value(gr, var::beta(2)),
+    ]);
+    let bvec = Vec3([
+        S::value(gr, var::b_var(0)),
+        S::value(gr, var::b_var(1)),
+        S::value(gr, var::b_var(2)),
+    ]);
+    let chi = S::value(gr, var::CHI);
+    let kk = S::value(gr, var::K);
+    let gt = Sym3::from_fn(|i, j| S::value(gr, var::gt(i, j)));
+    let at = Sym3::from_fn(|i, j| S::value(gr, var::at(i, j)));
+    let gamt = Vec3([
+        S::value(gr, var::gamt(0)),
+        S::value(gr, var::gamt(1)),
+        S::value(gr, var::gamt(2)),
+    ]);
+
+    // ---- Derivative symbols --------------------------------------------
+    let d_alpha = Vec3([
+        S::d1(gr, var::ALPHA, 0),
+        S::d1(gr, var::ALPHA, 1),
+        S::d1(gr, var::ALPHA, 2),
+    ]);
+    let dd_alpha = Sym3::from_fn(|i, j| S::d2(gr, var::ALPHA, i, j));
+    let d_chi =
+        Vec3([S::d1(gr, var::CHI, 0), S::d1(gr, var::CHI, 1), S::d1(gr, var::CHI, 2)]);
+    let dd_chi = Sym3::from_fn(|i, j| S::d2(gr, var::CHI, i, j));
+    let d_k = Vec3([S::d1(gr, var::K, 0), S::d1(gr, var::K, 1), S::d1(gr, var::K, 2)]);
+    // ∂_j β^i
+    let db = |gr: &mut ExprGraph, i: usize, j: usize| S::d1(gr, var::beta(i), j);
+    // ∂_j ∂_k β^i
+    let ddb = |gr: &mut ExprGraph, i: usize, j: usize, k: usize| S::d2(gr, var::beta(i), j, k);
+    // ∂_j B^i
+    let d_bv = |gr: &mut ExprGraph, i: usize, j: usize| S::d1(gr, var::b_var(i), j);
+    // ∂_k γ̃_ij
+    let d_gt =
+        |gr: &mut ExprGraph, k: usize, i: usize, j: usize| S::d1(gr, var::gt(i, j), k);
+    // ∂_k ∂_l γ̃_ij
+    let dd_gt = |gr: &mut ExprGraph, k: usize, l: usize, i: usize, j: usize| {
+        S::d2(gr, var::gt(i, j), k, l)
+    };
+    // ∂_k Ã_ij
+    let d_at =
+        |gr: &mut ExprGraph, k: usize, i: usize, j: usize| S::d1(gr, var::at(i, j), k);
+    // ∂_j Γ̃^i
+    let d_gamt = |gr: &mut ExprGraph, i: usize, j: usize| S::d1(gr, var::gamt(i), j);
+
+    // ---- Common intermediates -------------------------------------------
+    let gtinv = inv_sym3(gr, &gt);
+    // div β = ∂_k β^k
+    let divbeta = {
+        let terms: Vec<NodeId> = (0..3).map(|i| db(gr, i, i)).collect();
+        gr.sum(&terms)
+    };
+    let inv_chi = gr.pow(chi, -1);
+
+    // Lowered Christoffel symbols Γ̃_lij = ½(∂_j γ̃_li + ∂_i γ̃_lj − ∂_l γ̃_ij).
+    let half = gr.constant(0.5);
+    let mut c1 = [[NodeId(0); 6]; 3]; // c1[l][sym(i,j)]
+    for l in 0..3 {
+        for i in 0..3 {
+            for j in i..3 {
+                let t1 = d_gt(gr, j, l, i);
+                let t2 = d_gt(gr, i, l, j);
+                let t3 = d_gt(gr, l, i, j);
+                let s = gr.add(t1, t2);
+                let s = gr.sub(s, t3);
+                c1[l][crate::symbols::sym_pair(i, j)] = gr.mul(half, s);
+            }
+        }
+    }
+    let c1 = c1.map(Sym3);
+    // Raised Christoffels Γ̃^k_ij = γ̃^kl Γ̃_lij.
+    let mut c2 = [[NodeId(0); 6]; 3];
+    for k in 0..3 {
+        for i in 0..3 {
+            for j in i..3 {
+                let mut acc = gr.constant(0.0);
+                for l in 0..3 {
+                    let p = gr.mul(gtinv.get(k, l), c1[l].get(i, j));
+                    acc = gr.add(acc, p);
+                }
+                c2[k][crate::symbols::sym_pair(i, j)] = acc;
+            }
+        }
+    }
+    let c2 = c2.map(Sym3);
+    // Metric-derived Γ̃^m = γ̃^kl Γ̃^m_kl (used in R^χ).
+    let cal_gamt = Vec3([
+        contract2(gr, &gtinv, &c2[0]),
+        contract2(gr, &gtinv, &c2[1]),
+        contract2(gr, &gtinv, &c2[2]),
+    ]);
+
+    // Ã with one index up: Ã^k_j = γ̃^kl Ã_lj (full matrix, not symmetric).
+    let mut at_up1 = [[NodeId(0); 3]; 3]; // at_up1[k][j]
+    for k in 0..3 {
+        for j in 0..3 {
+            let mut acc = gr.constant(0.0);
+            for l in 0..3 {
+                let p = gr.mul(gtinv.get(k, l), at.get(l, j));
+                acc = gr.add(acc, p);
+            }
+            at_up1[k][j] = acc;
+        }
+    }
+    // Ã with both indices up: Ã^ij = γ̃^ik Ã^j_k... = γ̃^ik γ̃^jl Ã_kl (symmetric).
+    let at_up2 = Sym3::from_fn(|i, j| {
+        let mut acc = gr.constant(0.0);
+        for k in 0..3 {
+            let p = gr.mul(gtinv.get(j, k), at_up1[i][k]);
+            // at_up1[i][k] = γ̃^il Ã_lk; times γ̃^jk sums over k.
+            acc = gr.add(acc, p);
+        }
+        acc
+    });
+
+    // ---- Ricci tensor ----------------------------------------------------
+    // R̃_ij (Eq. 17, standard sign).
+    let rt = Sym3::from_fn(|i, j| {
+        let mut terms: Vec<NodeId> = Vec::new();
+        // −½ γ̃^lm ∂_l∂_m γ̃_ij
+        for l in 0..3 {
+            for m in 0..3 {
+                let dd = dd_gt(gr, l, m, i, j);
+                let p = gr.mul(gtinv.get(l, m), dd);
+                let p = gr.scale(-0.5, p);
+                terms.push(p);
+            }
+        }
+        // ½ (γ̃_ki ∂_j Γ̃^k + γ̃_kj ∂_i Γ̃^k)
+        for k in 0..3 {
+            let dj = d_gamt(gr, k, j);
+            let di = d_gamt(gr, k, i);
+            let p1 = gr.mul(gt.get(k, i), dj);
+            let p2 = gr.mul(gt.get(k, j), di);
+            let s = gr.add(p1, p2);
+            terms.push(gr.scale(0.5, s));
+        }
+        // ½ Γ̃^k (Γ̃_ijk + Γ̃_jik)   [Γ̃_ijk = Γ̃ lowered-first-index i, pair (j,k)]
+        for k in 0..3 {
+            let s = gr.add(c1[i].get(j, k), c1[j].get(i, k));
+            let p = gr.mul(gamt.get(k), s);
+            terms.push(gr.scale(0.5, p));
+        }
+        // γ̃^lm (Γ̃^k_li Γ̃_jkm + Γ̃^k_lj Γ̃_ikm + Γ̃^k_im Γ̃_klj)
+        for l in 0..3 {
+            for m in 0..3 {
+                for k in 0..3 {
+                    let t1 = gr.mul(c2[k].get(l, i), c1[j].get(k, m));
+                    let t2 = gr.mul(c2[k].get(l, j), c1[i].get(k, m));
+                    let t3 = gr.mul(c2[k].get(i, m), c1[k].get(l, j));
+                    let s = gr.add(t1, t2);
+                    let s = gr.add(s, t3);
+                    terms.push(gr.mul(gtinv.get(l, m), s));
+                }
+            }
+        }
+        gr.sum(&terms)
+    });
+
+    // R^χ_ij (Eqs. 18–19).
+    let half_inv_chi = gr.scale(0.5, inv_chi);
+    // γ̃^kl ∂_k∂_l χ, γ̃^kl ∂_kχ ∂_lχ, Γ̃(cal)^m ∂_mχ
+    let lap_chi = contract2(gr, &gtinv, &dd_chi);
+    let dchi2 = {
+        let mut acc = gr.constant(0.0);
+        for k in 0..3 {
+            for l in 0..3 {
+                let p = gr.mul(d_chi.get(k), d_chi.get(l));
+                let p = gr.mul(gtinv.get(k, l), p);
+                acc = gr.add(acc, p);
+            }
+        }
+        acc
+    };
+    let gamt_dchi = {
+        let mut acc = gr.constant(0.0);
+        for m in 0..3 {
+            let p = gr.mul(cal_gamt.get(m), d_chi.get(m));
+            acc = gr.add(acc, p);
+        }
+        acc
+    };
+    // bracket = γ̃^kl ∂_kl χ − (3/(2χ)) γ̃^kl ∂_kχ∂_lχ − Γ̃^m ∂_mχ
+    let bracket = {
+        let t = gr.scale(1.5, dchi2);
+        let t = gr.mul(t, inv_chi);
+        let s = gr.sub(lap_chi, t);
+        gr.sub(s, gamt_dchi)
+    };
+    let rchi = Sym3::from_fn(|i, j| {
+        // M_ij = 1/(2χ)(∂_ij χ − Γ̃^k_ij ∂_kχ) − 1/(4χ²) ∂_iχ ∂_jχ
+        let mut cov = dd_chi.get(i, j);
+        for k in 0..3 {
+            let p = gr.mul(c2[k].get(i, j), d_chi.get(k));
+            cov = gr.sub(cov, p);
+        }
+        let m1 = gr.mul(half_inv_chi, cov);
+        let dd = gr.mul(d_chi.get(i), d_chi.get(j));
+        let q = gr.mul(inv_chi, inv_chi);
+        let m2 = gr.scale(0.25, q);
+        let m2 = gr.mul(m2, dd);
+        let mij = gr.sub(m1, m2);
+        // + 1/(2χ) γ̃_ij · bracket
+        let t = gr.mul(half_inv_chi, gt.get(i, j));
+        let t = gr.mul(t, bracket);
+        gr.add(mij, t)
+    });
+
+    let ricci = Sym3::from_fn(|i, j| {
+        let a = rt.get(i, j);
+        let b = rchi.get(i, j);
+        gr.add(a, b)
+    });
+
+    // ---- Covariant second derivatives of the lapse -----------------------
+    // Full Christoffel (Eq. 13): Γ^k_ij = Γ̃^k_ij − 1/(2χ)(δ^k_i ∂_jχ +
+    // δ^k_j ∂_iχ − γ̃_ij γ̃^kl ∂_lχ).
+    let gtinv_dchi = {
+        // γ̃^kl ∂_l χ for each k.
+        let mut v = [NodeId(0); 3];
+        for (k, o) in v.iter_mut().enumerate() {
+            let mut acc = gr.constant(0.0);
+            for l in 0..3 {
+                let p = gr.mul(gtinv.get(k, l), d_chi.get(l));
+                acc = gr.add(acc, p);
+            }
+            *o = acc;
+        }
+        Vec3(v)
+    };
+    // D_iD_jα (Eq. 15) per symmetric pair.
+    let dd_alpha_cov = Sym3::from_fn(|i, j| {
+        let mut acc = dd_alpha.get(i, j);
+        for k in 0..3 {
+            // Full Christoffel contribution assembled inline.
+            let mut corr = gr.constant(0.0);
+            if k == i {
+                corr = gr.add(corr, d_chi.get(j));
+            }
+            if k == j {
+                corr = gr.add(corr, d_chi.get(i));
+            }
+            let t = gr.mul(gt.get(i, j), gtinv_dchi.get(k));
+            let corr = gr.sub(corr, t);
+            let corr = gr.mul(half_inv_chi, corr);
+            let full_c = gr.sub(c2[k].get(i, j), corr);
+            let p = gr.mul(full_c, d_alpha.get(k));
+            acc = gr.sub(acc, p);
+        }
+        acc
+    });
+    // D^iD_iα (Eq. 14) = χ γ̃^ij D_iD_jα.
+    let lap_alpha = {
+        let t = contract2(gr, &gtinv, &dd_alpha_cov);
+        gr.mul(chi, t)
+    };
+
+    // ---- Equation (1): ∂_t α = β^i ∂_i α − 2αK --------------------------
+    let advect = |gr: &mut ExprGraph, dvar: &dyn Fn(&mut ExprGraph, usize) -> NodeId| {
+        let mut acc = gr.constant(0.0);
+        for i in 0..3 {
+            let d = dvar(gr, i);
+            let p = gr.mul(beta.get(i), d);
+            acc = gr.add(acc, p);
+        }
+        acc
+    };
+    let a_rhs = {
+        let adv = advect(gr, &|gr, i| S::d1(gr, var::ALPHA, i));
+        let ak = gr.mul(alpha, kk);
+        let t = gr.scale(2.0, ak);
+        gr.sub(adv, t)
+    };
+
+    // ---- Equation (8): ∂_t Γ̃^i (needed also by Eq. 3) --------------------
+    let mut gamt_rhs = [NodeId(0); 3];
+    for i in 0..3 {
+        let mut terms: Vec<NodeId> = Vec::new();
+        // γ̃^jk ∂_j∂_k β^i
+        for j in 0..3 {
+            for k in 0..3 {
+                let dd = ddb(gr, i, j, k);
+                terms.push(gr.mul(gtinv.get(j, k), dd));
+            }
+        }
+        // ⅓ γ̃^ij ∂_j ∂_k β^k
+        for j in 0..3 {
+            let mut acc = gr.constant(0.0);
+            for k in 0..3 {
+                let dd = ddb(gr, k, j, k);
+                acc = gr.add(acc, dd);
+            }
+            let p = gr.mul(gtinv.get(i, j), acc);
+            terms.push(gr.scale(1.0 / 3.0, p));
+        }
+        // β^j ∂_j Γ̃^i
+        terms.push(advect(gr, &|gr, j| d_gamt(gr, i, j)));
+        // − Γ̃^j ∂_j β^i
+        for j in 0..3 {
+            let d = db(gr, i, j);
+            let p = gr.mul(gamt.get(j), d);
+            terms.push(gr.neg(p));
+        }
+        // + ⅔ Γ̃^i ∂_j β^j
+        {
+            let p = gr.mul(gamt.get(i), divbeta);
+            terms.push(gr.scale(2.0 / 3.0, p));
+        }
+        // − 2 Ã^ij ∂_j α
+        for j in 0..3 {
+            let p = gr.mul(at_up2.get(i, j), d_alpha.get(j));
+            terms.push(gr.scale(-2.0, p));
+        }
+        // + 2α (Γ̃^i_jk Ã^jk − (3/(2χ)) Ã^ij ∂_jχ − ⅔ γ̃^ij ∂_jK)
+        {
+            let mut inner: Vec<NodeId> = Vec::new();
+            let cdota = contract2(gr, &c2[i], &at_up2);
+            inner.push(cdota);
+            for j in 0..3 {
+                let p = gr.mul(at_up2.get(i, j), d_chi.get(j));
+                let p = gr.mul(p, inv_chi);
+                inner.push(gr.scale(-1.5, p));
+                let q = gr.mul(gtinv.get(i, j), d_k.get(j));
+                inner.push(gr.scale(-2.0 / 3.0, q));
+            }
+            let s = gr.sum(&inner);
+            let s = gr.mul(alpha, s);
+            terms.push(gr.scale(2.0, s));
+        }
+        gamt_rhs[i] = gr.sum(&terms);
+    }
+
+    // ---- Equation (2): ∂_t β^i = β^j ∂_j β^i + ¾ B^i ---------------------
+    let mut beta_rhs = [NodeId(0); 3];
+    for i in 0..3 {
+        let adv = advect(gr, &|gr, j| db(gr, i, j));
+        let p = gr.scale(0.75, bvec.get(i));
+        beta_rhs[i] = gr.add(adv, p);
+    }
+
+    // ---- Equation (3): ∂_t B^i ------------------------------------------
+    let mut b_rhs = [NodeId(0); 3];
+    for i in 0..3 {
+        let adv_b = advect(gr, &|gr, j| d_bv(gr, i, j));
+        let adv_g = advect(gr, &|gr, j| d_gamt(gr, i, j));
+        let damp = gr.scale(params.eta, bvec.get(i));
+        let t = gr.sub(gamt_rhs[i], damp);
+        let t = gr.add(t, adv_b);
+        b_rhs[i] = gr.sub(t, adv_g);
+    }
+
+    // ---- Equation (4): ∂_t γ̃_ij ------------------------------------------
+    let gt_rhs = Sym3::from_fn(|i, j| {
+        let mut terms: Vec<NodeId> = Vec::new();
+        terms.push(advect(gr, &|gr, k| d_gt(gr, k, i, j)));
+        for k in 0..3 {
+            let dj = db(gr, k, j);
+            let di = db(gr, k, i);
+            let p1 = gr.mul(gt.get(i, k), dj);
+            let p2 = gr.mul(gt.get(k, j), di);
+            terms.push(p1);
+            terms.push(p2);
+        }
+        let w = gr.mul(gt.get(i, j), divbeta);
+        terms.push(gr.scale(-2.0 / 3.0, w));
+        let aa = gr.mul(alpha, at.get(i, j));
+        terms.push(gr.scale(-2.0, aa));
+        gr.sum(&terms)
+    });
+
+    // ---- Equation (5): ∂_t χ ----------------------------------------------
+    let chi_rhs = {
+        let adv = advect(gr, &|gr, k| S::d1(gr, var::CHI, k));
+        let ak = gr.mul(alpha, kk);
+        let inner = gr.sub(ak, divbeta);
+        let p = gr.mul(chi, inner);
+        let p = gr.scale(2.0 / 3.0, p);
+        gr.add(adv, p)
+    };
+
+    // ---- Equation (6): ∂_t Ã_ij --------------------------------------------
+    // S_ij = −D_iD_jα + α R_ij; trace-free part with γ̃.
+    let s_tensor = Sym3::from_fn(|i, j| {
+        let ar = gr.mul(alpha, ricci.get(i, j));
+        gr.sub(ar, dd_alpha_cov.get(i, j))
+    });
+    let s_trace = contract2(gr, &gtinv, &s_tensor);
+    let at_rhs = Sym3::from_fn(|i, j| {
+        let mut terms: Vec<NodeId> = Vec::new();
+        // Lie derivative, weight −2/3.
+        terms.push(advect(gr, &|gr, k| d_at(gr, k, i, j)));
+        for k in 0..3 {
+            let dj = db(gr, k, j);
+            let di = db(gr, k, i);
+            terms.push(gr.mul(at.get(i, k), dj));
+            terms.push(gr.mul(at.get(k, j), di));
+        }
+        let w = gr.mul(at.get(i, j), divbeta);
+        terms.push(gr.scale(-2.0 / 3.0, w));
+        // χ (S_ij)^TF
+        {
+            let tr_part = gr.mul(gt.get(i, j), s_trace);
+            let tr_part = gr.scale(1.0 / 3.0, tr_part);
+            let tf = gr.sub(s_tensor.get(i, j), tr_part);
+            terms.push(gr.mul(chi, tf));
+        }
+        // α (K Ã_ij − 2 Ã_ik Ã^k_j)
+        {
+            let ka = gr.mul(kk, at.get(i, j));
+            let mut aa = gr.constant(0.0);
+            for k in 0..3 {
+                let p = gr.mul(at.get(i, k), at_up1[k][j]);
+                aa = gr.add(aa, p);
+            }
+            let aa = gr.scale(2.0, aa);
+            let inner = gr.sub(ka, aa);
+            terms.push(gr.mul(alpha, inner));
+        }
+        gr.sum(&terms)
+    });
+
+    // ---- Equation (7): ∂_t K ------------------------------------------------
+    let k_rhs = {
+        let adv = advect(gr, &|gr, k| S::d1(gr, var::K, k));
+        let asq = contract2(gr, &at_up2, &at);
+        let k2 = gr.mul(kk, kk);
+        let k2 = gr.scale(1.0 / 3.0, k2);
+        let inner = gr.add(asq, k2);
+        let p = gr.mul(alpha, inner);
+        let t = gr.sub(adv, lap_alpha);
+        gr.add(t, p)
+    };
+
+    // ---- Assemble outputs in variable order, adding KO dissipation ---------
+    let mut outputs = vec![NodeId(0); NUM_OUTPUTS];
+    outputs[var::ALPHA] = a_rhs;
+    for i in 0..3 {
+        outputs[var::beta(i)] = beta_rhs[i];
+        outputs[var::b_var(i)] = b_rhs[i];
+        outputs[var::gamt(i)] = gamt_rhs[i];
+    }
+    outputs[var::CHI] = chi_rhs;
+    outputs[var::K] = k_rhs;
+    for i in 0..3 {
+        for j in i..3 {
+            outputs[var::gt(i, j)] = gt_rhs.get(i, j);
+            outputs[var::at(i, j)] = at_rhs.get(i, j);
+        }
+    }
+    // KO dissipation: rhs_v += σ Σ_d ko_d(v). The ko symbols carry the
+    // (1/64h)-normalized 6th difference (see gw-stencil::ko).
+    for (v, out) in outputs.iter_mut().enumerate() {
+        let mut acc = gr.constant(0.0);
+        for d in 0..3 {
+            let s = S::ko(gr, v, d);
+            acc = gr.add(acc, s);
+        }
+        let damp = gr.scale(params.ko_sigma, acc);
+        *out = gr.add(*out, damp);
+    }
+
+    BssnRhs { graph: g, outputs, params }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{input_d1, input_ko, input_value, NUM_INPUTS};
+
+    /// Flat-space inputs: α=1, β=B=0, χ=1, K=0, γ̃=δ, Ã=0, Γ̃=0, all
+    /// derivatives zero.
+    fn flat_inputs() -> Vec<f64> {
+        let mut u = vec![0.0; NUM_INPUTS];
+        u[input_value(var::ALPHA)] = 1.0;
+        u[input_value(var::CHI)] = 1.0;
+        u[input_value(var::gt(0, 0))] = 1.0;
+        u[input_value(var::gt(1, 1))] = 1.0;
+        u[input_value(var::gt(2, 2))] = 1.0;
+        u
+    }
+
+    #[test]
+    fn flat_space_is_stationary() {
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let out = rhs.graph.eval(&rhs.outputs, &flat_inputs());
+        for (v, o) in out.iter().enumerate() {
+            assert!(
+                o.abs() < 1e-14,
+                "flat space must be a fixed point; rhs[{}] = {o}",
+                crate::symbols::VAR_NAMES[v]
+            );
+        }
+    }
+
+    #[test]
+    fn graph_size_in_paper_ballpark() {
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let (nodes, edges) = rhs.graph.graph_stats(&rhs.outputs);
+        // Paper: 2516 nodes, 6708 edges (different CSE granularity shifts
+        // the counts; same order of magnitude is the check).
+        assert!(nodes > 800 && nodes < 10_000, "nodes = {nodes}");
+        assert!(edges > 2_000 && edges < 25_000, "edges = {edges}");
+        let temps = rhs.graph.interior_count(&rhs.outputs);
+        assert!(temps > 500 && temps < 8_000, "CSE temporaries = {temps}");
+    }
+
+    #[test]
+    fn constant_lapse_k_coupling() {
+        // With only α=1, K=k0 nonzero (flat metric), ∂_t α = −2αK = −2k0
+        // and ∂_t K = α K²/3.
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let mut u = flat_inputs();
+        u[input_value(var::K)] = 0.3;
+        let out = rhs.graph.eval(&rhs.outputs, &u);
+        assert!((out[var::ALPHA] + 2.0 * 0.3).abs() < 1e-14, "alpha rhs {}", out[var::ALPHA]);
+        assert!((out[var::K] - 0.3 * 0.3 / 3.0).abs() < 1e-14, "K rhs {}", out[var::K]);
+    }
+
+    #[test]
+    fn shift_advects_lapse() {
+        // β^x = b, ∂_x α = s (flat otherwise, K = 0): ∂_t α = b·s.
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let mut u = flat_inputs();
+        u[input_value(var::beta(0))] = 0.7;
+        u[input_d1(var::ALPHA, 0)] = 0.2;
+        let out = rhs.graph.eval(&rhs.outputs, &u);
+        assert!((out[var::ALPHA] - 0.14).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gamma_driver_shift_follows_b() {
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let mut u = flat_inputs();
+        u[input_value(var::b_var(1))] = 0.4;
+        let out = rhs.graph.eval(&rhs.outputs, &u);
+        assert!((out[var::beta(1)] - 0.3).abs() < 1e-14);
+        // And B damps itself: ∂_t B^1 = −η B^1 (flat, static Γ̃).
+        assert!((out[var::b_var(1)] + 2.0 * 0.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn at_drives_metric() {
+        // ∂_t γ̃_ij = −2α Ã_ij at zero shift.
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let mut u = flat_inputs();
+        u[input_value(var::at(0, 1))] = 0.05;
+        let out = rhs.graph.eval(&rhs.outputs, &u);
+        assert!((out[var::gt(0, 1)] + 2.0 * 0.05).abs() < 1e-14);
+        // Trace part: ∂_t K gains α Ã_ij Ã^ij = 2·(0.05)² (off-diagonal
+        // counted twice, indices raised with δ).
+        assert!((out[var::K] - 2.0 * 0.05 * 0.05).abs() < 1e-13, "K rhs {}", out[var::K]);
+    }
+
+    #[test]
+    fn ko_terms_enter_every_equation() {
+        let p = BssnParams { eta: 2.0, ko_sigma: 0.7, chi_floor: 1e-4 };
+        let rhs = build_bssn_rhs(p);
+        for v in 0..NUM_OUTPUTS {
+            let mut u = flat_inputs();
+            u[input_ko(v, 0)] = 1.0;
+            u[input_ko(v, 2)] = 0.5;
+            let out = rhs.graph.eval(&rhs.outputs, &u);
+            assert!(
+                (out[v] - 0.7 * 1.5).abs() < 1e-13,
+                "KO missing or mis-scaled in eq {v}: {}",
+                out[v]
+            );
+        }
+    }
+
+    #[test]
+    fn chi_equation_couples_to_divergence_of_shift() {
+        // ∂_t χ = ⅔ χ(αK − div β): set ∂_x β^x = 0.3, χ=1, α=1, K=0.2.
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let mut u = flat_inputs();
+        u[input_d1(var::beta(0), 0)] = 0.3;
+        u[input_value(var::K)] = 0.2;
+        let out = rhs.graph.eval(&rhs.outputs, &u);
+        let expect = 2.0 / 3.0 * (0.2 - 0.3);
+        assert!((out[var::CHI] - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lapse_second_derivative_enters_k() {
+        // ∂_t K ⊃ −D^iD_iα = −χ γ̃^ij ∂_ij α in flat background.
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let mut u = flat_inputs();
+        u[crate::symbols::input_d2(var::ALPHA, 0, 0)] = 0.11;
+        u[crate::symbols::input_d2(var::ALPHA, 1, 1)] = 0.07;
+        let out = rhs.graph.eval(&rhs.outputs, &u);
+        assert!((out[var::K] + 0.18).abs() < 1e-14, "K rhs {}", out[var::K]);
+    }
+
+    #[test]
+    fn ricci_from_metric_perturbation_enters_at() {
+        // A pure ∂²γ̃ perturbation: R̃_ij ⊃ −½ γ̃^lm ∂_lm γ̃_ij. With
+        // Ã=0, K=0, α=1, χ=1 the Ã_ij RHS is χ(αR_ij)^TF. Set
+        // ∂_xx γ̃_12 = c: R_12 = −c/2 (trace-free already off-diagonal).
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let mut u = flat_inputs();
+        u[crate::symbols::input_d2(var::gt(0, 1), 0, 0)] = 0.08;
+        let out = rhs.graph.eval(&rhs.outputs, &u);
+        assert!(
+            (out[var::at(0, 1)] + 0.04).abs() < 1e-13,
+            "At12 rhs {}",
+            out[var::at(0, 1)]
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! Hash-consed expression DAG.
+//!
+//! Every distinct subexpression exists exactly once (structural sharing),
+//! so building the BSSN RHS automatically performs common-subexpression
+//! elimination. Nodes are small POD values indexed by [`NodeId`]; the DAG
+//! is append-only, so `NodeId` ordering is a valid topological order of the
+//! construction.
+
+use std::collections::HashMap;
+
+/// Index of a node in an [`ExprGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Expression node operations. Binary ops are kept binary (no n-ary sums)
+/// so the binary-reduce scheduler of the paper applies directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Floating constant (bit pattern, for Eq/Hash).
+    Const(u64),
+    /// Input symbol (field variable or derivative), by input index.
+    Sym(u32),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Div(NodeId, NodeId),
+    Neg(NodeId),
+    /// Integer power (n >= 2 or n <= -1); `Pow(x, -1)` is reciprocal.
+    Pow(NodeId, i32),
+}
+
+impl Op {
+    /// Operand list (0–2 entries).
+    pub fn operands(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let (a, b) = match *self {
+            Op::Const(_) | Op::Sym(_) => (None, None),
+            Op::Neg(x) | Op::Pow(x, _) => (Some(x), None),
+            Op::Add(x, y) | Op::Sub(x, y) | Op::Mul(x, y) | Op::Div(x, y) => (Some(x), Some(y)),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// True for leaves (no operands).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Op::Const(_) | Op::Sym(_))
+    }
+
+    /// Double-precision flop cost of this node (0 for leaves; `Pow(x,n)`
+    /// costs ~log2|n| multiplies plus a divide if n < 0).
+    pub fn flops(&self) -> u64 {
+        match *self {
+            Op::Const(_) | Op::Sym(_) => 0,
+            Op::Neg(_) => 1,
+            Op::Add(..) | Op::Sub(..) | Op::Mul(..) => 1,
+            Op::Div(..) => 1,
+            Op::Pow(_, n) => {
+                let m = (n.unsigned_abs().max(2) as f64).log2().ceil() as u64;
+                if n < 0 {
+                    m + 1
+                } else {
+                    m
+                }
+            }
+        }
+    }
+}
+
+/// A hash-consed, append-only expression DAG.
+#[derive(Default)]
+pub struct ExprGraph {
+    nodes: Vec<Op>,
+    intern: HashMap<Op, NodeId>,
+}
+
+impl ExprGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn op(&self, id: NodeId) -> Op {
+        self.nodes[id.0 as usize]
+    }
+
+    pub fn nodes(&self) -> &[Op] {
+        &self.nodes
+    }
+
+    fn intern_op(&mut self, op: Op) -> NodeId {
+        if let Some(&id) = self.intern.get(&op) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(op);
+        self.intern.insert(op, id);
+        id
+    }
+
+    /// A floating constant.
+    pub fn constant(&mut self, v: f64) -> NodeId {
+        self.intern_op(Op::Const(v.to_bits()))
+    }
+
+    /// An input symbol.
+    pub fn sym(&mut self, input_index: u32) -> NodeId {
+        self.intern_op(Op::Sym(input_index))
+    }
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        // Light normalization: constant folding with 0, canonical operand
+        // order for commutative ops (improves sharing).
+        if self.is_zero(a) {
+            return b;
+        }
+        if self.is_zero(b) {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern_op(Op::Add(a, b))
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if self.is_zero(b) {
+            return a;
+        }
+        if self.is_zero(a) {
+            return self.neg(b);
+        }
+        if a == b {
+            return self.constant(0.0);
+        }
+        self.intern_op(Op::Sub(a, b))
+    }
+
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if self.is_zero(a) || self.is_zero(b) {
+            return self.constant(0.0);
+        }
+        if self.is_one(a) {
+            return b;
+        }
+        if self.is_one(b) {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern_op(Op::Mul(a, b))
+    }
+
+    pub fn div(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if self.is_zero(a) {
+            return self.constant(0.0);
+        }
+        if self.is_one(b) {
+            return a;
+        }
+        self.intern_op(Op::Div(a, b))
+    }
+
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        if self.is_zero(a) {
+            return a;
+        }
+        if let Op::Neg(x) = self.op(a) {
+            return x;
+        }
+        self.intern_op(Op::Neg(a))
+    }
+
+    pub fn pow(&mut self, a: NodeId, n: i32) -> NodeId {
+        match n {
+            0 => self.constant(1.0),
+            1 => a,
+            _ => self.intern_op(Op::Pow(a, n)),
+        }
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&mut self, c: f64, a: NodeId) -> NodeId {
+        let k = self.constant(c);
+        self.mul(k, a)
+    }
+
+    /// Sum of a slice of terms.
+    pub fn sum(&mut self, terms: &[NodeId]) -> NodeId {
+        let mut acc = self.constant(0.0);
+        for &t in terms {
+            acc = self.add(acc, t);
+        }
+        acc
+    }
+
+    fn is_zero(&self, a: NodeId) -> bool {
+        self.op(a) == Op::Const(0f64.to_bits())
+    }
+
+    fn is_one(&self, a: NodeId) -> bool {
+        self.op(a) == Op::Const(1f64.to_bits())
+    }
+
+    /// Evaluate a set of roots given input symbol values (reference
+    /// interpreter, used for validating schedules and tapes).
+    pub fn eval(&self, roots: &[NodeId], inputs: &[f64]) -> Vec<f64> {
+        let mut vals = vec![0.0f64; self.nodes.len()];
+        // NodeIds are topologically ordered by construction.
+        for (i, op) in self.nodes.iter().enumerate() {
+            vals[i] = match *op {
+                Op::Const(b) => f64::from_bits(b),
+                Op::Sym(s) => inputs[s as usize],
+                Op::Add(a, b) => vals[a.0 as usize] + vals[b.0 as usize],
+                Op::Sub(a, b) => vals[a.0 as usize] - vals[b.0 as usize],
+                Op::Mul(a, b) => vals[a.0 as usize] * vals[b.0 as usize],
+                Op::Div(a, b) => vals[a.0 as usize] / vals[b.0 as usize],
+                Op::Neg(a) => -vals[a.0 as usize],
+                Op::Pow(a, n) => vals[a.0 as usize].powi(n),
+            };
+        }
+        roots.iter().map(|r| vals[r.0 as usize]).collect()
+    }
+
+    /// The set of nodes reachable from `roots` (the live subgraph), as a
+    /// boolean mask.
+    pub fn reachable(&self, roots: &[NodeId]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if seen[n.0 as usize] {
+                continue;
+            }
+            seen[n.0 as usize] = true;
+            for c in self.op(n).operands() {
+                if !seen[c.0 as usize] {
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// (nodes, edges) of the subgraph reachable from `roots` — the numbers
+    /// the paper quotes for the composed BSSN graph (2516 nodes, 6708
+    /// edges).
+    pub fn graph_stats(&self, roots: &[NodeId]) -> (usize, usize) {
+        let mask = self.reachable(roots);
+        let mut nodes = 0;
+        let mut edges = 0;
+        for (i, op) in self.nodes.iter().enumerate() {
+            if mask[i] {
+                nodes += 1;
+                edges += op.operands().count();
+            }
+        }
+        (nodes, edges)
+    }
+
+    /// Number of interior (non-leaf) reachable nodes — the count of CSE
+    /// temporaries a naive one-temp-per-subexpression code generator
+    /// would materialize (SymPyGR reports ~900).
+    pub fn interior_count(&self, roots: &[NodeId]) -> usize {
+        let mask = self.reachable(roots);
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, op)| mask[*i] && !op.is_leaf())
+            .count()
+    }
+
+    /// Number of *multiply-used* interior nodes — the temporaries a
+    /// SymPy-style CSE pass would name (`DENDRO_t…`; paper: ~900).
+    pub fn shared_count(&self, roots: &[NodeId]) -> usize {
+        let mask = self.reachable(roots);
+        let mut uses = vec![0u32; self.nodes.len()];
+        for (i, op) in self.nodes.iter().enumerate() {
+            if mask[i] {
+                for c in op.operands() {
+                    uses[c.0 as usize] += 1;
+                }
+            }
+        }
+        (0..self.nodes.len())
+            .filter(|&i| mask[i] && !self.nodes[i].is_leaf() && uses[i] >= 2)
+            .count()
+    }
+
+    /// Total flops to evaluate the reachable subgraph once (every shared
+    /// node counted once — the CSE operation count).
+    pub fn flop_count(&self, roots: &[NodeId]) -> u64 {
+        let mask = self.reachable(roots);
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask[*i])
+            .map(|(_, op)| op.flops())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let a = g.add(x, y);
+        let b = g.add(x, y);
+        assert_eq!(a, b);
+        let c = g.add(y, x); // commutative normalization
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn constant_folding_identities() {
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let zero = g.constant(0.0);
+        let one = g.constant(1.0);
+        assert_eq!(g.add(x, zero), x);
+        assert_eq!(g.mul(x, one), x);
+        assert_eq!(g.mul(x, zero), zero);
+        assert_eq!(g.sub(x, x), zero);
+        assert_eq!(g.pow(x, 1), x);
+        let negneg = {
+            let n = g.neg(x);
+            g.neg(n)
+        };
+        assert_eq!(negneg, x);
+    }
+
+    #[test]
+    fn eval_matches_direct_computation() {
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let y = g.sym(1);
+        // f = (x + y)^2 / (x - 2y) - x
+        let s = g.add(x, y);
+        let s2 = g.pow(s, 2);
+        let two = g.constant(2.0);
+        let ty = g.mul(two, y);
+        let d = g.sub(x, ty);
+        let q = g.div(s2, d);
+        let f = g.sub(q, x);
+        let got = g.eval(&[f], &[3.0, 0.5])[0];
+        let expect = (3.0f64 + 0.5).powi(2) / (3.0 - 1.0) - 3.0;
+        assert!((got - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn eval_negative_power_is_reciprocal() {
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let inv = g.pow(x, -1);
+        let inv2 = g.pow(x, -2);
+        let got = g.eval(&[inv, inv2], &[4.0]);
+        assert!((got[0] - 0.25).abs() < 1e-15);
+        assert!((got[1] - 0.0625).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reachable_masks_dead_code() {
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let live = g.add(x, x);
+        let _dead = g.mul(y, y);
+        let mask = g.reachable(&[live]);
+        assert!(mask[x.0 as usize]);
+        assert!(mask[live.0 as usize]);
+        assert!(!mask[_dead.0 as usize]);
+        assert!(!mask[y.0 as usize]);
+    }
+
+    #[test]
+    fn graph_stats_counts_nodes_and_edges() {
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let a = g.add(x, y); // 2 edges
+        let b = g.mul(a, x); // 2 edges
+        let (n, e) = g.graph_stats(&[b]);
+        assert_eq!(n, 4); // x, y, a, b
+        assert_eq!(e, 4);
+        assert_eq!(g.interior_count(&[b]), 2);
+    }
+
+    #[test]
+    fn flop_count_shared_nodes_counted_once() {
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let s = g.add(x, x);
+        let p = g.mul(s, s);
+        let q = g.add(p, s); // s shared
+        assert_eq!(g.flop_count(&[q]), 3);
+    }
+
+    #[test]
+    fn sum_of_terms() {
+        let mut g = ExprGraph::new();
+        let terms: Vec<NodeId> = (0..5).map(|i| g.sym(i)).collect();
+        let s = g.sum(&terms);
+        let got = g.eval(&[s], &[1.0, 2.0, 3.0, 4.0, 5.0])[0];
+        assert_eq!(got, 15.0);
+    }
+}

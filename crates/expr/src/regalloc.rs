@@ -1,0 +1,279 @@
+//! Register-pressure / spill modelling.
+//!
+//! The paper reads spill statistics off `ptxas` for a 56-registers-per-
+//! thread budget (`__launch_bounds__(343, 3)`, Table II). We model the same
+//! quantity directly: walk a [`Schedule`], keep temporaries in a simulated
+//! register file with Belady (furthest-next-use) eviction, and count the
+//! spill stores (evicting a still-live value to local memory) and spill
+//! loads (bringing it back for a use). Counts are in bytes (8 per f64),
+//! matching the units of Table II.
+//!
+//! Input symbols (field values and derivatives) are treated as resident in
+//! shared/global memory — their loads are part of the kernel's streaming
+//! traffic, not spills — so the register file holds only the CSE
+//! temporaries, exactly the population the paper's code generator
+//! manipulates.
+
+use crate::graph::{ExprGraph, NodeId};
+use crate::schedule::Schedule;
+use std::collections::HashMap;
+
+/// Result of a spill simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Bytes stored to local memory on eviction of live values.
+    pub spill_store_bytes: u64,
+    /// Bytes loaded back from local memory for spilled operands.
+    pub spill_load_bytes: u64,
+    /// Peak live temporaries (register demand with infinite registers).
+    pub max_live: usize,
+    /// Scheduled operation count.
+    pub ops: usize,
+}
+
+impl SpillStats {
+    pub fn total_spill_bytes(&self) -> u64 {
+        self.spill_store_bytes + self.spill_load_bytes
+    }
+}
+
+/// Simulate a register file of `registers` slots executing `schedule`.
+pub fn simulate_spills(g: &ExprGraph, schedule: &Schedule, registers: usize) -> SpillStats {
+    assert!(registers >= 2, "need at least two registers");
+    let order = &schedule.order;
+    // Precompute, for each temporary, the positions where it is used.
+    let mut use_positions: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (pos, &n) in order.iter().enumerate() {
+        for c in g.op(n).operands() {
+            if !g.op(c).is_leaf() {
+                use_positions.entry(c).or_default().push(pos);
+            }
+        }
+    }
+    let is_output: std::collections::HashSet<NodeId> = schedule.outputs.iter().copied().collect();
+
+    // Register file state.
+    let mut file: Vec<RegEntry> = Vec::with_capacity(registers);
+    let mut in_reg: HashMap<NodeId, usize> = HashMap::new(); // node -> file idx
+    let mut spilled: std::collections::HashSet<NodeId> = Default::default();
+    let mut remaining: HashMap<NodeId, usize> =
+        use_positions.iter().map(|(k, v)| (*k, v.len())).collect();
+
+    let mut stats = SpillStats {
+        spill_store_bytes: 0,
+        spill_load_bytes: 0,
+        max_live: 0,
+        ops: order.len(),
+    };
+    let mut live_now = 0usize;
+
+    // Next-use position of a node strictly after `pos`.
+    let next_use_after = |node: NodeId, pos: usize, use_positions: &HashMap<NodeId, Vec<usize>>| {
+        use_positions
+            .get(&node)
+            .and_then(|v| v.iter().find(|&&p| p > pos).copied())
+            .unwrap_or(usize::MAX)
+    };
+
+    for (pos, &n) in order.iter().enumerate() {
+        // 1. Bring spilled operands back.
+        let operands: Vec<NodeId> =
+            g.op(n).operands().filter(|c| !g.op(*c).is_leaf()).collect();
+        for &c in &operands {
+            if !in_reg.contains_key(&c) {
+                // Must have been spilled earlier (or this is a bug).
+                assert!(spilled.contains(&c), "operand {c:?} neither in regs nor spilled");
+                stats.spill_load_bytes += 8;
+                // Allocate a register for the reload.
+                alloc_register(
+                    c,
+                    pos,
+                    registers,
+                    &mut file,
+                    &mut in_reg,
+                    &mut spilled,
+                    &mut stats,
+                    &use_positions,
+                    &remaining,
+                    &is_output,
+                    next_use_after,
+                    &operands,
+                );
+            }
+        }
+        // 2. Consume operand uses; free dead registers.
+        for &c in &operands {
+            let r = remaining.get_mut(&c).expect("tracked");
+            *r -= 1;
+            if *r == 0 {
+                if let Some(idx) = in_reg.remove(&c) {
+                    file.swap_remove(idx);
+                    // Fix moved entry's index.
+                    if idx < file.len() {
+                        let moved = file[idx].node;
+                        in_reg.insert(moved, idx);
+                    }
+                    live_now -= 1;
+                }
+                spilled.remove(&c);
+            }
+        }
+        // 3. Produce the result. Outputs with no later uses go straight to
+        // global memory — no register occupancy.
+        let later_uses = remaining.get(&n).copied().unwrap_or(0);
+        if later_uses > 0 || !is_output.contains(&n) {
+            if later_uses == 0 {
+                // Dead non-output node (possible only in odd graphs): skip.
+                continue;
+            }
+            alloc_register(
+                n,
+                pos,
+                registers,
+                &mut file,
+                &mut in_reg,
+                &mut spilled,
+                &mut stats,
+                &use_positions,
+                &remaining,
+                &is_output,
+                next_use_after,
+                &[],
+            );
+            live_now += 1;
+            stats.max_live = stats.max_live.max(live_now.max(file.len()));
+        }
+    }
+    stats
+}
+
+/// Place `node` into the register file, evicting by Belady if full.
+#[allow(clippy::too_many_arguments)]
+fn alloc_register(
+    node: NodeId,
+    pos: usize,
+    registers: usize,
+    file: &mut Vec<RegEntry>,
+    in_reg: &mut HashMap<NodeId, usize>,
+    spilled: &mut std::collections::HashSet<NodeId>,
+    stats: &mut SpillStats,
+    use_positions: &HashMap<NodeId, Vec<usize>>,
+    remaining: &HashMap<NodeId, usize>,
+    _is_output: &std::collections::HashSet<NodeId>,
+    next_use_after: impl Fn(NodeId, usize, &HashMap<NodeId, Vec<usize>>) -> usize,
+    pinned: &[NodeId],
+) {
+    if file.len() >= registers {
+        // Evict the entry with the furthest next use that is not pinned
+        // (operands of the current op must stay resident).
+        let victim_idx = file
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !pinned.contains(&e.node))
+            .max_by_key(|(_, e)| next_use_after(e.node, pos, use_positions))
+            .map(|(i, _)| i)
+            .expect("register file cannot be entirely pinned");
+        let victim = file.swap_remove(victim_idx);
+        in_reg.remove(&victim.node);
+        if victim_idx < file.len() {
+            let moved = file[victim_idx].node;
+            in_reg.insert(moved, victim_idx);
+        }
+        // Spill store only if the victim still has pending uses.
+        if remaining.get(&victim.node).copied().unwrap_or(0) > 0 {
+            stats.spill_store_bytes += 8;
+            spilled.insert(victim.node);
+        }
+    }
+    let idx = file.len();
+    file.push(RegEntry { node, next_use_idx: 0 });
+    in_reg.insert(node, idx);
+    spilled.remove(&node);
+}
+
+struct RegEntry {
+    node: NodeId,
+    #[allow(dead_code)]
+    next_use_idx: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bssn::{build_bssn_rhs, BssnParams};
+    use crate::schedule::{schedule, ScheduleStrategy};
+
+    #[test]
+    fn no_spills_with_ample_registers() {
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let sch = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::BinaryReduce);
+        let live = sch.max_live(&rhs.graph);
+        let stats = simulate_spills(&rhs.graph, &sch, live + 8);
+        assert_eq!(stats.total_spill_bytes(), 0, "live={live}, stats={stats:?}");
+    }
+
+    #[test]
+    fn tight_budget_forces_spills() {
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let sch = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::CseTopo);
+        let stats = simulate_spills(&rhs.graph, &sch, 56);
+        assert!(stats.spill_store_bytes > 0);
+        assert!(stats.spill_load_bytes > 0);
+        // Loads >= stores: every spilled value is loaded at least once,
+        // possibly many times.
+        assert!(stats.spill_load_bytes >= stats.spill_store_bytes);
+    }
+
+    #[test]
+    fn paper_ordering_of_strategies_at_56_registers() {
+        // Table II: the baseline spills far more than binary-reduce and
+        // staged+CSE.
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let spills = |s: ScheduleStrategy| {
+            let sch = schedule(&rhs.graph, &rhs.outputs, s);
+            simulate_spills(&rhs.graph, &sch, 56)
+        };
+        let base = spills(ScheduleStrategy::CseTopo);
+        let br = spills(ScheduleStrategy::BinaryReduce);
+        let st = spills(ScheduleStrategy::StagedCse);
+        assert!(
+            br.total_spill_bytes() < base.total_spill_bytes(),
+            "binary-reduce {br:?} must spill less than baseline {base:?}"
+        );
+        assert!(
+            st.total_spill_bytes() < base.total_spill_bytes(),
+            "staged {st:?} must spill less than baseline {base:?}"
+        );
+    }
+
+    #[test]
+    fn more_registers_never_more_spills() {
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let sch = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::StagedCse);
+        let mut prev = u64::MAX;
+        for r in [16usize, 32, 56, 96, 160, 256] {
+            let s = simulate_spills(&rhs.graph, &sch, r);
+            assert!(
+                s.total_spill_bytes() <= prev,
+                "spills must be monotone in registers: {r} -> {s:?}"
+            );
+            prev = s.total_spill_bytes();
+        }
+    }
+
+    #[test]
+    fn small_graph_exact_counts() {
+        // Chain: t1 = x+y; t2 = t1*x; t3 = t2+t1; with 2 registers no
+        // spills are needed (t1, t2 live at once, t1 dies at t3).
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let t1 = g.add(x, y);
+        let t2 = g.mul(t1, x);
+        let t3 = g.add(t2, t1);
+        let sch = schedule(&g, &[t3], ScheduleStrategy::CseTopo);
+        let stats = simulate_spills(&g, &sch, 2);
+        assert_eq!(stats.total_spill_bytes(), 0);
+        assert_eq!(stats.max_live, 2);
+    }
+}

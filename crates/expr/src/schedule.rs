@@ -1,0 +1,461 @@
+//! Evaluation-order strategies for the `A` kernel.
+//!
+//! Three schedulers corresponding to the paper's Table II rows:
+//!
+//! * [`ScheduleStrategy::CseTopo`] — the SymPyGR baseline: every shared
+//!   subexpression is materialized as a temporary *before* any final
+//!   expression is emitted. This maximizes the live ranges of the ~900
+//!   CSE temporaries and is what causes the heavy register spilling the
+//!   paper measures.
+//! * [`ScheduleStrategy::BinaryReduce`] — the paper's Algorithm 3: a
+//!   traversal (topological order of the line graph of the DAG) chosen to
+//!   *reduce* as soon as possible, evicting temporaries the moment their
+//!   out-degree reaches zero. We implement it as greedy list scheduling
+//!   that always picks the ready node freeing the most live temporaries.
+//! * [`ScheduleStrategy::StagedCse`] — compute each of the 24 equations as
+//!   soon as its inputs are ready: outputs are processed one at a time and
+//!   each pulls in only its not-yet-computed subexpressions.
+//!
+//! A schedule is a linear order over the reachable *interior* nodes; every
+//! node appears exactly once (shared subexpressions are still shared — the
+//! strategies change order, not work).
+
+use crate::graph::{ExprGraph, NodeId};
+use std::collections::HashMap;
+
+/// Which Table-II code-generation strategy to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScheduleStrategy {
+    /// SymPyGR-style CSE order (all temporaries, then all outputs).
+    CseTopo,
+    /// Algorithm 3 binary-reduction order (live-range minimizing).
+    BinaryReduce,
+    /// Per-equation staging.
+    StagedCse,
+}
+
+impl ScheduleStrategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScheduleStrategy::CseTopo => "SymPyGR",
+            ScheduleStrategy::BinaryReduce => "binary-reduce",
+            ScheduleStrategy::StagedCse => "staged + CSE",
+        }
+    }
+
+    pub fn all() -> [ScheduleStrategy; 3] {
+        [ScheduleStrategy::CseTopo, ScheduleStrategy::BinaryReduce, ScheduleStrategy::StagedCse]
+    }
+}
+
+/// A linear evaluation order over interior nodes.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Interior (non-leaf) nodes in evaluation order; every reachable
+    /// interior node exactly once.
+    pub order: Vec<NodeId>,
+    /// The roots (outputs), in output order.
+    pub outputs: Vec<NodeId>,
+    pub strategy: ScheduleStrategy,
+}
+
+impl Schedule {
+    /// Peak number of simultaneously live temporaries under
+    /// evict-at-last-use semantics (outputs stored to global on
+    /// computation, so they do not occupy a slot afterwards). This is the
+    /// quantity the paper reports as "675 live allocated temporary
+    /// variables" for binary-reduce.
+    pub fn max_live(&self, g: &ExprGraph) -> usize {
+        let mut remaining_uses: HashMap<NodeId, usize> = HashMap::new();
+        for &n in &self.order {
+            for c in g.op(n).operands() {
+                if !g.op(c).is_leaf() {
+                    *remaining_uses.entry(c).or_insert(0) += 1;
+                }
+            }
+        }
+        let is_output: std::collections::HashSet<NodeId> = self.outputs.iter().copied().collect();
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        let mut live_set: std::collections::HashSet<NodeId> = Default::default();
+        for &n in &self.order {
+            // Consume operands.
+            for c in g.op(n).operands() {
+                if g.op(c).is_leaf() {
+                    continue;
+                }
+                let u = remaining_uses.get_mut(&c).expect("operand scheduled before use");
+                *u -= 1;
+                if *u == 0 && live_set.remove(&c) {
+                    live -= 1;
+                }
+            }
+            // Produce: outputs go straight to global memory; a node that is
+            // *also* used as an operand later (e.g. Γ̃-rhs feeding B-rhs)
+            // still occupies a slot.
+            let used_later = remaining_uses.get(&n).copied().unwrap_or(0) > 0;
+            if used_later || !is_output.contains(&n) {
+                if live_set.insert(n) {
+                    live += 1;
+                    peak = peak.max(live);
+                }
+                // Immediately drop never-used non-output nodes (shouldn't
+                // exist for reachable graphs, but be safe).
+                if !used_later && !is_output.contains(&n) && live_set.remove(&n) {
+                    live -= 1;
+                }
+            }
+        }
+        peak
+    }
+}
+
+/// Build a schedule for the given outputs under a strategy.
+pub fn schedule(g: &ExprGraph, outputs: &[NodeId], strategy: ScheduleStrategy) -> Schedule {
+    let order = match strategy {
+        ScheduleStrategy::CseTopo => cse_topo(g, outputs),
+        ScheduleStrategy::BinaryReduce => binary_reduce(g, outputs),
+        ScheduleStrategy::StagedCse => staged(g, outputs),
+    };
+    debug_assert!(validate_order(g, outputs, &order));
+    Schedule { order, outputs: outputs.to_vec(), strategy }
+}
+
+/// SymPyGR-style CSE order: **all shared temporaries first** (with their
+/// dependency closures), then the final expressions.
+///
+/// This is what `sympy.cse` + sequential code emission produces: every
+/// multiply-used subexpression is materialized as `DENDRO_t` before any
+/// final expression is written, so the temporaries' live ranges stretch
+/// across the whole kernel — the register-pressure pathology the paper's
+/// Table II quantifies.
+fn cse_topo(g: &ExprGraph, outputs: &[NodeId]) -> Vec<NodeId> {
+    let mask = g.reachable(outputs);
+    let out_set: std::collections::HashSet<NodeId> = outputs.iter().copied().collect();
+    // Use counts within the reachable subgraph.
+    let mut uses: Vec<u32> = vec![0; g.len()];
+    for i in 0..g.len() {
+        if !mask[i] {
+            continue;
+        }
+        for c in g.op(NodeId(i as u32)).operands() {
+            uses[c.0 as usize] += 1;
+        }
+    }
+    // Phase 1: the dependency closure of every shared (use count >= 2)
+    // non-output interior node, in ascending (topological) id order.
+    let shared: Vec<NodeId> = (0..g.len())
+        .map(|i| NodeId(i as u32))
+        .filter(|id| {
+            mask[id.0 as usize]
+                && !g.op(*id).is_leaf()
+                && uses[id.0 as usize] >= 2
+                && !out_set.contains(id)
+        })
+        .collect();
+    let closure = g.reachable(&shared);
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut emitted = vec![false; g.len()];
+    for i in 0..g.len() {
+        let id = NodeId(i as u32);
+        if closure[i] && !g.op(id).is_leaf() {
+            order.push(id);
+            emitted[i] = true;
+        }
+    }
+    // Phase 2: everything else (single-use glue and the final
+    // expressions), ascending — which respects dependencies.
+    for i in 0..g.len() {
+        let id = NodeId(i as u32);
+        if mask[i] && !g.op(id).is_leaf() && !emitted[i] {
+            order.push(id);
+            emitted[i] = true;
+        }
+    }
+    order
+}
+
+/// Per-output staging: for each output emit its missing dependencies in
+/// depth-first postorder.
+fn staged(g: &ExprGraph, outputs: &[NodeId]) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut done = vec![false; g.len()];
+    for &out in outputs {
+        emit_postorder(g, out, &mut done, &mut order);
+    }
+    order
+}
+
+fn emit_postorder(g: &ExprGraph, n: NodeId, done: &mut [bool], order: &mut Vec<NodeId>) {
+    if done[n.0 as usize] || g.op(n).is_leaf() {
+        return;
+    }
+    // Iterative postorder to avoid deep recursion on big DAGs.
+    let mut stack: Vec<(NodeId, bool)> = vec![(n, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if done[id.0 as usize] || g.op(id).is_leaf() {
+            continue;
+        }
+        if expanded {
+            if !done[id.0 as usize] {
+                done[id.0 as usize] = true;
+                order.push(id);
+            }
+        } else {
+            stack.push((id, true));
+            for c in g.op(id).operands() {
+                if !done[c.0 as usize] && !g.op(c).is_leaf() {
+                    stack.push((c, false));
+                }
+            }
+        }
+    }
+}
+
+/// Greedy live-range-minimizing list scheduling (Algorithm 3 flavor):
+/// among ready nodes, prefer the one that frees the most operands, then
+/// the one adding the least new pressure, then construction order.
+fn binary_reduce(g: &ExprGraph, outputs: &[NodeId]) -> Vec<NodeId> {
+    let mask = g.reachable(outputs);
+    // Remaining-use counts of interior nodes.
+    let mut uses: HashMap<NodeId, u32> = HashMap::new();
+    let mut pending_ops: HashMap<NodeId, u32> = HashMap::new();
+    let mut consumers: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut interior: Vec<NodeId> = Vec::new();
+    for i in 0..g.len() {
+        if !mask[i] {
+            continue;
+        }
+        let id = NodeId(i as u32);
+        let op = g.op(id);
+        if op.is_leaf() {
+            continue;
+        }
+        interior.push(id);
+        let mut pend = 0;
+        for c in op.operands() {
+            if !g.op(c).is_leaf() {
+                *uses.entry(c).or_insert(0) += 1;
+                consumers.entry(c).or_default().push(id);
+                pend += 1;
+            }
+        }
+        pending_ops.insert(id, pend);
+    }
+    // Ready set: interior nodes with all interior operands computed.
+    let mut ready: Vec<NodeId> = interior
+        .iter()
+        .copied()
+        .filter(|id| pending_ops[id] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(interior.len());
+    let mut remaining: HashMap<NodeId, u32> = uses.clone();
+    let mut computed = vec![false; g.len()];
+    while let Some((best_idx, _)) = ready.iter().enumerate().min_by_key(|(_, &id)| {
+        // Score: (frees, adds) — maximize frees, minimize adds, then id.
+        let mut frees = 0i32;
+        for c in g.op(id).operands() {
+            if !g.op(c).is_leaf() && remaining.get(&c).copied().unwrap_or(0) == 1 {
+                frees += 1;
+            }
+        }
+        let adds = if remaining.get(&id).copied().unwrap_or(0) > 0 { 1i32 } else { 0 };
+        (-frees, adds, id.0)
+    }) {
+        let id = ready.swap_remove(best_idx);
+        computed[id.0 as usize] = true;
+        order.push(id);
+        for c in g.op(id).operands() {
+            if !g.op(c).is_leaf() {
+                *remaining.get_mut(&c).unwrap() -= 1;
+            }
+        }
+        if let Some(cons) = consumers.get(&id) {
+            for &k in cons {
+                let p = pending_ops.get_mut(&k).unwrap();
+                *p -= 1;
+                if *p == 0 && !computed[k.0 as usize] {
+                    ready.push(k);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Every interior reachable node appears exactly once, after its operands.
+fn validate_order(g: &ExprGraph, outputs: &[NodeId], order: &[NodeId]) -> bool {
+    let mask = g.reachable(outputs);
+    let interior_count = (0..g.len())
+        .filter(|&i| mask[i] && !g.op(NodeId(i as u32)).is_leaf())
+        .count();
+    if order.len() != interior_count {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.len()];
+    for (p, &n) in order.iter().enumerate() {
+        if pos[n.0 as usize] != usize::MAX {
+            return false; // duplicate
+        }
+        pos[n.0 as usize] = p;
+    }
+    for &n in order {
+        for c in g.op(n).operands() {
+            if !g.op(c).is_leaf() && pos[c.0 as usize] >= pos[n.0 as usize] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bssn::{build_bssn_rhs, BssnParams};
+
+    fn toy_graph() -> (ExprGraph, Vec<NodeId>) {
+        let mut g = ExprGraph::new();
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let a = g.add(x, y);
+        let b = g.mul(a, a);
+        let c = g.mul(a, x);
+        let o1 = g.add(b, c);
+        let o2 = g.sub(b, c);
+        (g, vec![o1, o2])
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_orders() {
+        let (g, outs) = toy_graph();
+        for s in ScheduleStrategy::all() {
+            let sch = schedule(&g, &outs, s);
+            assert!(validate_order(&g, &outs, &sch.order), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_same_work() {
+        let (g, outs) = toy_graph();
+        let lens: Vec<usize> =
+            ScheduleStrategy::all().iter().map(|&s| schedule(&g, &outs, s).order.len()).collect();
+        assert_eq!(lens[0], lens[1]);
+        assert_eq!(lens[1], lens[2]);
+    }
+
+    #[test]
+    fn bssn_schedules_valid_and_equal_work() {
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let mut lens = Vec::new();
+        for s in ScheduleStrategy::all() {
+            let sch = schedule(&rhs.graph, &rhs.outputs, s);
+            assert!(validate_order(&rhs.graph, &rhs.outputs, &sch.order), "{s:?}");
+            lens.push(sch.order.len());
+        }
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn binary_reduce_has_lower_peak_live_than_cse() {
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let cse = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::CseTopo);
+        let br = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::BinaryReduce);
+        let st = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::StagedCse);
+        let live_cse = cse.max_live(&rhs.graph);
+        let live_br = br.max_live(&rhs.graph);
+        let live_st = st.max_live(&rhs.graph);
+        // The whole point of the paper's Algorithm 3: shorter live ranges.
+        assert!(
+            live_br < live_cse,
+            "binary-reduce live {live_br} must beat CSE live {live_cse}"
+        );
+        assert!(
+            live_st < live_cse,
+            "staged live {live_st} must beat CSE live {live_st}"
+        );
+        // Paper scale: hundreds of live temporaries for the baseline.
+        assert!(live_cse > 100, "CSE peak live = {live_cse}");
+    }
+
+    #[test]
+    fn staged_interleaves_outputs() {
+        // In the staged schedule the first output appears before the last
+        // temporary; in the CSE schedule all outputs come last.
+        let rhs = build_bssn_rhs(BssnParams::default());
+        let st = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::StagedCse);
+        let cse = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::CseTopo);
+        let out_set: std::collections::HashSet<NodeId> = rhs.outputs.iter().copied().collect();
+        // Pure sinks: outputs not consumed by any other reachable node
+        // (everything except the Γ̃-rhs nodes that feed the B equations).
+        let mask = rhs.graph.reachable(&rhs.outputs);
+        let mut consumed: std::collections::HashSet<NodeId> = Default::default();
+        for i in 0..rhs.graph.len() {
+            if mask[i] {
+                for c in rhs.graph.op(NodeId(i as u32)).operands() {
+                    consumed.insert(c);
+                }
+            }
+        }
+        let sinks: std::collections::HashSet<NodeId> =
+            out_set.iter().copied().filter(|o| !consumed.contains(o)).collect();
+        let first_sink_st = st.order.iter().position(|n| sinks.contains(n)).unwrap();
+        let first_sink_cse = cse.order.iter().position(|n| sinks.contains(n)).unwrap();
+        assert!(
+            first_sink_st < first_sink_cse,
+            "staged must emit its first output earlier ({first_sink_st} vs {first_sink_cse})"
+        );
+        // CSE: every shared temporary precedes the first output (the
+        // SymPyGR all-temps-first property).
+        let mut uses: std::collections::HashMap<NodeId, u32> = Default::default();
+        for i in 0..rhs.graph.len() {
+            if mask[i] {
+                for c in rhs.graph.op(NodeId(i as u32)).operands() {
+                    *uses.entry(c).or_insert(0) += 1;
+                }
+            }
+        }
+        for (pos, n) in cse.order.iter().enumerate() {
+            if uses.get(n).copied().unwrap_or(0) >= 2 && !out_set.contains(n) {
+                assert!(
+                    pos < first_sink_cse,
+                    "shared temp {n:?} at {pos} must precede the first output at {first_sink_cse}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_evaluate_correctly() {
+        // Execute a schedule step by step and compare with graph eval.
+        let (g, outs) = toy_graph();
+        let inputs = [1.5f64, -2.0];
+        let expect = g.eval(&outs, &inputs);
+        for s in ScheduleStrategy::all() {
+            let sch = schedule(&g, &outs, s);
+            let mut vals: HashMap<NodeId, f64> = HashMap::new();
+            let get = |vals: &HashMap<NodeId, f64>, g: &ExprGraph, id: NodeId| -> f64 {
+                match g.op(id) {
+                    crate::graph::Op::Const(b) => f64::from_bits(b),
+                    crate::graph::Op::Sym(i) => inputs[i as usize],
+                    _ => vals[&id],
+                }
+            };
+            for &n in &sch.order {
+                let v = match g.op(n) {
+                    crate::graph::Op::Add(a, b) => get(&vals, &g, a) + get(&vals, &g, b),
+                    crate::graph::Op::Sub(a, b) => get(&vals, &g, a) - get(&vals, &g, b),
+                    crate::graph::Op::Mul(a, b) => get(&vals, &g, a) * get(&vals, &g, b),
+                    crate::graph::Op::Div(a, b) => get(&vals, &g, a) / get(&vals, &g, b),
+                    crate::graph::Op::Neg(a) => -get(&vals, &g, a),
+                    crate::graph::Op::Pow(a, k) => get(&vals, &g, a).powi(k),
+                    _ => unreachable!("leaves not scheduled"),
+                };
+                vals.insert(n, v);
+            }
+            for (o, e) in outs.iter().zip(expect.iter()) {
+                assert!((vals[o] - e).abs() < 1e-14, "{s:?}");
+            }
+        }
+    }
+}

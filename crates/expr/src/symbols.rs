@@ -1,0 +1,259 @@
+//! The BSSN input-symbol table: 234 inputs, 24 outputs.
+//!
+//! Section IV-B of the paper: all 24 field variables require all first
+//! derivatives (72), the 11 variables `α, β^i, χ, γ̃_ij` require all second
+//! derivatives (66), and all 24 need Kreiss–Oliger derivatives (72) —
+//! 210 derivatives total, plus the 24 field values themselves = 234 inputs
+//! feeding the algebraic `A` component that produces the 24 RHS outputs.
+
+/// Number of evolved field variables.
+pub const NUM_VARS: usize = 24;
+/// Variables carrying second derivatives (α, β^0..2, χ, γ̃_0..5).
+pub const NUM_VARS_2ND: usize = 11;
+/// First-derivative inputs.
+pub const NUM_D1: usize = 3 * NUM_VARS; // 72
+/// Second-derivative inputs (6 symmetric pairs × 11 vars).
+pub const NUM_D2: usize = 6 * NUM_VARS_2ND; // 66
+/// Kreiss–Oliger derivative inputs.
+pub const NUM_KO: usize = 3 * NUM_VARS; // 72
+/// Total inputs to `A`.
+pub const NUM_INPUTS: usize = NUM_VARS + NUM_D1 + NUM_D2 + NUM_KO; // 234
+/// Outputs of `A` (the 24 RHS values).
+pub const NUM_OUTPUTS: usize = NUM_VARS;
+
+/// Field variable indices (Dendro-GR ordering).
+pub mod var {
+    pub const ALPHA: usize = 0;
+    pub const BETA0: usize = 1;
+    pub const BETA1: usize = 2;
+    pub const BETA2: usize = 3;
+    pub const B0: usize = 4;
+    pub const B1: usize = 5;
+    pub const B2: usize = 6;
+    pub const CHI: usize = 7;
+    pub const K: usize = 8;
+    /// Symmetric conformal metric γ̃: 6 components (11,12,13,22,23,33).
+    pub const GT0: usize = 9;
+    pub const GT5: usize = 14;
+    /// Symmetric trace-free extrinsic curvature Ã: 6 components.
+    pub const AT0: usize = 15;
+    pub const AT5: usize = 20;
+    /// Conformal connection Γ̃^i.
+    pub const GAMT0: usize = 21;
+    pub const GAMT2: usize = 23;
+
+    /// γ̃ component index for (i, j), i,j ∈ 0..3.
+    pub fn gt(i: usize, j: usize) -> usize {
+        GT0 + super::sym_pair(i, j)
+    }
+
+    /// Ã component index for (i, j).
+    pub fn at(i: usize, j: usize) -> usize {
+        AT0 + super::sym_pair(i, j)
+    }
+
+    /// Γ̃^i component index.
+    pub fn gamt(i: usize) -> usize {
+        GAMT0 + i
+    }
+
+    /// β^i component index.
+    pub fn beta(i: usize) -> usize {
+        BETA0 + i
+    }
+
+    /// B^i component index.
+    pub fn b_var(i: usize) -> usize {
+        B0 + i
+    }
+}
+
+/// Symmetric-pair index: (0,0)→0 (0,1)→1 (0,2)→2 (1,1)→3 (1,2)→4 (2,2)→5.
+pub fn sym_pair(i: usize, j: usize) -> usize {
+    let (i, j) = if i <= j { (i, j) } else { (j, i) };
+    match (i, j) {
+        (0, 0) => 0,
+        (0, 1) => 1,
+        (0, 2) => 2,
+        (1, 1) => 3,
+        (1, 2) => 4,
+        (2, 2) => 5,
+        _ => unreachable!("indices must be < 3"),
+    }
+}
+
+/// Slot of a variable in the second-derivative block, if it has one.
+pub fn second_deriv_slot(v: usize) -> Option<usize> {
+    match v {
+        var::ALPHA => Some(0),
+        var::BETA0 => Some(1),
+        var::BETA1 => Some(2),
+        var::BETA2 => Some(3),
+        var::CHI => Some(4),
+        _ if (var::GT0..=var::GT5).contains(&v) => Some(5 + (v - var::GT0)),
+        _ => None,
+    }
+}
+
+/// Flat input index of a field value.
+pub fn input_value(v: usize) -> usize {
+    debug_assert!(v < NUM_VARS);
+    v
+}
+
+/// Flat input index of ∂_d of variable `v`.
+pub fn input_d1(v: usize, d: usize) -> usize {
+    debug_assert!(v < NUM_VARS && d < 3);
+    NUM_VARS + v * 3 + d
+}
+
+/// Flat input index of ∂_i∂_j of variable `v` (must have second derivs).
+pub fn input_d2(v: usize, i: usize, j: usize) -> usize {
+    let slot = second_deriv_slot(v).expect("variable has no second derivatives");
+    NUM_VARS + NUM_D1 + slot * 6 + sym_pair(i, j)
+}
+
+/// Flat input index of the KO derivative along `d` of variable `v`.
+pub fn input_ko(v: usize, d: usize) -> usize {
+    debug_assert!(v < NUM_VARS && d < 3);
+    NUM_VARS + NUM_D1 + NUM_D2 + v * 3 + d
+}
+
+/// Human-readable variable names, index-aligned with the `var` module.
+pub const VAR_NAMES: [&str; NUM_VARS] = [
+    "alpha", "beta0", "beta1", "beta2", "B0", "B1", "B2", "chi", "K", "gt11", "gt12", "gt13",
+    "gt22", "gt23", "gt33", "At11", "At12", "At13", "At22", "At23", "At33", "Gamt0", "Gamt1",
+    "Gamt2",
+];
+
+/// Human-readable name of any flat input index.
+pub fn input_name(idx: usize) -> String {
+    const AXES: [&str; 3] = ["x", "y", "z"];
+    if idx < NUM_VARS {
+        return VAR_NAMES[idx].to_string();
+    }
+    if idx < NUM_VARS + NUM_D1 {
+        let r = idx - NUM_VARS;
+        return format!("d{}_{}", AXES[r % 3], VAR_NAMES[r / 3]);
+    }
+    if idx < NUM_VARS + NUM_D1 + NUM_D2 {
+        let r = idx - NUM_VARS - NUM_D1;
+        let slot = r / 6;
+        let pair = r % 6;
+        let v = [0usize, 1, 2, 3, 7, 9, 10, 11, 12, 13, 14][slot];
+        const PAIRS: [(&str, &str); 6] =
+            [("x", "x"), ("x", "y"), ("x", "z"), ("y", "y"), ("y", "z"), ("z", "z")];
+        let (a, b) = PAIRS[pair];
+        return format!("d{a}{b}_{}", VAR_NAMES[v]);
+    }
+    let r = idx - NUM_VARS - NUM_D1 - NUM_D2;
+    format!("ko{}_{}", AXES[r % 3], VAR_NAMES[r / 3])
+}
+
+/// Helper struct bundling symbol-creation against an `ExprGraph`.
+pub struct SymbolTable;
+
+impl SymbolTable {
+    /// Create (or fetch) the symbol node for a field value.
+    pub fn value(g: &mut crate::graph::ExprGraph, v: usize) -> crate::graph::NodeId {
+        g.sym(input_value(v) as u32)
+    }
+
+    /// ∂_d symbol.
+    pub fn d1(g: &mut crate::graph::ExprGraph, v: usize, d: usize) -> crate::graph::NodeId {
+        g.sym(input_d1(v, d) as u32)
+    }
+
+    /// ∂_i∂_j symbol.
+    pub fn d2(
+        g: &mut crate::graph::ExprGraph,
+        v: usize,
+        i: usize,
+        j: usize,
+    ) -> crate::graph::NodeId {
+        g.sym(input_d2(v, i, j) as u32)
+    }
+
+    /// KO derivative symbol.
+    pub fn ko(g: &mut crate::graph::ExprGraph, v: usize, d: usize) -> crate::graph::NodeId {
+        g.sym(input_ko(v, d) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_input_counts() {
+        assert_eq!(NUM_D1, 72);
+        assert_eq!(NUM_D2, 66);
+        assert_eq!(NUM_KO, 72);
+        assert_eq!(NUM_D1 + NUM_D2 + NUM_KO, 210, "the paper's 210 derivatives");
+        assert_eq!(NUM_INPUTS, 234, "the paper's 234 A-inputs");
+    }
+
+    #[test]
+    fn input_indices_are_disjoint_and_dense() {
+        let mut seen = vec![false; NUM_INPUTS];
+        for v in 0..NUM_VARS {
+            let i = input_value(v);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        for v in 0..NUM_VARS {
+            for d in 0..3 {
+                let i = input_d1(v, d);
+                assert!(!seen[i]);
+                seen[i] = true;
+                let i = input_ko(v, d);
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        for v in 0..NUM_VARS {
+            if second_deriv_slot(v).is_some() {
+                for a in 0..3 {
+                    for b in a..3 {
+                        let i = input_d2(v, a, b);
+                        if !seen[i] {
+                            seen[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every input slot must be addressable");
+    }
+
+    #[test]
+    fn d2_symmetric_in_indices() {
+        assert_eq!(input_d2(var::CHI, 0, 2), input_d2(var::CHI, 2, 0));
+        assert_eq!(input_d2(var::ALPHA, 1, 2), input_d2(var::ALPHA, 2, 1));
+    }
+
+    #[test]
+    fn gt_at_components() {
+        assert_eq!(var::gt(0, 0), var::GT0);
+        assert_eq!(var::gt(2, 2), var::GT5);
+        assert_eq!(var::gt(1, 0), var::gt(0, 1));
+        assert_eq!(var::at(2, 1), var::at(1, 2));
+        assert_eq!(var::gamt(2), var::GAMT2);
+    }
+
+    #[test]
+    fn second_deriv_vars_count() {
+        let n = (0..NUM_VARS).filter(|&v| second_deriv_slot(v).is_some()).count();
+        assert_eq!(n, NUM_VARS_2ND);
+        assert!(second_deriv_slot(var::K).is_none());
+        assert!(second_deriv_slot(var::AT0).is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<String> = (0..NUM_INPUTS).map(input_name).collect();
+        assert_eq!(names.len(), NUM_INPUTS);
+        assert_eq!(input_name(0), "alpha");
+        assert!(input_name(input_d1(var::CHI, 1)).contains("chi"));
+    }
+}

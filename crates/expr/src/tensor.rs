@@ -1,0 +1,250 @@
+//! Small tensor helpers over expression nodes.
+//!
+//! Transcribing the BSSN equations needs 3-vectors, symmetric 3×3 tensors
+//! and rank-3 Christoffel-like objects whose components are DAG nodes.
+
+use crate::graph::{ExprGraph, NodeId};
+use crate::symbols::sym_pair;
+
+/// A 3-vector of expression nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct Vec3(pub [NodeId; 3]);
+
+impl Vec3 {
+    pub fn get(&self, i: usize) -> NodeId {
+        self.0[i]
+    }
+}
+
+/// A symmetric 3×3 tensor stored as 6 components (11,12,13,22,23,33).
+#[derive(Clone, Copy, Debug)]
+pub struct Sym3(pub [NodeId; 6]);
+
+impl Sym3 {
+    pub fn get(&self, i: usize, j: usize) -> NodeId {
+        self.0[sym_pair(i, j)]
+    }
+
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> NodeId) -> Self {
+        Self([f(0, 0), f(0, 1), f(0, 2), f(1, 1), f(1, 2), f(2, 2)])
+    }
+}
+
+/// A general (non-symmetric) 3×3 matrix of nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct Mat3(pub [[NodeId; 3]; 3]);
+
+impl Mat3 {
+    pub fn get(&self, i: usize, j: usize) -> NodeId {
+        self.0[i][j]
+    }
+}
+
+/// Determinant of a symmetric 3×3.
+pub fn det_sym3(g: &mut ExprGraph, m: &Sym3) -> NodeId {
+    // det = a(df−e²) − b(bf−ce) + c(be−cd) with
+    // [a b c; b d e; c e f].
+    let (a, b, c) = (m.get(0, 0), m.get(0, 1), m.get(0, 2));
+    let (d, e, f) = (m.get(1, 1), m.get(1, 2), m.get(2, 2));
+    let df = g.mul(d, f);
+    let e2 = g.mul(e, e);
+    let t1 = g.sub(df, e2);
+    let t1 = g.mul(a, t1);
+    let bf = g.mul(b, f);
+    let ce = g.mul(c, e);
+    let t2 = g.sub(bf, ce);
+    let t2 = g.mul(b, t2);
+    let be = g.mul(b, e);
+    let cd = g.mul(c, d);
+    let t3 = g.sub(be, cd);
+    let t3 = g.mul(c, t3);
+    let s = g.sub(t1, t2);
+    g.add(s, t3)
+}
+
+/// Inverse of a symmetric 3×3 (returns a symmetric tensor).
+pub fn inv_sym3(g: &mut ExprGraph, m: &Sym3) -> Sym3 {
+    let (a, b, c) = (m.get(0, 0), m.get(0, 1), m.get(0, 2));
+    let (d, e, f) = (m.get(1, 1), m.get(1, 2), m.get(2, 2));
+    let det = det_sym3(g, m);
+    let idet = g.pow(det, -1);
+    // Adjugate of a symmetric matrix is symmetric.
+    let mut adj = [NodeId(0); 6];
+    // (0,0): df − e²
+    let df = g.mul(d, f);
+    let e2 = g.mul(e, e);
+    adj[0] = g.sub(df, e2);
+    // (0,1): ce − bf
+    let ce = g.mul(c, e);
+    let bf = g.mul(b, f);
+    adj[1] = g.sub(ce, bf);
+    // (0,2): be − cd
+    let be = g.mul(b, e);
+    let cd = g.mul(c, d);
+    adj[2] = g.sub(be, cd);
+    // (1,1): af − c²
+    let af = g.mul(a, f);
+    let c2 = g.mul(c, c);
+    adj[3] = g.sub(af, c2);
+    // (1,2): bc − ae
+    let bc = g.mul(b, c);
+    let ae = g.mul(a, e);
+    adj[4] = g.sub(bc, ae);
+    // (2,2): ad − b²
+    let ad = g.mul(a, d);
+    let b2 = g.mul(b, b);
+    adj[5] = g.sub(ad, b2);
+    Sym3(adj.map(|x| g.mul(x, idet)))
+}
+
+/// Contraction `v^i w_i`.
+pub fn dot(g: &mut ExprGraph, v: &Vec3, w: &Vec3) -> NodeId {
+    let mut acc = g.constant(0.0);
+    for i in 0..3 {
+        let p = g.mul(v.get(i), w.get(i));
+        acc = g.add(acc, p);
+    }
+    acc
+}
+
+/// `m^{ij} v_j` — raise an index.
+pub fn raise(g: &mut ExprGraph, m: &Sym3, v: &Vec3) -> Vec3 {
+    let mut out = [NodeId(0); 3];
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = g.constant(0.0);
+        for j in 0..3 {
+            let p = g.mul(m.get(i, j), v.get(j));
+            acc = g.add(acc, p);
+        }
+        *o = acc;
+    }
+    Vec3(out)
+}
+
+/// Double contraction `a^{ij} b_{ij}` of two symmetric tensors.
+pub fn contract2(g: &mut ExprGraph, a: &Sym3, b: &Sym3) -> NodeId {
+    let mut acc = g.constant(0.0);
+    for i in 0..3 {
+        for j in 0..3 {
+            let p = g.mul(a.get(i, j), b.get(i, j));
+            acc = g.add(acc, p);
+        }
+    }
+    acc
+}
+
+/// Trace `m^{ij} t_{ij}` with metric inverse `m`.
+pub fn trace(g: &mut ExprGraph, minv: &Sym3, t: &Sym3) -> NodeId {
+    contract2(g, minv, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym3_from(vals: [f64; 6], g: &mut ExprGraph, base: u32) -> (Sym3, Vec<f64>) {
+        let nodes = Sym3([
+            g.sym(base),
+            g.sym(base + 1),
+            g.sym(base + 2),
+            g.sym(base + 3),
+            g.sym(base + 4),
+            g.sym(base + 5),
+        ]);
+        (nodes, vals.to_vec())
+    }
+
+    #[test]
+    fn det_of_identity_is_one() {
+        let mut g = ExprGraph::new();
+        let (m, vals) = sym3_from([1.0, 0.0, 0.0, 1.0, 0.0, 1.0], &mut g, 0);
+        let det = det_sym3(&mut g, &m);
+        assert_eq!(g.eval(&[det], &vals)[0], 1.0);
+    }
+
+    #[test]
+    fn det_matches_explicit_formula() {
+        let mut g = ExprGraph::new();
+        // [2 1 0; 1 3 1; 0 1 4]: det = 2(12−1) − 1(4−0) + 0 = 18.
+        let (m, vals) = sym3_from([2.0, 1.0, 0.0, 3.0, 1.0, 4.0], &mut g, 0);
+        let det = det_sym3(&mut g, &m);
+        assert!((g.eval(&[det], &vals)[0] - 18.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut g = ExprGraph::new();
+        let (m, vals) = sym3_from([2.0, 0.5, -0.25, 3.0, 0.75, 4.0], &mut g, 0);
+        let inv = inv_sym3(&mut g, &m);
+        // Check M · M⁻¹ = I numerically.
+        let mut roots = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = g.constant(0.0);
+                for k in 0..3 {
+                    let p = g.mul(m.get(i, k), inv.get(k, j));
+                    acc = g.add(acc, p);
+                }
+                roots.push(acc);
+            }
+        }
+        let got = g.eval(&roots, &vals);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (got[i * 3 + j] - expect).abs() < 1e-12,
+                    "({i},{j}) = {}",
+                    got[i * 3 + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_det_metric_inverse_is_adjugate() {
+        // BSSN keeps det(γ̃) = 1; then the inverse equals the adjugate.
+        let mut g = ExprGraph::new();
+        // Construct a det-1 symmetric matrix: diag(2, 0.5, 1).
+        let (m, vals) = sym3_from([2.0, 0.0, 0.0, 0.5, 0.0, 1.0], &mut g, 0);
+        let inv = inv_sym3(&mut g, &m);
+        let got = g.eval(&[inv.get(0, 0), inv.get(1, 1), inv.get(2, 2)], &vals);
+        assert!((got[0] - 0.5).abs() < 1e-14);
+        assert!((got[1] - 2.0).abs() < 1e-14);
+        assert!((got[2] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn contraction_helpers() {
+        let mut g = ExprGraph::new();
+        let v = Vec3([g.sym(0), g.sym(1), g.sym(2)]);
+        let w = Vec3([g.sym(3), g.sym(4), g.sym(5)]);
+        let d = dot(&mut g, &v, &w);
+        let got = g.eval(&[d], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])[0];
+        assert_eq!(got, 32.0);
+    }
+
+    #[test]
+    fn raise_with_identity_is_noop() {
+        let mut g = ExprGraph::new();
+        let one = g.constant(1.0);
+        let zero = g.constant(0.0);
+        let id = Sym3([one, zero, zero, one, zero, one]);
+        let v = Vec3([g.sym(0), g.sym(1), g.sym(2)]);
+        let r = raise(&mut g, &id, &v);
+        let got = g.eval(&[r.get(0), r.get(1), r.get(2)], &[7.0, -2.0, 0.5]);
+        assert_eq!(got, vec![7.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn contract2_symmetric() {
+        let mut g = ExprGraph::new();
+        let (a, mut va) = sym3_from([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &mut g, 0);
+        let (b, vb) = sym3_from([6.0, 5.0, 4.0, 3.0, 2.0, 1.0], &mut g, 6);
+        va.extend(vb);
+        let c = contract2(&mut g, &a, &b);
+        // Σ a_ij b_ij over full 3×3: diag once, off-diag twice.
+        let expect = 1.0 * 6.0 + 4.0 * 3.0 + 6.0 * 1.0 + 2.0 * (2.0 * 5.0 + 3.0 * 4.0 + 5.0 * 2.0);
+        assert_eq!(g.eval(&[c], &va)[0], expect);
+    }
+}

@@ -1,0 +1,61 @@
+//! Device-resident buffers.
+//!
+//! A [`DeviceBuffer`] is storage that kernels may touch. Creating one or
+//! moving data between host and device goes through [`crate::Device`]
+//! methods so every transfer is metered — the discipline that lets the
+//! evolution loop prove it only synchronizes with the host at re-grid time
+//! (Algorithm 1 of the paper).
+
+/// A typed device allocation.
+///
+/// The backing store is host memory (this is a simulator), but the API
+/// enforces the CUDA-style residency discipline: host code cannot read the
+/// contents except through [`crate::Device::dtoh`].
+pub struct DeviceBuffer<T> {
+    pub(crate) data: Vec<T>,
+    pub(crate) device_id: usize,
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// The device this buffer lives on.
+    pub fn device_id(&self) -> usize {
+        self.device_id
+    }
+
+    /// Kernel-side view (used by `Device::launch` closures).
+    pub(crate) fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_bookkeeping() {
+        let b = DeviceBuffer { data: vec![0.0f64; 100], device_id: 3 };
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.size_bytes(), 800);
+        assert_eq!(b.device_id(), 3);
+        assert!(!b.is_empty());
+    }
+}

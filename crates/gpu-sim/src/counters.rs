@@ -1,0 +1,202 @@
+//! Device hardware counters.
+//!
+//! Kernels meter their own memory traffic and flops through
+//! [`crate::device::BlockCtx`]; the counters aggregate across blocks with
+//! relaxed atomics (per-block local accumulation, one flush per block, so
+//! contention is negligible).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregated device counters. All byte counts are *logical* traffic as the
+/// RAM model sees it (each load/store counted once at its natural width).
+#[derive(Default, Debug)]
+pub struct Counters {
+    /// Bytes read from device global memory by kernels.
+    pub global_load_bytes: AtomicU64,
+    /// Bytes written to device global memory by kernels.
+    pub global_store_bytes: AtomicU64,
+    /// Bytes moved through block shared memory (loads + stores).
+    pub shared_bytes: AtomicU64,
+    /// Double-precision floating point operations.
+    pub flops: AtomicU64,
+    /// Host-to-device transfer bytes.
+    pub h2d_bytes: AtomicU64,
+    /// Device-to-host transfer bytes.
+    pub d2h_bytes: AtomicU64,
+    /// Kernel launches.
+    pub launches: AtomicU64,
+    /// Spill traffic (bytes) reported by register-pressure-aware kernels
+    /// (the tape interpreter reports its scheduler's spill loads/stores
+    /// here, mirroring `ptxas` spill statistics).
+    pub spill_load_bytes: AtomicU64,
+    pub spill_store_bytes: AtomicU64,
+}
+
+/// A plain-value snapshot of [`Counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub global_load_bytes: u64,
+    pub global_store_bytes: u64,
+    pub shared_bytes: u64,
+    pub flops: u64,
+    pub h2d_bytes: u64,
+    pub d2h_bytes: u64,
+    pub launches: u64,
+    pub spill_load_bytes: u64,
+    pub spill_store_bytes: u64,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            global_load_bytes: self.global_load_bytes.load(Ordering::Relaxed),
+            global_store_bytes: self.global_store_bytes.load(Ordering::Relaxed),
+            shared_bytes: self.shared_bytes.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            launches: self.launches.load(Ordering::Relaxed),
+            spill_load_bytes: self.spill_load_bytes.load(Ordering::Relaxed),
+            spill_store_bytes: self.spill_store_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.global_load_bytes.store(0, Ordering::Relaxed);
+        self.global_store_bytes.store(0, Ordering::Relaxed);
+        self.shared_bytes.store(0, Ordering::Relaxed);
+        self.flops.store(0, Ordering::Relaxed);
+        self.h2d_bytes.store(0, Ordering::Relaxed);
+        self.d2h_bytes.store(0, Ordering::Relaxed);
+        self.launches.store(0, Ordering::Relaxed);
+        self.spill_load_bytes.store(0, Ordering::Relaxed);
+        self.spill_store_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CounterSnapshot {
+    /// Total global-memory traffic in bytes (the `m` of the RAM model).
+    pub fn global_bytes(&self) -> u64 {
+        self.global_load_bytes + self.global_store_bytes
+    }
+
+    /// Arithmetic intensity `Q = f/m` over global traffic.
+    ///
+    /// Returns 0 for pure data-movement kernels (the paper notes
+    /// patch-to-octant has "zero arithmetic intensity").
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let m = self.global_bytes();
+        if m == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / m as f64
+    }
+
+    /// Difference of two snapshots (`self - earlier`), for metering a
+    /// region of execution.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            global_load_bytes: self.global_load_bytes - earlier.global_load_bytes,
+            global_store_bytes: self.global_store_bytes - earlier.global_store_bytes,
+            shared_bytes: self.shared_bytes - earlier.shared_bytes,
+            flops: self.flops - earlier.flops,
+            h2d_bytes: self.h2d_bytes - earlier.h2d_bytes,
+            d2h_bytes: self.d2h_bytes - earlier.d2h_bytes,
+            launches: self.launches - earlier.launches,
+            spill_load_bytes: self.spill_load_bytes - earlier.spill_load_bytes,
+            spill_store_bytes: self.spill_store_bytes - earlier.spill_store_bytes,
+        }
+    }
+}
+
+/// Per-block local accumulator flushed once into the shared [`Counters`].
+#[derive(Default)]
+pub struct LocalCounters {
+    pub global_load_bytes: u64,
+    pub global_store_bytes: u64,
+    pub shared_bytes: u64,
+    pub flops: u64,
+    pub spill_load_bytes: u64,
+    pub spill_store_bytes: u64,
+}
+
+impl LocalCounters {
+    pub fn flush(&self, into: &Counters) {
+        if self.global_load_bytes > 0 {
+            into.global_load_bytes.fetch_add(self.global_load_bytes, Ordering::Relaxed);
+        }
+        if self.global_store_bytes > 0 {
+            into.global_store_bytes.fetch_add(self.global_store_bytes, Ordering::Relaxed);
+        }
+        if self.shared_bytes > 0 {
+            into.shared_bytes.fetch_add(self.shared_bytes, Ordering::Relaxed);
+        }
+        if self.flops > 0 {
+            into.flops.fetch_add(self.flops, Ordering::Relaxed);
+        }
+        if self.spill_load_bytes > 0 {
+            into.spill_load_bytes.fetch_add(self.spill_load_bytes, Ordering::Relaxed);
+        }
+        if self.spill_store_bytes > 0 {
+            into.spill_store_bytes.fetch_add(self.spill_store_bytes, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let c = Counters::new();
+        c.flops.fetch_add(100, Ordering::Relaxed);
+        c.global_load_bytes.fetch_add(800, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.flops, 100);
+        assert_eq!(s.global_bytes(), 800);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn arithmetic_intensity_basic() {
+        let s = CounterSnapshot {
+            flops: 500,
+            global_load_bytes: 80,
+            global_store_bytes: 20,
+            ..Default::default()
+        };
+        assert_eq!(s.arithmetic_intensity(), 5.0);
+    }
+
+    #[test]
+    fn zero_traffic_gives_zero_ai() {
+        let s = CounterSnapshot { flops: 10, ..Default::default() };
+        assert_eq!(s.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn delta_since() {
+        let a = CounterSnapshot { flops: 100, global_load_bytes: 10, ..Default::default() };
+        let b = CounterSnapshot { flops: 350, global_load_bytes: 25, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.flops, 250);
+        assert_eq!(d.global_load_bytes, 15);
+    }
+
+    #[test]
+    fn local_counters_flush() {
+        let c = Counters::new();
+        let l = LocalCounters { flops: 42, shared_bytes: 8, ..Default::default() };
+        l.flush(&c);
+        l.flush(&c);
+        let s = c.snapshot();
+        assert_eq!(s.flops, 84);
+        assert_eq!(s.shared_bytes, 16);
+    }
+}

@@ -1,0 +1,304 @@
+//! The simulated device and its kernel-launch machinery.
+
+use crate::buffer::DeviceBuffer;
+use crate::counters::{Counters, LocalCounters};
+use crate::machine::MachineSpec;
+use crate::slice::UnsafeSlice;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static NEXT_DEVICE_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A simulated GPU.
+///
+/// Kernels are closures executed once per *block* over a worker pool sized
+/// like the machine's SM count (capped at host parallelism). The paper maps
+/// one octant (or one octant×dof pair) to one block; the solver kernels in
+/// `gw-core` do the same.
+pub struct Device {
+    spec: MachineSpec,
+    counters: Arc<Counters>,
+    id: usize,
+}
+
+/// Launch geometry: a 1D or 2D grid of blocks, CUDA-style.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchConfig {
+    /// Grid x dimension (e.g. number of octants `|E|`).
+    pub grid_x: usize,
+    /// Grid y dimension (e.g. degrees of freedom per point).
+    pub grid_y: usize,
+    /// Kernel name, for diagnostics.
+    pub name: &'static str,
+}
+
+impl LaunchConfig {
+    /// 1D grid.
+    pub fn grid1(n: usize, name: &'static str) -> Self {
+        Self { grid_x: n, grid_y: 1, name }
+    }
+
+    /// 2D grid `(|E|, dof)` — the paper's octant-to-patch geometry.
+    pub fn grid2(x: usize, y: usize, name: &'static str) -> Self {
+        Self { grid_x: x, grid_y: y, name }
+    }
+
+    pub fn total_blocks(&self) -> usize {
+        self.grid_x * self.grid_y
+    }
+}
+
+/// Per-block execution context handed to kernels.
+pub struct BlockCtx {
+    /// Block x index (`blockIdx.x`).
+    pub bx: usize,
+    /// Block y index (`blockIdx.y`).
+    pub by: usize,
+    local: LocalCounters,
+}
+
+impl BlockCtx {
+    /// Allocate block shared memory (zero-initialized). Metered as one
+    /// store + one load per byte over the block's lifetime, matching the
+    /// staging pattern (global→shared, compute, shared→global) of the
+    /// paper's kernels.
+    pub fn shared_alloc(&mut self, n: usize) -> Vec<f64> {
+        self.local.shared_bytes += (n * 8) as u64;
+        vec![0.0; n]
+    }
+
+    /// Meter a global-memory read of `n` f64 values.
+    #[inline]
+    pub fn global_load(&mut self, n: usize) {
+        self.local.global_load_bytes += (n * 8) as u64;
+    }
+
+    /// Meter a global-memory write of `n` f64 values.
+    #[inline]
+    pub fn global_store(&mut self, n: usize) {
+        self.local.global_store_bytes += (n * 8) as u64;
+    }
+
+    /// Meter shared-memory traffic of `n` f64 values.
+    #[inline]
+    pub fn shared_traffic(&mut self, n: usize) {
+        self.local.shared_bytes += (n * 8) as u64;
+    }
+
+    /// Meter `n` double-precision flops.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.local.flops += n;
+    }
+
+    /// Meter register-spill traffic (bytes), as `ptxas` would report.
+    #[inline]
+    pub fn spill(&mut self, load_bytes: u64, store_bytes: u64) {
+        self.local.spill_load_bytes += load_bytes;
+        self.local.spill_store_bytes += store_bytes;
+    }
+}
+
+impl Device {
+    pub fn new(spec: MachineSpec) -> Self {
+        Self {
+            spec,
+            counters: Arc::new(Counters::new()),
+            id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    pub fn a100() -> Self {
+        Self::new(MachineSpec::a100())
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Allocate a zeroed device buffer.
+    pub fn alloc<T: Default + Clone>(&self, n: usize) -> DeviceBuffer<T> {
+        DeviceBuffer { data: vec![T::default(); n], device_id: self.id }
+    }
+
+    /// Copy host data to a new device buffer (metered).
+    pub fn htod<T: Copy>(&self, src: &[T]) -> DeviceBuffer<T> {
+        self.counters
+            .h2d_bytes
+            .fetch_add((src.len() * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
+        DeviceBuffer { data: src.to_vec(), device_id: self.id }
+    }
+
+    /// Copy host data into an existing device buffer (metered).
+    pub fn htod_into<T: Copy>(&self, src: &[T], dst: &mut DeviceBuffer<T>) {
+        assert_eq!(dst.device_id, self.id, "buffer belongs to another device");
+        assert_eq!(src.len(), dst.data.len(), "size mismatch");
+        self.counters
+            .h2d_bytes
+            .fetch_add((src.len() * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
+        dst.data.copy_from_slice(src);
+    }
+
+    /// Copy a device buffer back to the host (metered).
+    pub fn dtoh<T: Copy>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        assert_eq!(buf.device_id, self.id, "buffer belongs to another device");
+        self.counters
+            .d2h_bytes
+            .fetch_add((buf.data.len() * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
+        buf.data.clone()
+    }
+
+    /// Device-to-device copy within this device (unmetered on h2d/d2h;
+    /// kernels meter their own traffic).
+    pub fn d2d<T: Copy>(&self, src: &DeviceBuffer<T>, dst: &mut DeviceBuffer<T>) {
+        assert_eq!(src.device_id, self.id);
+        assert_eq!(dst.device_id, self.id);
+        assert_eq!(src.data.len(), dst.data.len());
+        dst.data.copy_from_slice(&src.data);
+    }
+
+    /// Read-only kernel view of a buffer.
+    ///
+    /// Host code must not use this to bypass [`Device::dtoh`]; it exists
+    /// for passing inputs into [`Device::launch`] closures.
+    pub fn kernel_view<'a, T>(&self, buf: &'a DeviceBuffer<T>) -> &'a [T] {
+        assert_eq!(buf.device_id, self.id, "buffer belongs to another device");
+        buf.as_slice()
+    }
+
+    /// Writable kernel view of a buffer, shareable across blocks.
+    pub fn kernel_view_mut<'a, T>(&self, buf: &'a mut DeviceBuffer<T>) -> UnsafeSlice<'a, T> {
+        assert_eq!(buf.device_id, self.id, "buffer belongs to another device");
+        UnsafeSlice::new(buf.as_mut_slice())
+    }
+
+    /// Launch a kernel: `body` runs once per block, in parallel over the
+    /// device's workers. Returns when all blocks complete (CUDA stream
+    /// semantics with an implicit sync; use [`crate::Stream`] for overlap).
+    pub fn launch<F>(&self, cfg: LaunchConfig, body: F)
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.counters.launches.fetch_add(1, Ordering::Relaxed);
+        let total = cfg.total_blocks();
+        if total == 0 {
+            return;
+        }
+        let workers = self.spec.host_workers().min(total);
+        let next = AtomicUsize::new(0);
+        let counters = &self.counters;
+        let body = &body;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= total {
+                        break;
+                    }
+                    let mut ctx = BlockCtx {
+                        bx: b % cfg.grid_x,
+                        by: b / cfg.grid_x,
+                        local: LocalCounters::default(),
+                    };
+                    body(&mut ctx);
+                    ctx.local.flush(counters);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn htod_dtoh_roundtrip_and_metering() {
+        let dev = Device::a100();
+        let host: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let buf = dev.htod(&host);
+        let back = dev.dtoh(&buf);
+        assert_eq!(host, back);
+        let s = dev.counters().snapshot();
+        assert_eq!(s.h2d_bytes, 8000);
+        assert_eq!(s.d2h_bytes, 8000);
+    }
+
+    #[test]
+    fn launch_runs_every_block_once() {
+        let dev = Device::a100();
+        let mut out = dev.alloc::<u64>(1000);
+        let view = dev.kernel_view_mut(&mut out);
+        dev.launch(LaunchConfig::grid1(1000, "mark"), |ctx| {
+            // Safety: each block writes only its own index.
+            unsafe { view.write(ctx.bx, ctx.bx as u64 + 1) };
+        });
+        let host = dev.dtoh(&out);
+        for (i, v) in host.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+        assert_eq!(dev.counters().snapshot().launches, 1);
+    }
+
+    #[test]
+    fn grid2_block_indices() {
+        let dev = Device::a100();
+        let (gx, gy) = (7, 5);
+        let mut out = dev.alloc::<u64>(gx * gy);
+        let view = dev.kernel_view_mut(&mut out);
+        dev.launch(LaunchConfig::grid2(gx, gy, "idx"), |ctx| unsafe {
+            view.write(ctx.by * gx + ctx.bx, 1);
+        });
+        let host = dev.dtoh(&out);
+        assert!(host.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn kernel_metering_aggregates_across_blocks() {
+        let dev = Device::a100();
+        dev.launch(LaunchConfig::grid1(64, "meter"), |ctx| {
+            ctx.global_load(10);
+            ctx.global_store(5);
+            ctx.flops(100);
+            let sm = ctx.shared_alloc(16);
+            assert_eq!(sm.len(), 16);
+        });
+        let s = dev.counters().snapshot();
+        assert_eq!(s.global_load_bytes, 64 * 80);
+        assert_eq!(s.global_store_bytes, 64 * 40);
+        assert_eq!(s.flops, 6400);
+        assert_eq!(s.shared_bytes, 64 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "another device")]
+    fn cross_device_access_rejected() {
+        let d1 = Device::a100();
+        let d2 = Device::a100();
+        let buf = d1.htod(&[1.0f64]);
+        let _ = d2.dtoh(&buf);
+    }
+
+    #[test]
+    fn empty_launch_is_noop() {
+        let dev = Device::a100();
+        dev.launch(LaunchConfig::grid1(0, "empty"), |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn d2d_copies() {
+        let dev = Device::a100();
+        let a = dev.htod(&[1.0f64, 2.0, 3.0]);
+        let mut b = dev.alloc::<f64>(3);
+        dev.d2d(&a, &mut b);
+        assert_eq!(dev.dtoh(&b), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Machine parameter sets for the performance models (section III-D).
+
+/// Hardware description used for execution (worker count) and for the
+/// slow/fast-memory performance model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    /// Time per double-precision flop, seconds (`τ_f`).
+    pub tau_f: f64,
+    /// Main-memory access time per byte, seconds (`τ_m`).
+    pub tau_m: f64,
+    /// L2 / last-level-cache capacity, bytes (`C_L`).
+    pub c_l: f64,
+    /// Register-file (fast memory) capacity across the chip, bytes (`C_R`).
+    pub c_r: f64,
+    /// Relative cost of a fast-memory access (`ℓ < 1`).
+    pub ell: f64,
+    /// Parallel execution units — SMs for a GPU, cores for a CPU.
+    pub workers: usize,
+}
+
+impl MachineSpec {
+    /// NVIDIA A100-40GB, the paper's GPU. `τ_f = 1.0e-13 s` (≈9.7 TF/s
+    /// FP64 with tensor cores counted as in the paper), `τ_m = 6.4e-13
+    /// s/byte` (≈1.56 TB/s HBM2), `C_L = 40 MB` L2, `C_R = 27 MB`
+    /// aggregate register file, `ℓ ≈ 1/4`, 108 SMs.
+    pub fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100",
+            tau_f: 1.0e-13,
+            tau_m: 6.4e-13,
+            c_l: 40.0e6,
+            c_r: 27.0e6,
+            ell: 0.25,
+            workers: 108,
+        }
+    }
+
+    /// One AMD EPYC 7763 socket (64 cores): ≈2.4 TF/s FP64 peak,
+    /// ≈200 GB/s per socket, 256 MB L3.
+    pub fn epyc_7763_socket() -> Self {
+        Self {
+            name: "AMD EPYC 7763 (1 socket)",
+            tau_f: 4.2e-13,
+            tau_m: 5.0e-12,
+            c_l: 256.0e6,
+            c_r: 16.0e3 * 64.0, // architectural registers, negligible
+            ell: 0.1,
+            workers: 64,
+        }
+    }
+
+    /// The paper's CPU comparison node: two EPYC 7763 sockets (128 cores).
+    pub fn epyc_7763_node() -> Self {
+        let s = Self::epyc_7763_socket();
+        Self {
+            name: "AMD EPYC 7763 (2 sockets)",
+            tau_f: s.tau_f / 2.0,
+            tau_m: s.tau_m / 2.0,
+            c_l: 2.0 * s.c_l,
+            c_r: 2.0 * s.c_r,
+            ell: s.ell,
+            workers: 128,
+        }
+    }
+
+    /// The machine-imbalance parameter `ξ = 1/C_L + ℓ/C_R` (section III-D).
+    pub fn xi(&self) -> f64 {
+        1.0 / self.c_l + self.ell / self.c_r
+    }
+
+    /// Ratio `τ_f/τ_m`; a kernel with arithmetic intensity below
+    /// `1/(τ_f/τ_m)` is bandwidth limited.
+    pub fn flop_byte_ratio(&self) -> f64 {
+        self.tau_f / self.tau_m
+    }
+
+    /// AI threshold below which flops are negligible (`Q < τ_m/τ_f`).
+    pub fn bandwidth_bound_ai(&self) -> f64 {
+        self.tau_m / self.tau_f
+    }
+
+    /// Peak double-precision throughput implied by `τ_f`, in GFlop/s.
+    pub fn peak_gflops(&self) -> f64 {
+        1.0e-9 / self.tau_f
+    }
+
+    /// Peak memory bandwidth implied by `τ_m`, in GB/s.
+    pub fn peak_bandwidth_gbs(&self) -> f64 {
+        1.0e-9 / self.tau_m
+    }
+
+    /// Actual worker threads to use on the current host (never more than
+    /// available parallelism; at least 1).
+    pub fn host_workers(&self) -> usize {
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.workers.min(avail).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_parameters_match_paper() {
+        let m = MachineSpec::a100();
+        // Paper: ξ ≈ 4e-8, τ_f/τ_m ≈ 0.16, bandwidth-bound below Q = 6.25.
+        assert!((m.xi() - 4.0e-8).abs() / 4.0e-8 < 0.25, "xi = {}", m.xi());
+        assert!((m.flop_byte_ratio() - 0.15625).abs() < 1e-6);
+        assert!((m.bandwidth_bound_ai() - 6.4).abs() < 0.2);
+        assert_eq!(m.workers, 108);
+    }
+
+    #[test]
+    fn a100_peaks() {
+        let m = MachineSpec::a100();
+        assert!((m.peak_gflops() - 10_000.0).abs() < 100.0);
+        assert!((m.peak_bandwidth_gbs() - 1562.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn node_is_twice_socket() {
+        let s = MachineSpec::epyc_7763_socket();
+        let n = MachineSpec::epyc_7763_node();
+        assert_eq!(n.workers, 2 * s.workers);
+        assert!((n.peak_gflops() - 2.0 * s.peak_gflops()).abs() < 1.0);
+    }
+
+    #[test]
+    fn gpu_vs_cpu_speed_ratio_in_paper_range() {
+        // A100 vs 2-socket EPYC: bandwidth ratio ~4x, flops ratio ~4x; the
+        // paper's observed end-to-end gap is 2.5x. Sanity-check the specs
+        // put the hardware ratio in the 2-8x band.
+        let g = MachineSpec::a100();
+        let c = MachineSpec::epyc_7763_node();
+        let bw = g.peak_bandwidth_gbs() / c.peak_bandwidth_gbs();
+        assert!(bw > 2.0 && bw < 8.0, "bw ratio {bw}");
+    }
+
+    #[test]
+    fn host_workers_bounded() {
+        let m = MachineSpec::a100();
+        let w = m.host_workers();
+        assert!(w >= 1 && w <= 108);
+    }
+}

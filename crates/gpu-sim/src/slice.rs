@@ -1,0 +1,129 @@
+//! Shared mutable slice for block-parallel kernels.
+//!
+//! CUDA kernels hand every thread block a raw pointer into global memory and
+//! trust the kernel author to write disjoint regions. [`UnsafeSlice`] is the
+//! same contract: blocks executing in parallel may write through it, and the
+//! *kernel* (not this type) guarantees disjointness. All the solver kernels
+//! uphold it structurally — e.g. in octant-to-patch each (octant, target
+//! patch, padding region) triple is written by exactly one block.
+
+use std::cell::UnsafeCell;
+
+/// A `&mut [T]` that can be shared across the threads of one kernel launch.
+pub struct UnsafeSlice<'a, T> {
+    slice: &'a [UnsafeCell<T>],
+}
+
+// Safety: access discipline is delegated to kernel authors (see module
+// docs); the type itself only hands out raw element accesses.
+unsafe impl<T: Send + Sync> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wrap a mutable slice for the duration of a launch.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        // Safety: UnsafeCell<T> has the same layout as T.
+        Self { slice: unsafe { &*ptr } }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+
+    /// Write one element.
+    ///
+    /// # Safety
+    /// No other thread may concurrently access index `i`.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        *self.slice[i].get() = value;
+    }
+
+    /// Read one element.
+    ///
+    /// # Safety
+    /// No other thread may concurrently *write* index `i`.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        *self.slice[i].get()
+    }
+
+    /// Get a mutable sub-slice.
+    ///
+    /// # Safety
+    /// The range must not be concurrently accessed by any other thread.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(start + len <= self.slice.len(), "slice_mut out of bounds");
+        std::slice::from_raw_parts_mut(self.slice[start].get(), len)
+    }
+
+    /// Get a shared sub-slice.
+    ///
+    /// # Safety
+    /// The range must not be concurrently written by any other thread.
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &[T] {
+        assert!(start + len <= self.slice.len(), "slice out of bounds");
+        std::slice::from_raw_parts(self.slice[start].get(), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0u64; 1024];
+        {
+            let s = UnsafeSlice::new(&mut data);
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        for i in (t * 256)..((t + 1) * 256) {
+                            // Safety: each thread owns a disjoint quarter.
+                            unsafe { s.write(i, i as u64) };
+                        }
+                    });
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn subslice_views() {
+        let mut data = vec![1.0f64; 16];
+        let s = UnsafeSlice::new(&mut data);
+        unsafe {
+            let sub = s.slice_mut(4, 4);
+            for v in sub.iter_mut() {
+                *v = 2.0;
+            }
+            assert_eq!(s.slice(0, 4), &[1.0; 4]);
+            assert_eq!(s.slice(4, 4), &[2.0; 4]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_subslice_panics() {
+        let mut data = vec![0f64; 8];
+        let s = UnsafeSlice::new(&mut data);
+        unsafe {
+            let _ = s.slice(4, 8);
+        }
+    }
+}

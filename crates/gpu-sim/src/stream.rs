@@ -1,0 +1,143 @@
+//! Asynchronous streams.
+//!
+//! The paper's evolution loop extracts gravitational waves on an
+//! asynchronous stream every ~16 timesteps while the main stream keeps
+//! integrating (section IV, Algorithm 1 discussion). [`Stream`] provides
+//! the minimal ordered-queue semantics needed for that overlap: work items
+//! enqueue in order, run on a dedicated thread, and `synchronize` blocks
+//! until the queue drains.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// An ordered asynchronous work queue (one per stream, CUDA-style).
+pub struct Stream {
+    tx: Option<Sender<Job>>,
+    pending: Arc<AtomicUsize>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Default for Stream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stream {
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let pending = Arc::new(AtomicUsize::new(0));
+        let p = Arc::clone(&pending);
+        let worker = std::thread::spawn(move || {
+            for job in rx {
+                job();
+                p.fetch_sub(1, Ordering::Release);
+            }
+        });
+        Self { tx: Some(tx), pending, worker: Some(worker) }
+    }
+
+    /// Enqueue work; returns immediately. Items on one stream execute in
+    /// submission order.
+    pub fn enqueue<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.pending.fetch_add(1, Ordering::Acquire);
+        self.tx
+            .as_ref()
+            .expect("stream is live")
+            .send(Box::new(f))
+            .expect("stream worker alive");
+    }
+
+    /// Number of not-yet-finished items.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Block until every enqueued item has finished.
+    pub fn synchronize(&self) {
+        while self.pending() > 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for Stream {
+    fn drop(&mut self) {
+        self.synchronize();
+        drop(self.tx.take());
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn preserves_submission_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let s = Stream::new();
+        for i in 0..100 {
+            let o = Arc::clone(&order);
+            s.enqueue(move || o.lock().unwrap().push(i));
+        }
+        s.synchronize();
+        let got = order.lock().unwrap().clone();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn synchronize_waits_for_work() {
+        let s = Stream::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let d = Arc::clone(&done);
+            s.enqueue(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                d.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        s.synchronize();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let s = Stream::new();
+            for _ in 0..16 {
+                let d = Arc::clone(&done);
+                s.enqueue(move || {
+                    d.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn overlap_with_host_work() {
+        // Enqueue slow work, do host work meanwhile, then sync.
+        let s = Stream::new();
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&flag);
+        s.enqueue(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            f.store(1, Ordering::SeqCst);
+        });
+        // Host-side work proceeds without blocking.
+        let host_result: u64 = (0..1000u64).sum();
+        assert_eq!(host_result, 499500);
+        s.synchronize();
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+}

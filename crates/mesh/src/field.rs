@@ -1,0 +1,188 @@
+//! Block storage for octant fields.
+
+use gw_stencil::patch::{BLOCK_VOLUME, PATCH_VOLUME};
+
+/// A multi-dof field over the octants of a mesh: `dof × n_oct` blocks of
+/// `r^3 = 343` points, laid out variable-major (`[var][octant][point]`) so
+/// per-variable kernels stream contiguously — the access pattern of the
+/// paper's octant-to-patch kernel grid `(|E|, dof)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    pub dof: usize,
+    pub n_oct: usize,
+    data: Vec<f64>,
+}
+
+impl Field {
+    pub fn zeros(dof: usize, n_oct: usize) -> Self {
+        Self { dof, n_oct, data: vec![0.0; dof * n_oct * BLOCK_VOLUME] }
+    }
+
+    /// Total scalar unknowns (counting duplicated boundary points).
+    pub fn unknowns(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn block(&self, var: usize, oct: usize) -> &[f64] {
+        let s = (var * self.n_oct + oct) * BLOCK_VOLUME;
+        &self.data[s..s + BLOCK_VOLUME]
+    }
+
+    #[inline]
+    pub fn block_mut(&mut self, var: usize, oct: usize) -> &mut [f64] {
+        let s = (var * self.n_oct + oct) * BLOCK_VOLUME;
+        &mut self.data[s..s + BLOCK_VOLUME]
+    }
+
+    /// Raw storage (e.g. for host↔device transfers).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    pub fn from_vec(dof: usize, n_oct: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), dof * n_oct * BLOCK_VOLUME);
+        Self { dof, n_oct, data }
+    }
+
+    /// `self += a * other` (the RK AXPY update).
+    pub fn axpy(&mut self, a: f64, other: &Field) {
+        assert_eq!(self.data.len(), other.data.len());
+        for (x, y) in self.data.iter_mut().zip(other.data.iter()) {
+            *x += a * y;
+        }
+    }
+
+    /// `self = base + a * slope` (RK stage formation).
+    pub fn assign_axpy(&mut self, base: &Field, a: f64, slope: &Field) {
+        assert_eq!(self.data.len(), base.data.len());
+        assert_eq!(self.data.len(), slope.data.len());
+        for ((x, b), s) in self.data.iter_mut().zip(base.data.iter()).zip(slope.data.iter()) {
+            *x = b + a * s;
+        }
+    }
+
+    /// Max-norm over one variable.
+    pub fn linf(&self, var: usize) -> f64 {
+        let s = var * self.n_oct * BLOCK_VOLUME;
+        self.data[s..s + self.n_oct * BLOCK_VOLUME]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Max-norm over everything.
+    pub fn linf_all(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    }
+
+    /// RMS over one variable.
+    pub fn rms(&self, var: usize) -> f64 {
+        let s = var * self.n_oct * BLOCK_VOLUME;
+        let sl = &self.data[s..s + self.n_oct * BLOCK_VOLUME];
+        (sl.iter().map(|v| v * v).sum::<f64>() / sl.len() as f64).sqrt()
+    }
+}
+
+/// Padded-patch storage: `dof × n_oct` patches of `(r+2k)^3 = 2197`
+/// points — the "unzip" vector the octant-to-patch kernel fills.
+#[derive(Clone, Debug)]
+pub struct PatchField {
+    pub dof: usize,
+    pub n_oct: usize,
+    data: Vec<f64>,
+}
+
+impl PatchField {
+    pub fn zeros(dof: usize, n_oct: usize) -> Self {
+        Self { dof, n_oct, data: vec![0.0; dof * n_oct * PATCH_VOLUME] }
+    }
+
+    #[inline]
+    pub fn patch(&self, var: usize, oct: usize) -> &[f64] {
+        let s = (var * self.n_oct + oct) * PATCH_VOLUME;
+        &self.data[s..s + PATCH_VOLUME]
+    }
+
+    #[inline]
+    pub fn patch_mut(&mut self, var: usize, oct: usize) -> &mut [f64] {
+        let s = (var * self.n_oct + oct) * PATCH_VOLUME;
+        &mut self.data[s..s + PATCH_VOLUME]
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Flat offset of a patch, for kernels working on raw buffers.
+    #[inline]
+    pub fn patch_offset(&self, var: usize, oct: usize) -> usize {
+        (var * self.n_oct + oct) * PATCH_VOLUME
+    }
+
+    /// Fill everything with a sentinel (tests use NaN to prove that every
+    /// padding point belonging to the domain interior gets written).
+    pub fn fill(&mut self, v: f64) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_block_addressing_is_disjoint() {
+        let mut f = Field::zeros(3, 5);
+        for var in 0..3 {
+            for oct in 0..5 {
+                f.block_mut(var, oct)[0] = (var * 10 + oct) as f64;
+            }
+        }
+        for var in 0..3 {
+            for oct in 0..5 {
+                assert_eq!(f.block(var, oct)[0], (var * 10 + oct) as f64);
+            }
+        }
+        assert_eq!(f.unknowns(), 3 * 5 * 343);
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let mut a = Field::zeros(1, 1);
+        let mut b = Field::zeros(1, 1);
+        a.block_mut(0, 0).iter_mut().for_each(|v| *v = 2.0);
+        b.block_mut(0, 0).iter_mut().for_each(|v| *v = 3.0);
+        a.axpy(0.5, &b);
+        assert!(a.block(0, 0).iter().all(|&v| (v - 3.5).abs() < 1e-15));
+        let mut c = Field::zeros(1, 1);
+        c.assign_axpy(&a, 2.0, &b);
+        assert!(c.block(0, 0).iter().all(|&v| (v - 9.5).abs() < 1e-15));
+    }
+
+    #[test]
+    fn norms() {
+        let mut f = Field::zeros(2, 1);
+        f.block_mut(1, 0)[7] = -4.0;
+        assert_eq!(f.linf(0), 0.0);
+        assert_eq!(f.linf(1), 4.0);
+        assert_eq!(f.linf_all(), 4.0);
+        assert!(f.rms(1) > 0.0 && f.rms(1) < 4.0);
+    }
+
+    #[test]
+    fn patch_field_addressing() {
+        let mut p = PatchField::zeros(2, 3);
+        p.patch_mut(1, 2)[100] = 9.0;
+        assert_eq!(p.patch(1, 2)[100], 9.0);
+        assert_eq!(p.patch(0, 2)[100], 0.0);
+        assert_eq!(p.patch_offset(1, 2), (1 * 3 + 2) * 2197);
+    }
+}

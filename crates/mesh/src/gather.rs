@@ -1,0 +1,116 @@
+//! Loop-over-patches octant-to-patch — the Dendro-GR baseline (Fig. 7).
+//!
+//! Each destination patch *pulls* its padding from neighbor octants. The
+//! result is identical to the scatter variant; the cost is not: a coarse
+//! octant adjacent to several finer patches is re-interpolated once per
+//! target (redundant interpolations), and reads hop between source octants
+//! (poor locality) — the two deficiencies section IV-A calls out, worth
+//! ~3× on a single core in the paper.
+
+use crate::field::{Field, PatchField};
+use crate::grid::{Mesh, ScatterKind};
+use crate::scatter::apply_scatter_op;
+use gw_stencil::interp::{ProlongWorkspace, Prolongation, FINE_SIDE};
+
+/// Octant-to-patch via loop-over-patches. Returns interpolation flops —
+/// compare with [`crate::scatter::fill_patches_scatter`]'s count to see
+/// the redundancy factor.
+pub fn fill_patches_gather(mesh: &Mesh, field: &Field, patches: &mut PatchField) -> u64 {
+    let prolong = Prolongation::new();
+    let mut ws = ProlongWorkspace::new();
+    let mut fine13 = vec![0.0f64; FINE_SIDE * FINE_SIDE * FINE_SIDE];
+    let mut flops = 0u64;
+    for var in 0..field.dof {
+        for b in 0..mesh.n_octants() {
+            // Own interior first.
+            gw_stencil::patch::octant_to_patch_interior(
+                field.block(var, b),
+                patches.patch_mut(var, b),
+            );
+            // Pull each incoming contribution; re-interpolate per op —
+            // the gather has no way to share a source's prolongation
+            // across destinations.
+            for op in mesh.gather_of(b) {
+                let src = field.block(var, op.src as usize);
+                if op.kind == ScatterKind::Prolong {
+                    flops += prolong.prolong3d_ws(src, &mut fine13, &mut ws);
+                }
+                let dst = patches.patch_mut(var, op.dst as usize);
+                apply_scatter_op(op, src, &fine13, dst);
+            }
+        }
+    }
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Mesh;
+    use crate::scatter::fill_patches_scatter;
+    use gw_octree::{balance_octree, complete_octree, BalanceMode, Domain, MortonKey};
+    use gw_stencil::patch::PatchLayout;
+
+    fn adaptive_mesh() -> Mesh {
+        let c0 = MortonKey::root().children()[0];
+        let fine: Vec<MortonKey> = c0.children()[7].children().to_vec();
+        let t = complete_octree(fine);
+        let t = balance_octree(&t, BalanceMode::Full);
+        Mesh::build(Domain::unit(), &t)
+    }
+
+    fn test_field(mesh: &Mesh) -> Field {
+        let mut f = Field::zeros(2, mesh.n_octants());
+        for var in 0..2 {
+            for oct in 0..mesh.n_octants() {
+                let l = PatchLayout::octant();
+                let vals: Vec<f64> = l
+                    .iter()
+                    .map(|(i, j, k)| {
+                        let p = mesh.point_coords(oct, i, j, k);
+                        (1.0 + var as f64) * (p[0] + 2.0 * p[1] * p[2]) + p[0] * p[0]
+                    })
+                    .collect();
+                f.block_mut(var, oct).copy_from_slice(&vals);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn gather_equals_scatter() {
+        let mesh = adaptive_mesh();
+        let f = test_field(&mesh);
+        let mut pg = PatchField::zeros(2, mesh.n_octants());
+        let mut ps = PatchField::zeros(2, mesh.n_octants());
+        pg.fill(f64::NAN);
+        ps.fill(f64::NAN);
+        fill_patches_gather(&mesh, &f, &mut pg);
+        fill_patches_scatter(&mesh, &f, &mut ps);
+        for var in 0..2 {
+            for oct in 0..mesh.n_octants() {
+                for (a, b) in pg.patch(var, oct).iter().zip(ps.patch(var, oct).iter()) {
+                    match (a.is_nan(), b.is_nan()) {
+                        (true, true) => {}
+                        (false, false) => assert_eq!(a, b),
+                        _ => panic!("coverage mismatch between gather and scatter"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_does_redundant_interpolations() {
+        let mesh = adaptive_mesh();
+        let f = test_field(&mesh);
+        let mut pg = PatchField::zeros(2, mesh.n_octants());
+        let mut ps = PatchField::zeros(2, mesh.n_octants());
+        let flops_gather = fill_patches_gather(&mesh, &f, &mut pg);
+        let flops_scatter = fill_patches_scatter(&mesh, &f, &mut ps);
+        assert!(
+            flops_gather > flops_scatter,
+            "gather {flops_gather} must re-interpolate more than scatter {flops_scatter}"
+        );
+    }
+}

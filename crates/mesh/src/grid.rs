@@ -1,0 +1,446 @@
+//! The computational mesh: octant geometry plus precomputed kernel maps.
+
+use gw_octree::{Domain, MortonKey, NeighborDirection, NeighborLevel, NeighborQuery};
+use gw_stencil::patch::POINTS_PER_SIDE;
+
+/// How a scatter source relates to its destination patch (the three cases
+/// of Algorithm 2, guaranteed exhaustive by the 2:1 balance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScatterKind {
+    /// Source and destination at the same level: direct copy.
+    Same,
+    /// Source finer than destination: injection (copy of coincident
+    /// points).
+    Inject,
+    /// Source coarser than destination: tensor-product interpolation of
+    /// the source block, then copy of covered points.
+    Prolong,
+}
+
+/// One entry of the `O2P` map: octant `src` contributes to the padding
+/// region `delta` of octant `dst`'s patch.
+///
+/// `off` is the per-axis origin offset `(dst_origin − src_origin)` measured
+/// in the *working spacing* of the operation: the source spacing for
+/// `Same`/`Inject`, the destination spacing for `Prolong`. All index
+/// arithmetic in the scatter kernels derives from `delta` and `off` alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScatterOp {
+    pub src: u32,
+    pub dst: u32,
+    /// Direction of the padding region in the destination patch
+    /// (= direction from dst towards src), components in `{-1,0,1}`.
+    pub delta: [i8; 3],
+    pub kind: ScatterKind,
+    /// See type-level docs.
+    pub off: [i32; 3],
+    /// For `Inject`: whether this source owns the `i_src == 6` plane along
+    /// each axis (true when no sibling source sits at `off + 6`, so the
+    /// boundary point has a unique writer). Unused by other kinds.
+    pub inc6: [bool; 3],
+}
+
+/// A fine→coarse interface synchronization copy: one coincident point,
+/// fully resolved at grid construction and deduplicated (a coarse corner
+/// point touched by several fine octants gets exactly one writer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncCopy {
+    pub src_oct: u32,
+    pub src_idx: u32,
+    pub dst_oct: u32,
+    pub dst_idx: u32,
+}
+
+/// Geometry of one octant.
+#[derive(Clone, Copy, Debug)]
+pub struct OctInfo {
+    pub key: MortonKey,
+    pub level: u8,
+    /// Physical origin (anchor corner).
+    pub origin: [f64; 3],
+    /// Grid spacing `h = size / (r − 1)`.
+    pub h: f64,
+}
+
+/// The computational mesh: sorted balanced leaves plus the maps driving
+/// the padding, RHS and synchronization kernels.
+pub struct Mesh {
+    pub domain: Domain,
+    pub octants: Vec<OctInfo>,
+    /// Flattened `O2P` scatter map grouped by source octant.
+    pub scatter: Vec<ScatterOp>,
+    /// `scatter_offsets[e]..scatter_offsets[e+1]` = ops with `src == e`.
+    pub scatter_offsets: Vec<usize>,
+    /// Padding regions on the physical domain boundary: `(oct, delta)`.
+    pub boundary_regions: Vec<(u32, [i8; 3])>,
+    /// Fine→coarse point synchronization copies (deduplicated).
+    pub syncs: Vec<SyncCopy>,
+    /// For the gather (loop-over-patches) variant: per destination octant,
+    /// the list of incoming ops (same content as `scatter`, regrouped).
+    pub gather_offsets: Vec<usize>,
+    pub gather: Vec<ScatterOp>,
+}
+
+impl Mesh {
+    /// Build a mesh from a 2:1-balanced complete linear octree.
+    pub fn build(domain: Domain, leaves: &[MortonKey]) -> Mesh {
+        let n = leaves.len();
+        let octants: Vec<OctInfo> = leaves
+            .iter()
+            .map(|k| OctInfo {
+                key: *k,
+                level: k.level(),
+                origin: domain.octant_origin(k),
+                h: domain.grid_spacing(k.level(), POINTS_PER_SIDE),
+            })
+            .collect();
+        let index_of = |k: &MortonKey| leaves.binary_search(k).expect("leaf") as u32;
+        let q = NeighborQuery::new(leaves);
+
+        let mut per_src: Vec<Vec<ScatterOp>> = vec![Vec::new(); n];
+        let mut boundary_regions = Vec::new();
+        // (dst_oct, dst_idx) -> (src_oct, src_idx); later writers replace
+        // earlier ones (all writers hold the same value up to round-off;
+        // dedup makes the parallel sync kernel race-free).
+        let mut sync_map: std::collections::HashMap<(u32, u32), (u32, u32)> =
+            std::collections::HashMap::new();
+        let r = POINTS_PER_SIDE;
+        let layout = |i: i32, j: i32, k: i32| -> u32 {
+            ((k as usize * r + j as usize) * r + i as usize) as u32
+        };
+
+        // Per-axis offset (a_origin − b_origin) in units of `h`, from
+        // physical coordinates (octant lattice sides are powers of two and
+        // not divisible by the 6 point intervals, so lattice arithmetic
+        // would be fractional).
+        let off_in = |a: &OctInfo, b: &OctInfo, h: f64| -> [i32; 3] {
+            let mut o = [0i32; 3];
+            for (ax, oo) in o.iter_mut().enumerate() {
+                *oo = ((a.origin[ax] - b.origin[ax]) / h).round() as i32;
+            }
+            o
+        };
+
+        for (bi, b) in leaves.iter().enumerate() {
+            for dir in NeighborDirection::all() {
+                let delta = dir.0;
+                match q.neighbor(b, dir) {
+                    NeighborLevel::Boundary => {
+                        boundary_regions.push((bi as u32, delta));
+                    }
+                    NeighborLevel::Same(e) => {
+                        per_src[index_of(&e) as usize].push(ScatterOp {
+                            src: index_of(&e),
+                            dst: bi as u32,
+                            delta,
+                            kind: ScatterKind::Same,
+                            // Same-level: index math uses only delta; off
+                            // recorded for completeness ((dst−src) in src
+                            // point units: −6δ).
+                            off: [
+                                -6 * delta[0] as i32,
+                                -6 * delta[1] as i32,
+                                -6 * delta[2] as i32,
+                            ],
+                            inc6: [true; 3],
+                        });
+                    }
+                    NeighborLevel::Coarser(e) => {
+                        // Source coarser: offset (dst − src) in dst (fine)
+                        // spacing units.
+                        let ei = index_of(&e);
+                        let h_b = octants[bi].h;
+                        let off = off_in(&octants[bi], &octants[ei as usize], h_b);
+                        per_src[ei as usize].push(ScatterOp {
+                            src: ei,
+                            dst: bi as u32,
+                            delta,
+                            kind: ScatterKind::Prolong,
+                            off,
+                            inc6: [true; 3],
+                        });
+                    }
+                    NeighborLevel::Finer(fs) => {
+                        // All sibling offsets for this (dst, delta) group,
+                        // to resolve boundary-plane ownership.
+                        let offs: Vec<[i32; 3]> = fs
+                            .iter()
+                            .map(|e| {
+                                let ei = index_of(e) as usize;
+                                off_in(&octants[ei], &octants[bi], octants[ei].h)
+                            })
+                            .collect();
+                        for (e, off) in fs.iter().zip(offs.iter()) {
+                            let ei = index_of(e);
+                            let off = *off;
+                            // Own the i_src == 6 plane along axis a iff no
+                            // sibling source sits at off[a] + 6 (with the
+                            // other axes equal).
+                            let mut inc6 = [true; 3];
+                            for a in 0..3 {
+                                let mut shifted = off;
+                                shifted[a] += 6;
+                                if offs.contains(&shifted) {
+                                    inc6[a] = false;
+                                }
+                            }
+                            per_src[ei as usize].push(ScatterOp {
+                                src: ei,
+                                dst: bi as u32,
+                                delta,
+                                kind: ScatterKind::Inject,
+                                off,
+                                inc6,
+                            });
+                            // Interface sync: fine src overwrites the
+                            // coincident own points of the coarse dst.
+                            // Coarse point m coincides with fine index
+                            // i_e = 2m − off when 0 ≤ i_e ≤ 6.
+                            for mz in 0..r as i32 {
+                                let ez = 2 * mz - off[2];
+                                if !(0..=6).contains(&ez) {
+                                    continue;
+                                }
+                                for my in 0..r as i32 {
+                                    let ey = 2 * my - off[1];
+                                    if !(0..=6).contains(&ey) {
+                                        continue;
+                                    }
+                                    for mx in 0..r as i32 {
+                                        let ex = 2 * mx - off[0];
+                                        if !(0..=6).contains(&ex) {
+                                            continue;
+                                        }
+                                        sync_map.insert(
+                                            (bi as u32, layout(mx, my, mz)),
+                                            (ei, layout(ex, ey, ez)),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut syncs: Vec<SyncCopy> = sync_map
+            .into_iter()
+            .map(|((dst_oct, dst_idx), (src_oct, src_idx))| SyncCopy {
+                src_oct,
+                src_idx,
+                dst_oct,
+                dst_idx,
+            })
+            .collect();
+        syncs.sort_by_key(|c| (c.dst_oct, c.dst_idx));
+
+        // Flatten by source.
+        let mut scatter = Vec::with_capacity(per_src.iter().map(|v| v.len()).sum());
+        let mut scatter_offsets = Vec::with_capacity(n + 1);
+        scatter_offsets.push(0);
+        for ops in &per_src {
+            scatter.extend_from_slice(ops);
+            scatter_offsets.push(scatter.len());
+        }
+        // Regroup by destination for the gather variant.
+        let mut per_dst: Vec<Vec<ScatterOp>> = vec![Vec::new(); n];
+        for op in &scatter {
+            per_dst[op.dst as usize].push(*op);
+        }
+        let mut gather = Vec::with_capacity(scatter.len());
+        let mut gather_offsets = Vec::with_capacity(n + 1);
+        gather_offsets.push(0);
+        for ops in &per_dst {
+            gather.extend_from_slice(ops);
+            gather_offsets.push(gather.len());
+        }
+
+        Mesh {
+            domain,
+            octants,
+            scatter,
+            scatter_offsets,
+            boundary_regions,
+            syncs,
+            gather_offsets,
+            gather,
+        }
+    }
+
+    pub fn n_octants(&self) -> usize {
+        self.octants.len()
+    }
+
+    /// Total grid points (with our duplicated-boundary storage).
+    pub fn n_points(&self) -> usize {
+        self.n_octants() * POINTS_PER_SIDE.pow(3)
+    }
+
+    /// Unknown count for a `dof`-variable system (the paper's "unknowns").
+    pub fn unknowns(&self, dof: usize) -> usize {
+        self.n_points() * dof
+    }
+
+    /// Physical coordinates of a local grid point.
+    #[inline]
+    pub fn point_coords(&self, oct: usize, i: usize, j: usize, k: usize) -> [f64; 3] {
+        let info = &self.octants[oct];
+        [
+            info.origin[0] + i as f64 * info.h,
+            info.origin[1] + j as f64 * info.h,
+            info.origin[2] + k as f64 * info.h,
+        ]
+    }
+
+    /// Scatter ops originating from octant `e`.
+    pub fn scatter_of(&self, e: usize) -> &[ScatterOp] {
+        &self.scatter[self.scatter_offsets[e]..self.scatter_offsets[e + 1]]
+    }
+
+    /// Scatter ops targeting octant `b` (gather view).
+    pub fn gather_of(&self, b: usize) -> &[ScatterOp] {
+        &self.gather[self.gather_offsets[b]..self.gather_offsets[b + 1]]
+    }
+
+    /// A simple adaptivity measure: fraction of scatter ops that need
+    /// interpolation or injection (0 on a uniform grid). Higher values ↔
+    /// the `m_1`-like highly adaptive grids of Table III.
+    pub fn adaptivity_ratio(&self) -> f64 {
+        if self.scatter.is_empty() {
+            return 0.0;
+        }
+        let nonuniform =
+            self.scatter.iter().filter(|o| o.kind != ScatterKind::Same).count();
+        nonuniform as f64 / self.scatter.len() as f64
+    }
+
+    /// The octant (index) containing a physical point, if any.
+    pub fn locate(&self, p: [f64; 3]) -> Option<usize> {
+        // Binary search on the deepest key containing p.
+        let probe = self.domain.locate(p, gw_octree::MAX_LEVEL);
+        let keys: Vec<MortonKey> = self.octants.iter().map(|o| o.key).collect();
+        let idx = match keys.binary_search(&probe) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        keys[idx].contains(&probe).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_octree::{balance_octree, complete_octree, BalanceMode, MortonKey};
+
+    fn uniform_mesh(level: u8) -> Mesh {
+        let mut leaves = vec![MortonKey::root()];
+        for _ in 0..level {
+            leaves = leaves.iter().flat_map(|k| k.children()).collect();
+        }
+        leaves.sort();
+        Mesh::build(Domain::unit(), &leaves)
+    }
+
+    fn adaptive_mesh() -> Mesh {
+        let c0 = MortonKey::root().children()[0];
+        let fine: Vec<MortonKey> = c0.children()[7].children().to_vec();
+        let t = complete_octree(fine);
+        let t = balance_octree(&t, BalanceMode::Full);
+        Mesh::build(Domain::unit(), &t)
+    }
+
+    #[test]
+    fn uniform_mesh_all_same_scatter() {
+        let m = uniform_mesh(2);
+        assert_eq!(m.n_octants(), 64);
+        assert!(m.scatter.iter().all(|o| o.kind == ScatterKind::Same));
+        assert_eq!(m.adaptivity_ratio(), 0.0);
+        // Interior octant has 26 incoming ops; corner octant has 7.
+        let counts: Vec<usize> = (0..64).map(|b| m.gather_of(b).len()).collect();
+        assert!(counts.iter().any(|&c| c == 26));
+        assert!(counts.iter().any(|&c| c == 7));
+    }
+
+    #[test]
+    fn boundary_regions_present_on_domain_faces() {
+        let m = uniform_mesh(1);
+        // 8 octants, each with 26 directions; every octant is at a corner
+        // of the domain: 26−7 = 19 boundary regions each.
+        assert_eq!(m.boundary_regions.len(), 8 * 19);
+    }
+
+    #[test]
+    fn adaptive_mesh_has_all_three_kinds() {
+        let m = adaptive_mesh();
+        let kinds: std::collections::HashSet<ScatterKind> =
+            m.scatter.iter().map(|o| o.kind).collect();
+        assert!(kinds.contains(&ScatterKind::Same));
+        assert!(kinds.contains(&ScatterKind::Inject));
+        assert!(kinds.contains(&ScatterKind::Prolong));
+        assert!(m.adaptivity_ratio() > 0.0);
+        assert!(!m.syncs.is_empty());
+    }
+
+    #[test]
+    fn scatter_and_gather_hold_identical_ops() {
+        let m = adaptive_mesh();
+        let mut a = m.scatter.clone();
+        let mut b = m.gather.clone();
+        let key = |o: &ScatterOp| (o.src, o.dst, o.delta, o.off);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_nonboundary_region_has_a_source() {
+        // For every octant and direction: either a boundary region or at
+        // least one incoming scatter op with that delta.
+        let m = adaptive_mesh();
+        let boundary: std::collections::HashSet<(u32, [i8; 3])> =
+            m.boundary_regions.iter().copied().collect();
+        for b in 0..m.n_octants() {
+            for dir in NeighborDirection::all() {
+                if boundary.contains(&(b as u32, dir.0)) {
+                    continue;
+                }
+                let found = m.gather_of(b).iter().any(|o| o.delta == dir.0);
+                assert!(found, "octant {b} dir {:?} has no source", dir.0);
+            }
+        }
+    }
+
+    #[test]
+    fn point_coords_and_locate_agree() {
+        let m = adaptive_mesh();
+        for oct in [0usize, m.n_octants() / 2, m.n_octants() - 1] {
+            let p = m.point_coords(oct, 3, 3, 3); // octant center
+            assert_eq!(m.locate(p), Some(oct));
+        }
+    }
+
+    #[test]
+    fn spacing_halves_per_level() {
+        let m = adaptive_mesh();
+        let by_level: std::collections::HashMap<u8, f64> =
+            m.octants.iter().map(|o| (o.level, o.h)).collect();
+        let levels: Vec<u8> = {
+            let mut v: Vec<u8> = by_level.keys().copied().collect();
+            v.sort();
+            v
+        };
+        for w in levels.windows(2) {
+            let ratio = by_level[&w[0]] / by_level[&w[1]];
+            assert!((ratio - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unknowns_counting() {
+        let m = uniform_mesh(1);
+        assert_eq!(m.n_points(), 8 * 343);
+        assert_eq!(m.unknowns(24), 8 * 343 * 24);
+    }
+}

@@ -1,0 +1,371 @@
+//! The `O2N` map: octant → global grid points ("zipped" storage).
+//!
+//! Section III-C of the paper: Dendro-GR stores the solution as a vector
+//! over *unique* grid points — duplicate points (shared by face-adjacent
+//! octants at equal level) and *hanging* points (fine-octant boundary
+//! points with no coarse counterpart at a coarse–fine interface) are
+//! removed during grid construction. The `O2N` map sends each octant's
+//! `r³` local points to global indices; hanging points map to the special
+//! marker [`HANGING`] and are reconstructed by interpolation from the
+//! coarse side during *unzip* (Algorithm 2's `interp_hanging`).
+//!
+//! The solver's default storage is the duplicated per-octant form (see
+//! the crate docs); this module provides the paper-faithful alternative
+//! plus zip/unzip conversions, and the tests prove the two
+//! representations agree on shared points.
+
+use crate::field::Field;
+use crate::grid::Mesh;
+use gw_stencil::interp::lagrange_weights;
+use gw_stencil::patch::{PatchLayout, POINTS_PER_SIDE};
+use std::collections::HashMap;
+
+/// Marker for hanging local points (no global storage).
+pub const HANGING: u32 = u32::MAX;
+
+/// Classification of one local grid point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PointClass {
+    /// The octant owns this point's global slot.
+    Owned(u32),
+    /// Another octant owns the coincident global point.
+    Shared(u32),
+    /// No coincident coarse point exists: interpolate on unzip.
+    Hanging,
+}
+
+/// The octant→global-point map.
+pub struct O2NMap {
+    /// `o2n[oct][local]` = global index, or [`HANGING`].
+    pub o2n: Vec<Vec<u32>>,
+    /// Number of unique (global) grid points.
+    pub n_global: usize,
+    /// For each octant, whether it is the owner of each local point (the
+    /// zip operation writes only owned points, making zip deterministic).
+    pub owner: Vec<Vec<bool>>,
+}
+
+/// Quantized physical coordinate key for point identification.
+///
+/// Points are keyed by their position in units of the *finest* grid
+/// spacing present in the mesh; coincident points across levels land on
+/// the same key exactly because level spacings are related by powers of
+/// two... up to f64 rounding, hence the explicit rounding to i64.
+fn point_key(p: [f64; 3], inv_q: f64) -> [i64; 3] {
+    [
+        (p[0] * inv_q).round() as i64,
+        (p[1] * inv_q).round() as i64,
+        (p[2] * inv_q).round() as i64,
+    ]
+}
+
+impl O2NMap {
+    /// Build the map for a mesh.
+    ///
+    /// A local point of octant `e` is **hanging** iff it lies on a
+    /// coarse–fine interface face/edge/corner of `e` (the coarse side is
+    /// a neighbor at the parent level) and does not coincide with a
+    /// coarse grid point. Equivalently (and the way we compute it): a
+    /// point is hanging iff no *coarsest* octant containing the point in
+    /// its closure carries a coincident point. We build global slots by
+    /// hashing quantized coordinates, with ownership assigned to the
+    /// first octant in SFC order — but a fine point that coincides only
+    /// with points of *finer or equal* octants is genuine; hanging status
+    /// only arises for fine boundary points facing a coarser neighbor.
+    pub fn build(mesh: &Mesh) -> O2NMap {
+        let n = mesh.n_octants();
+        let h_min = mesh.octants.iter().map(|o| o.h).fold(f64::INFINITY, f64::min);
+        // Quantize at half the finest spacing for exact coincidence keys.
+        let inv_q = 2.0 / h_min;
+        let l = PatchLayout::octant();
+        let r = POINTS_PER_SIDE;
+
+        let mut global_of: HashMap<[i64; 3], u32> = HashMap::new();
+        let mut o2n: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut owner: Vec<Vec<bool>> = Vec::with_capacity(n);
+        let mut next: u32 = 0;
+        for oct in 0..n {
+            let h = mesh.octants[oct].h;
+            // Interface directions toward coarser neighbors: the Prolong
+            // sources of this octant's patch.
+            let coarse_deltas: Vec<[i8; 3]> = mesh
+                .gather_of(oct)
+                .iter()
+                .filter(|op| op.kind == crate::grid::ScatterKind::Prolong)
+                .map(|op| op.delta)
+                .collect();
+            let mut ids = Vec::with_capacity(l.volume());
+            let mut own = Vec::with_capacity(l.volume());
+            for (i, j, k) in l.iter() {
+                let p = mesh.point_coords(oct, i, j, k);
+                // Is this point on a boundary region facing a coarser
+                // neighbor?
+                let idx = [i, j, k];
+                let on_coarse_iface = coarse_deltas.iter().any(|d| {
+                    (0..3).all(|a| match d[a] {
+                        -1 => idx[a] == 0,
+                        1 => idx[a] == r - 1,
+                        _ => true,
+                    })
+                });
+                // Hanging iff on such an interface and off the coarse
+                // (2h) lattice — no coincident coarse grid point exists.
+                let hanging =
+                    on_coarse_iface && !on_lattice(p, mesh.domain.min, 2.0 * h);
+                if hanging {
+                    ids.push(HANGING);
+                    own.push(false);
+                } else {
+                    let id = *global_of.entry(point_key(p, inv_q)).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    });
+                    ids.push(id);
+                    own.push(false);
+                }
+            }
+            o2n.push(ids);
+            owner.push(own);
+        }
+        // Ownership pass: first claim in SFC order wins.
+        let mut claimed = vec![false; next as usize];
+        for (oct, ids) in o2n.iter().enumerate() {
+            for (li, &id) in ids.iter().enumerate() {
+                if id != HANGING && !claimed[id as usize] {
+                    claimed[id as usize] = true;
+                    owner[oct][li] = true;
+                }
+            }
+        }
+        O2NMap { o2n, n_global: next as usize, owner }
+    }
+
+    /// Zip: per-octant (duplicated) field → global vector. Owned points
+    /// write their value; duplicates and hanging points are skipped.
+    pub fn zip(&self, mesh: &Mesh, field: &Field, var: usize) -> Vec<f64> {
+        let mut g = vec![0.0f64; self.n_global];
+        for oct in 0..mesh.n_octants() {
+            let block = field.block(var, oct);
+            for (li, (&id, &own)) in self.o2n[oct].iter().zip(self.owner[oct].iter()).enumerate()
+            {
+                if own {
+                    g[id as usize] = block[li];
+                }
+            }
+        }
+        g
+    }
+
+    /// Unzip: global vector → one octant's `r³` block, interpolating
+    /// hanging points from the coarse neighbor's points (degree-6
+    /// Lagrange along the interface, matching the scheme order).
+    pub fn unzip_octant(&self, mesh: &Mesh, global: &[f64], oct: usize, out: &mut [f64]) {
+        let l = PatchLayout::octant();
+        debug_assert_eq!(out.len(), l.volume());
+        // Direct points first.
+        for (li, &id) in self.o2n[oct].iter().enumerate() {
+            if id != HANGING {
+                out[li] = global[id as usize];
+            }
+        }
+        // Hanging points: interpolate from the coarse side. We evaluate
+        // by locating the coarse octant that covers the point and doing
+        // tensor Lagrange interpolation over its (already direct) points.
+        for (li, &id) in self.o2n[oct].iter().enumerate() {
+            if id != HANGING {
+                continue;
+            }
+            let (i, j, k) = l.coords(li);
+            let p = mesh.point_coords(oct, i, j, k);
+            // Find a containing octant that is coarser than us.
+            let cov = self
+                .coarse_cover(mesh, oct, p)
+                .expect("hanging point must have a coarse cover");
+            out[li] = self.interp_in_octant(mesh, global, cov, p);
+        }
+    }
+
+    /// Find a neighbor octant coarser than `oct` whose closed block
+    /// contains `p`.
+    fn coarse_cover(&self, mesh: &Mesh, oct: usize, p: [f64; 3]) -> Option<usize> {
+        let my_level = mesh.octants[oct].level;
+        // Search the scatter sources targeting us (cheap: the coarse
+        // neighbors are exactly the Prolong sources of our patch).
+        for op in mesh.gather_of(oct) {
+            if op.kind == crate::grid::ScatterKind::Prolong {
+                let cand = op.src as usize;
+                if mesh.octants[cand].level < my_level && contains_closed(mesh, cand, p) {
+                    return Some(cand);
+                }
+            }
+        }
+        None
+    }
+
+    /// Degree-6 Lagrange interpolation of the global field inside one
+    /// octant (all of whose own points are non-hanging by construction —
+    /// 2:1 balance means a coarse octant's points are never hanging
+    /// relative to an even coarser neighbor at the same location...
+    /// guaranteed here because hanging points only occur on faces toward
+    /// *coarser* neighbors).
+    fn interp_in_octant(&self, mesh: &Mesh, global: &[f64], oct: usize, p: [f64; 3]) -> f64 {
+        let info = &mesh.octants[oct];
+        let nodes: Vec<f64> = (0..POINTS_PER_SIDE).map(|i| i as f64).collect();
+        let mut w = [[0.0f64; POINTS_PER_SIDE]; 3];
+        for a in 0..3 {
+            let xi = ((p[a] - info.origin[a]) / info.h).clamp(0.0, 6.0);
+            w[a].copy_from_slice(&lagrange_weights(&nodes, xi));
+        }
+        let l = PatchLayout::octant();
+        let ids = &self.o2n[oct];
+        let mut acc = 0.0;
+        for k in 0..POINTS_PER_SIDE {
+            for j in 0..POINTS_PER_SIDE {
+                for i in 0..POINTS_PER_SIDE {
+                    let wt = w[0][i] * w[1][j] * w[2][k];
+                    if wt == 0.0 {
+                        continue;
+                    }
+                    let id = ids[l.idx(i, j, k)];
+                    debug_assert_ne!(id, HANGING, "coarse octant points are never hanging here");
+                    acc += wt * global[id as usize];
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fraction of local points that are hanging (diagnostic; 0 on
+    /// uniform grids).
+    pub fn hanging_fraction(&self) -> f64 {
+        let total: usize = self.o2n.iter().map(|v| v.len()).sum();
+        let hanging: usize =
+            self.o2n.iter().map(|v| v.iter().filter(|&&id| id == HANGING).count()).sum();
+        hanging as f64 / total as f64
+    }
+}
+
+fn on_lattice(p: [f64; 3], origin: [f64; 3], h: f64) -> bool {
+    (0..3).all(|a| {
+        let t = (p[a] - origin[a]) / h;
+        (t - t.round()).abs() < 1e-9
+    })
+}
+
+fn contains_closed(mesh: &Mesh, oct: usize, p: [f64; 3]) -> bool {
+    let info = &mesh.octants[oct];
+    let size = info.h * (POINTS_PER_SIDE - 1) as f64;
+    (0..3).all(|a| p[a] >= info.origin[a] - 1e-12 && p[a] <= info.origin[a] + size + 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_octree::{balance_octree, complete_octree, BalanceMode, Domain, MortonKey};
+
+    fn uniform_mesh(level: u8) -> Mesh {
+        let mut leaves = vec![MortonKey::root()];
+        for _ in 0..level {
+            leaves = leaves.iter().flat_map(|k| k.children()).collect();
+        }
+        leaves.sort();
+        Mesh::build(Domain::unit(), &leaves)
+    }
+
+    fn adaptive_mesh() -> Mesh {
+        let c0 = MortonKey::root().children()[0];
+        let fine: Vec<MortonKey> = c0.children()[7].children().to_vec();
+        let t = complete_octree(fine);
+        let t = balance_octree(&t, BalanceMode::Full);
+        Mesh::build(Domain::unit(), &t)
+    }
+
+    #[test]
+    fn uniform_grid_has_no_hanging_points() {
+        let mesh = uniform_mesh(2);
+        let map = O2NMap::build(&mesh);
+        assert_eq!(map.hanging_fraction(), 0.0);
+        // Unique points: (4·6+1)³ for 4 octants/side with shared faces.
+        let per_side = 4 * (POINTS_PER_SIDE - 1) + 1;
+        assert_eq!(map.n_global, per_side.pow(3));
+    }
+
+    #[test]
+    fn adaptive_grid_has_hanging_points_on_interfaces() {
+        let mesh = adaptive_mesh();
+        let map = O2NMap::build(&mesh);
+        assert!(map.hanging_fraction() > 0.0, "coarse-fine interfaces must hang");
+        assert!(map.hanging_fraction() < 0.2, "but only a small fraction");
+        // Every hanging point belongs to a fine octant with a coarser
+        // neighbor.
+        for (oct, ids) in map.o2n.iter().enumerate() {
+            if ids.iter().any(|&id| id == HANGING) {
+                let has_coarser = mesh
+                    .gather_of(oct)
+                    .iter()
+                    .any(|op| op.kind == crate::grid::ScatterKind::Prolong);
+                assert!(has_coarser, "octant {oct} hangs without a coarse neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn global_count_less_than_duplicated_count() {
+        let mesh = adaptive_mesh();
+        let map = O2NMap::build(&mesh);
+        let duplicated = mesh.n_octants() * PatchLayout::octant().volume();
+        assert!(map.n_global < duplicated);
+        // Each global slot has exactly one owner.
+        let mut owners = vec![0usize; map.n_global];
+        for (oct, ids) in map.o2n.iter().enumerate() {
+            for (li, &id) in ids.iter().enumerate() {
+                if id != HANGING && map.owner[oct][li] {
+                    owners[id as usize] += 1;
+                }
+            }
+        }
+        assert!(owners.iter().all(|&c| c == 1), "every global point exactly one owner");
+    }
+
+    #[test]
+    fn zip_unzip_roundtrip_exact_on_polynomial() {
+        // A degree-≤6 polynomial: hanging-point interpolation is exact,
+        // so zip → unzip reproduces the duplicated field everywhere.
+        let mesh = adaptive_mesh();
+        let map = O2NMap::build(&mesh);
+        let f = |p: [f64; 3]| {
+            1.0 + p[0] - 2.0 * p[1] * p[2] + p[0] * p[0] * p[1] - 0.3 * p[2].powi(3)
+        };
+        let mut field = Field::zeros(1, mesh.n_octants());
+        let l = PatchLayout::octant();
+        for oct in 0..mesh.n_octants() {
+            let vals: Vec<f64> =
+                l.iter().map(|(i, j, k)| f(mesh.point_coords(oct, i, j, k))).collect();
+            field.block_mut(0, oct).copy_from_slice(&vals);
+        }
+        let g = map.zip(&mesh, &field, 0);
+        let mut out = vec![0.0; l.volume()];
+        for oct in 0..mesh.n_octants() {
+            map.unzip_octant(&mesh, &g, oct, &mut out);
+            for (li, v) in out.iter().enumerate() {
+                let expect = field.block(0, oct)[li];
+                assert!(
+                    (v - expect).abs() < 1e-9 * (1.0 + expect.abs()),
+                    "oct {oct} pt {li}: {v} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_saving_matches_paper_claim() {
+        // The zipped representation is the paper's storage; ours trades
+        // ~10-20% memory for simplicity. Quantify on the adaptive mesh.
+        let mesh = adaptive_mesh();
+        let map = O2NMap::build(&mesh);
+        let duplicated = mesh.n_octants() * PatchLayout::octant().volume();
+        let saving = 1.0 - map.n_global as f64 / duplicated as f64;
+        assert!(saving > 0.05 && saving < 0.5, "saving {saving}");
+    }
+}

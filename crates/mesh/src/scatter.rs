@@ -1,0 +1,417 @@
+//! Loop-over-octants octant-to-patch (Algorithm 2), patch-to-octant, and
+//! interface synchronization — the CPU reference implementations.
+//!
+//! The GPU (simulated-device) versions in `gw-core` run the same index
+//! arithmetic inside kernel blocks; these host versions are the
+//! correctness oracle and the single-core baseline of Fig. 7.
+
+use crate::field::{Field, PatchField};
+use crate::grid::{Mesh, ScatterKind, ScatterOp};
+use gw_stencil::interp::{ProlongWorkspace, Prolongation, FINE_SIDE};
+use gw_stencil::patch::{PatchLayout, PADDING, POINTS_PER_SIDE};
+
+/// Per-axis padded-patch index range of the padding region in direction
+/// `delta` (−1 → `[0,3)`, 0 → `[3,10)`, +1 → `[10,13)`).
+#[inline]
+pub fn region_range(delta: i8) -> std::ops::Range<usize> {
+    match delta {
+        -1 => 0..PADDING,
+        0 => PADDING..PADDING + POINTS_PER_SIDE,
+        1 => PADDING + POINTS_PER_SIDE..PADDING + POINTS_PER_SIDE + PADDING,
+        _ => unreachable!("delta components are in {{-1,0,1}}"),
+    }
+}
+
+/// Execute one scatter op for one variable. `src_block` is the source
+/// octant's `r^3` data; `fine13` must hold the source's prolonged
+/// `(2r−1)^3` block when `kind == Prolong` (pass anything otherwise).
+/// Returns (points written, flops).
+pub fn apply_scatter_op(
+    op: &ScatterOp,
+    src_block: &[f64],
+    fine13: &[f64],
+    dst_patch: &mut [f64],
+) -> (u64, u64) {
+    let p = PatchLayout::padded();
+    let o = PatchLayout::octant();
+    let mut written = 0u64;
+    match op.kind {
+        ScatterKind::Same => {
+            // i_src = (p − 3) + 6δ ... derived from origins: src at
+            // direction δ from dst ⇒ src_origin = dst_origin + 6δh.
+            for pz in region_range(op.delta[2]) {
+                let ez = pz as i32 - 3 - 6 * op.delta[2] as i32;
+                debug_assert!((0..7).contains(&ez));
+                for py in region_range(op.delta[1]) {
+                    let ey = py as i32 - 3 - 6 * op.delta[1] as i32;
+                    for px in region_range(op.delta[0]) {
+                        let ex = px as i32 - 3 - 6 * op.delta[0] as i32;
+                        dst_patch[p.idx(px, py, pz)] =
+                            src_block[o.idx(ex as usize, ey as usize, ez as usize)];
+                        written += 1;
+                    }
+                }
+            }
+        }
+        ScatterKind::Inject => {
+            // i_src = 2(p − 3) − off; the i_src == 6 boundary plane is
+            // written only by the op that owns it (grid-construction-time
+            // ownership, see `ScatterOp::inc6`).
+            let valid = |i: i32, ax: usize| i >= 0 && (i < 6 || (i == 6 && op.inc6[ax]));
+            for pz in region_range(op.delta[2]) {
+                let ez = 2 * (pz as i32 - 3) - op.off[2];
+                if !valid(ez, 2) {
+                    continue;
+                }
+                for py in region_range(op.delta[1]) {
+                    let ey = 2 * (py as i32 - 3) - op.off[1];
+                    if !valid(ey, 1) {
+                        continue;
+                    }
+                    for px in region_range(op.delta[0]) {
+                        let ex = 2 * (px as i32 - 3) - op.off[0];
+                        if !valid(ex, 0) {
+                            continue;
+                        }
+                        dst_patch[p.idx(px, py, pz)] =
+                            src_block[o.idx(ex as usize, ey as usize, ez as usize)];
+                        written += 1;
+                    }
+                }
+            }
+        }
+        ScatterKind::Prolong => {
+            // j = off + (p − 3) into the prolonged (2r−1)^3 block.
+            let f = FINE_SIDE as i32;
+            for pz in region_range(op.delta[2]) {
+                let jz = op.off[2] + pz as i32 - 3;
+                if !(0..f).contains(&jz) {
+                    continue;
+                }
+                for py in region_range(op.delta[1]) {
+                    let jy = op.off[1] + py as i32 - 3;
+                    if !(0..f).contains(&jy) {
+                        continue;
+                    }
+                    for px in region_range(op.delta[0]) {
+                        let jx = op.off[0] + px as i32 - 3;
+                        if !(0..f).contains(&jx) {
+                            continue;
+                        }
+                        dst_patch[p.idx(px, py, pz)] = fine13
+                            [((jz * f + jy) * f + jx) as usize];
+                        written += 1;
+                    }
+                }
+            }
+        }
+    }
+    (written, 0)
+}
+
+/// Octant-to-patch via **loop-over-octants** (the paper's approach):
+/// each octant copies its interior into its own patch, prolongs itself
+/// *once* if any finer... (coarser-destination) target exists, and
+/// scatters to all neighbor patches. Single-threaded host version.
+///
+/// Returns total interpolation flops (for AI accounting).
+pub fn fill_patches_scatter(mesh: &Mesh, field: &Field, patches: &mut PatchField) -> u64 {
+    let prolong = Prolongation::new();
+    let mut ws = ProlongWorkspace::new();
+    let mut fine13 = vec![0.0f64; FINE_SIDE * FINE_SIDE * FINE_SIDE];
+    let mut flops = 0u64;
+    let n = mesh.n_octants();
+    for var in 0..field.dof {
+        for e in 0..n {
+            let src = field.block(var, e);
+            // Own interior.
+            gw_stencil::patch::octant_to_patch_interior(src, patches.patch_mut(var, e));
+            let ops = mesh.scatter_of(e);
+            // One prolongation shared by all Prolong targets (the key
+            // saving versus loop-over-patches).
+            if ops.iter().any(|op| op.kind == ScatterKind::Prolong) {
+                flops += prolong.prolong3d_ws(src, &mut fine13, &mut ws);
+            }
+            for op in ops {
+                let dst = patches.patch_mut(var, op.dst as usize);
+                apply_scatter_op(op, src, &fine13, dst);
+            }
+        }
+    }
+    flops
+}
+
+/// Patch-to-octant: copy every patch interior back into the octant blocks
+/// (a pure data-movement kernel; Table III reports zero arithmetic
+/// intensity for it).
+pub fn patches_to_octants(mesh: &Mesh, patches: &PatchField, field: &mut Field) {
+    for var in 0..field.dof {
+        for e in 0..mesh.n_octants() {
+            gw_stencil::patch::patch_interior_to_octant(
+                patches.patch(var, e),
+                field.block_mut(var, e),
+            );
+        }
+    }
+}
+
+/// Fine→coarse interface synchronization: overwrite coarse points that
+/// coincide with fine points using the fine (authoritative) values.
+pub fn sync_interfaces(mesh: &Mesh, field: &mut Field) {
+    for var in 0..field.dof {
+        for c in &mesh.syncs {
+            let v = field.block(var, c.src_oct as usize)[c.src_idx as usize];
+            field.block_mut(var, c.dst_oct as usize)[c.dst_idx as usize] = v;
+        }
+    }
+}
+
+/// Fill domain-boundary padding regions by 6th-order polynomial
+/// extrapolation along each outward axis (sufficient for the far-field
+/// boundaries, which the solver additionally treats with Sommerfeld
+/// conditions on the RHS).
+pub fn fill_boundary_padding(mesh: &Mesh, patches: &mut PatchField, dof: usize) {
+    fill_boundary_padding_range(mesh, patches, dof, 0..mesh.n_octants());
+}
+
+/// [`fill_boundary_padding`] restricted to octants in `range` (used by
+/// the distributed driver, which only owns a contiguous SFC range).
+pub fn fill_boundary_padding_range(
+    mesh: &Mesh,
+    patches: &mut PatchField,
+    dof: usize,
+    range: std::ops::Range<usize>,
+) {
+    let p = PatchLayout::padded();
+    for var in 0..dof {
+        for &(oct, delta) in &mesh.boundary_regions {
+            if !range.contains(&(oct as usize)) {
+                continue;
+            }
+            let patch = patches.patch_mut(var, oct as usize);
+            for pz in region_range(delta[2]) {
+                for py in region_range(delta[1]) {
+                    for px in region_range(delta[0]) {
+                        // Clamp to the nearest interior point (constant
+                        // extrapolation; the physical boundary is in the
+                        // wave zone where fields are smooth and the
+                        // Sommerfeld RHS dominates).
+                        let cx = px.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        let cy = py.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        let cz = pz.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        patch[p.idx(px, py, pz)] = patch[p.idx(cx, cy, cz)];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_octree::{balance_octree, complete_octree, BalanceMode, Domain, MortonKey};
+
+    fn adaptive_mesh() -> Mesh {
+        let c0 = MortonKey::root().children()[0];
+        let fine: Vec<MortonKey> = c0.children()[7].children().to_vec();
+        let t = complete_octree(fine);
+        let t = balance_octree(&t, BalanceMode::Full);
+        Mesh::build(Domain::unit(), &t)
+    }
+
+    fn uniform_mesh(level: u8) -> Mesh {
+        let mut leaves = vec![MortonKey::root()];
+        for _ in 0..level {
+            leaves = leaves.iter().flat_map(|k| k.children()).collect();
+        }
+        leaves.sort();
+        Mesh::build(Domain::unit(), &leaves)
+    }
+
+    /// Fill a field with a polynomial that 6th-order interpolation must
+    /// reproduce exactly, then check every written padding point.
+    fn poly(p: [f64; 3]) -> f64 {
+        1.0 + 2.0 * p[0] - p[1] + 0.5 * p[2] + p[0] * p[1] - p[2] * p[2]
+            + p[0] * p[0] * p[2]
+            + 0.25 * p[1] * p[1] * p[1]
+    }
+
+    fn analytic_field(mesh: &Mesh) -> Field {
+        let mut f = Field::zeros(1, mesh.n_octants());
+        for oct in 0..mesh.n_octants() {
+            let l = PatchLayout::octant();
+            let coords: Vec<f64> =
+                l.iter().map(|(i, j, k)| poly(mesh.point_coords(oct, i, j, k))).collect();
+            f.block_mut(0, oct).copy_from_slice(&coords);
+        }
+        f
+    }
+
+    fn check_patches(mesh: &Mesh, patches: &PatchField, tol: f64) {
+        let p = PatchLayout::padded();
+        let boundary: std::collections::HashSet<(u32, [i8; 3])> =
+            mesh.boundary_regions.iter().copied().collect();
+        let mut checked = 0usize;
+        for oct in 0..mesh.n_octants() {
+            let info = &mesh.octants[oct];
+            let patch = patches.patch(0, oct);
+            for (i, j, k) in p.iter() {
+                // Which region is this point in?
+                let reg = |t: usize| -> i8 {
+                    if t < PADDING {
+                        -1
+                    } else if t < PADDING + POINTS_PER_SIDE {
+                        0
+                    } else {
+                        1
+                    }
+                };
+                let delta = [reg(i), reg(j), reg(k)];
+                if boundary.contains(&(oct as u32, delta)) {
+                    continue; // boundary padding is extrapolated, skip
+                }
+                let pos = [
+                    info.origin[0] + (i as f64 - PADDING as f64) * info.h,
+                    info.origin[1] + (j as f64 - PADDING as f64) * info.h,
+                    info.origin[2] + (k as f64 - PADDING as f64) * info.h,
+                ];
+                let expect = poly(pos);
+                let got = patch[p.idx(i, j, k)];
+                assert!(
+                    (got - expect).abs() < tol,
+                    "oct {oct} point ({i},{j},{k}) delta {delta:?}: {got} vs {expect}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn uniform_grid_padding_exact() {
+        let mesh = uniform_mesh(2);
+        let f = analytic_field(&mesh);
+        let mut patches = PatchField::zeros(1, mesh.n_octants());
+        patches.fill(f64::NAN);
+        fill_patches_scatter(&mesh, &f, &mut patches);
+        check_patches(&mesh, &patches, 1e-12);
+    }
+
+    #[test]
+    fn adaptive_grid_padding_exact_on_polynomial() {
+        let mesh = adaptive_mesh();
+        let f = analytic_field(&mesh);
+        let mut patches = PatchField::zeros(1, mesh.n_octants());
+        patches.fill(f64::NAN);
+        fill_patches_scatter(&mesh, &f, &mut patches);
+        check_patches(&mesh, &patches, 1e-9);
+    }
+
+    #[test]
+    fn no_nan_left_in_interior_regions() {
+        // Every non-boundary padding point must be written exactly once.
+        let mesh = adaptive_mesh();
+        let f = analytic_field(&mesh);
+        let mut patches = PatchField::zeros(1, mesh.n_octants());
+        patches.fill(f64::NAN);
+        fill_patches_scatter(&mesh, &f, &mut patches);
+        let p = PatchLayout::padded();
+        let boundary: std::collections::HashSet<(u32, [i8; 3])> =
+            mesh.boundary_regions.iter().copied().collect();
+        for oct in 0..mesh.n_octants() {
+            let patch = patches.patch(0, oct);
+            for (i, j, k) in p.iter() {
+                let reg = |t: usize| -> i8 {
+                    if t < PADDING {
+                        -1
+                    } else if t < PADDING + POINTS_PER_SIDE {
+                        0
+                    } else {
+                        1
+                    }
+                };
+                let delta = [reg(i), reg(j), reg(k)];
+                if delta == [0, 0, 0] || boundary.contains(&(oct as u32, delta)) {
+                    continue;
+                }
+                assert!(
+                    !patch[p.idx(i, j, k)].is_nan(),
+                    "unwritten padding at oct {oct} ({i},{j},{k}) delta {delta:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patch_to_octant_roundtrip() {
+        let mesh = uniform_mesh(1);
+        let f = analytic_field(&mesh);
+        let mut patches = PatchField::zeros(1, mesh.n_octants());
+        fill_patches_scatter(&mesh, &f, &mut patches);
+        let mut back = Field::zeros(1, mesh.n_octants());
+        patches_to_octants(&mesh, &patches, &mut back);
+        for oct in 0..mesh.n_octants() {
+            for (a, b) in f.block(0, oct).iter().zip(back.block(0, oct).iter()) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_interfaces_copies_fine_to_coarse() {
+        let mesh = adaptive_mesh();
+        assert!(!mesh.syncs.is_empty());
+        let mut f = analytic_field(&mesh);
+        // Perturb all coarse octants' data; sync must restore coincident
+        // points from fine neighbors.
+        let sync_dsts: std::collections::HashSet<u32> =
+            mesh.syncs.iter().map(|c| c.dst_oct).collect();
+        for &d in &sync_dsts {
+            for v in f.block_mut(0, d as usize).iter_mut() {
+                *v += 100.0;
+            }
+        }
+        sync_interfaces(&mesh, &mut f);
+        for c in &mesh.syncs {
+            let fine_v = f.block(0, c.src_oct as usize)[c.src_idx as usize];
+            let coarse_v = f.block(0, c.dst_oct as usize)[c.dst_idx as usize];
+            assert_eq!(fine_v, coarse_v);
+        }
+    }
+
+    #[test]
+    fn sync_targets_are_unique() {
+        let mesh = adaptive_mesh();
+        let mut seen = std::collections::HashSet::new();
+        for c in &mesh.syncs {
+            assert!(seen.insert((c.dst_oct, c.dst_idx)), "duplicate sync target {c:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_padding_filled() {
+        let mesh = uniform_mesh(1);
+        let f = analytic_field(&mesh);
+        let mut patches = PatchField::zeros(1, mesh.n_octants());
+        patches.fill(f64::NAN);
+        fill_patches_scatter(&mesh, &f, &mut patches);
+        fill_boundary_padding(&mesh, &mut patches, 1);
+        // Now no NaN anywhere.
+        for oct in 0..mesh.n_octants() {
+            assert!(patches.patch(0, oct).iter().all(|v| !v.is_nan()));
+        }
+    }
+
+    #[test]
+    fn scatter_flops_counted_for_adaptive_grids_only() {
+        let u = uniform_mesh(2);
+        let fu = analytic_field(&u);
+        let mut pu = PatchField::zeros(1, u.n_octants());
+        assert_eq!(fill_patches_scatter(&u, &fu, &mut pu), 0);
+        let a = adaptive_mesh();
+        let fa = analytic_field(&a);
+        let mut pa = PatchField::zeros(1, a.n_octants());
+        assert!(fill_patches_scatter(&a, &fa, &mut pa) > 0);
+    }
+}

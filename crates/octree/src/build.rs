@@ -1,0 +1,431 @@
+//! Linear octree construction.
+//!
+//! Bottom-up construction in the style of Sundar, Sampath & Biros (SISC 2008),
+//! which is what Dendro-GR uses: octrees are stored as sorted vectors of leaf
+//! keys, and construction works with `linearize` (overlap removal),
+//! `complete_region` (fill the SFC gap between two octants with the minimal
+//! number of maximal octants) and `complete_octree` (extend a partial set of
+//! leaves to a full domain cover).
+
+use crate::key::MortonKey;
+
+/// Sort keys and remove overlaps, keeping the **finest** octant of any
+/// ancestor/descendant pair. The result is a valid linear octree fragment
+/// (pairwise non-overlapping, sorted).
+///
+/// Keeping the finest octant is the convention used during refinement-driven
+/// construction: a refined child supersedes the coarse cell it came from.
+pub fn linearize(keys: &mut Vec<MortonKey>) {
+    keys.sort_unstable();
+    keys.dedup();
+    // After sorting, an ancestor immediately precedes (not necessarily
+    // adjacently) its descendants; a single backward sweep removing any key
+    // that is an ancestor of its successor is not sufficient in general
+    // (e.g. [A, B, C] where A contains both B and C but B does not contain
+    // C). However in Morton order all descendants of A form a contiguous
+    // range right after A, so it *is* sufficient to compare each key with
+    // its immediate successor.
+    let mut out: Vec<MortonKey> = Vec::with_capacity(keys.len());
+    for &k in keys.iter() {
+        while let Some(&last) = out.last() {
+            if last.is_ancestor_of(&k) {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(k);
+    }
+    *keys = out;
+}
+
+/// Remove overlaps keeping the **coarsest** octant of any overlapping pair.
+pub fn linearize_keep_coarse(keys: &mut Vec<MortonKey>) {
+    keys.sort_unstable();
+    keys.dedup();
+    let mut out: Vec<MortonKey> = Vec::with_capacity(keys.len());
+    for &k in keys.iter() {
+        if let Some(&last) = out.last() {
+            if last.contains(&k) {
+                continue;
+            }
+        }
+        out.push(k);
+    }
+    *keys = out;
+}
+
+/// Compute the minimal list of maximal octants that cover exactly the SFC
+/// gap strictly between octants `a` and `b` (neither included).
+///
+/// Preconditions: `a < b` and neither contains the other.
+pub fn complete_region(a: MortonKey, b: MortonKey) -> Vec<MortonKey> {
+    assert!(a < b, "complete_region requires a < b");
+    assert!(!a.overlaps(&b), "complete_region requires disjoint endpoints");
+    let fca = a.common_ancestor(&b);
+    let mut out = Vec::new();
+    // Walk the subtree of the common ancestor; emit maximal octants that lie
+    // strictly between a and b in SFC order.
+    let mut stack: Vec<MortonKey> = fca.children().to_vec();
+    // Process in order (stack is LIFO, so push reversed).
+    stack.reverse();
+    while let Some(k) = stack.pop() {
+        if k.contains(&a) || k.contains(&b) {
+            // Straddles an endpoint: descend.
+            let mut ch = k.children().to_vec();
+            ch.reverse();
+            stack.extend(ch);
+            continue;
+        }
+        if a.contains(&k) || b.contains(&k) {
+            // Inside an endpoint: already covered, not part of the gap.
+            continue;
+        }
+        let after_a = k.morton() > a.morton();
+        let before_b = k.deepest_last_descendant().morton() < b.morton();
+        if after_a && before_b {
+            // Entirely inside the gap: emit as a maximal cover octant.
+            out.push(k);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Extend a set of non-overlapping octants into a complete linear octree
+/// covering the whole domain: gaps before the first key, between consecutive
+/// keys, and after the last key are filled with maximal octants.
+pub fn complete_octree(mut keys: Vec<MortonKey>) -> Vec<MortonKey> {
+    if keys.is_empty() {
+        return vec![MortonKey::root()];
+    }
+    linearize(&mut keys);
+    if keys.len() == 1 && keys[0] == MortonKey::root() {
+        return keys;
+    }
+    let root = MortonKey::root();
+    let first_dfd = root.deepest_first_descendant();
+    let last_dld = root.deepest_last_descendant();
+
+    let mut out = Vec::with_capacity(keys.len() * 2);
+    // Fill from the domain start to the first key.
+    let first = keys[0];
+    if first.morton() != first_dfd.morton() {
+        // The minimal first octant in the gap's "left endpoint" role: use the
+        // deepest first descendant of root as a virtual predecessor.
+        out.extend(complete_region_from_start(first));
+    }
+    for w in keys.windows(2) {
+        out.push(w[0]);
+        let (a, b) = (w[0], w[1]);
+        // Consecutive leaves may already be SFC-adjacent.
+        if !sfc_adjacent(a, b) {
+            out.extend(complete_region(a, b));
+        }
+    }
+    out.push(*keys.last().unwrap());
+    let last = *keys.last().unwrap();
+    if last.deepest_last_descendant().morton() != last_dld.morton() {
+        out.extend(complete_region_to_end(last));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// True if `b` immediately follows `a` on the SFC with no gap.
+fn sfc_adjacent(a: MortonKey, b: MortonKey) -> bool {
+    a.deepest_last_descendant().morton() + 1 == b.morton()
+}
+
+/// Maximal octants covering the region before `k` (from the domain start).
+fn complete_region_from_start(k: MortonKey) -> Vec<MortonKey> {
+    // Ancestors of k: for each, emit children that precede k.
+    let mut out = Vec::new();
+    let mut cur = MortonKey::root();
+    while cur.level() < k.level() {
+        for c in cur.children() {
+            if c.deepest_last_descendant().morton() < k.morton() && !c.contains(&k) {
+                out.push(c);
+            }
+        }
+        cur = k.ancestor_at(cur.level() + 1);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Maximal octants covering the region after `k` (to the domain end).
+fn complete_region_to_end(k: MortonKey) -> Vec<MortonKey> {
+    let mut out = Vec::new();
+    let mut cur = MortonKey::root();
+    let k_end = k.deepest_last_descendant().morton();
+    while cur.level() < k.level() {
+        for c in cur.children() {
+            if c.morton() > k_end {
+                out.push(c);
+            }
+        }
+        cur = k.ancestor_at(cur.level() + 1);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Build a complete linear octree from a point cloud: refine until no leaf
+/// holds more than `max_points` points or `max_level` is reached.
+///
+/// Points are given in lattice coordinates (see [`crate::domain::Domain`] for
+/// physical-to-lattice mapping). This is the classic top-down construction;
+/// Dendro's bottom-up variant produces the same tree for the same inputs.
+pub fn octree_from_points(points: &[[u32; 3]], max_points: usize, max_level: u8) -> Vec<MortonKey> {
+    assert!(max_points >= 1);
+    let mut leaves = Vec::new();
+    let mut stack: Vec<(MortonKey, Vec<usize>)> =
+        vec![(MortonKey::root(), (0..points.len()).collect())];
+    while let Some((k, idx)) = stack.pop() {
+        if idx.len() <= max_points || k.level() >= max_level {
+            leaves.push(k);
+            continue;
+        }
+        let ch = k.children();
+        let mut buckets: [Vec<usize>; 8] = Default::default();
+        for i in idx {
+            let p = points[i];
+            let c = ch
+                .iter()
+                .position(|c| {
+                    let s = c.side();
+                    p[0] >= c.x()
+                        && p[0] < c.x() + s
+                        && p[1] >= c.y()
+                        && p[1] < c.y() + s
+                        && p[2] >= c.z()
+                        && p[2] < c.z() + s
+                })
+                .expect("point must be in one child");
+            buckets[c].push(i);
+        }
+        for (c, b) in ch.into_iter().zip(buckets.into_iter()) {
+            stack.push((c, b));
+        }
+    }
+    leaves.sort_unstable();
+    leaves
+}
+
+/// Verify that `keys` form a complete linear octree: sorted, non-overlapping,
+/// and covering the whole domain volume.
+pub fn is_complete_linear(keys: &[MortonKey]) -> bool {
+    if keys.is_empty() {
+        return false;
+    }
+    let mut vol: u128 = 0;
+    for w in keys.windows(2) {
+        if w[0] >= w[1] || w[0].overlaps(&w[1]) {
+            return false;
+        }
+        if !sfc_adjacent(w[0], w[1]) {
+            return false;
+        }
+    }
+    for k in keys {
+        vol += (k.side() as u128).pow(3);
+    }
+    vol == (crate::key::LATTICE as u128).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{MAX_LEVEL, LATTICE};
+
+    #[test]
+    fn linearize_keeps_finest() {
+        let p = MortonKey::new(0, 0, 0, 2);
+        let c = p.children()[3];
+        let mut v = vec![p, c];
+        linearize(&mut v);
+        assert_eq!(v, vec![c]);
+    }
+
+    #[test]
+    fn linearize_keep_coarse_keeps_coarsest() {
+        let p = MortonKey::new(0, 0, 0, 2);
+        let c = p.children()[3];
+        let g = c.children()[0];
+        let mut v = vec![g, c, p];
+        linearize_keep_coarse(&mut v);
+        assert_eq!(v, vec![p]);
+    }
+
+    #[test]
+    fn linearize_handles_nested_chains() {
+        let a = MortonKey::root();
+        let b = a.children()[0];
+        let c = b.children()[0];
+        let d = b.children()[7];
+        let mut v = vec![a, b, c, d];
+        linearize(&mut v);
+        assert_eq!(v, vec![c, d]);
+    }
+
+    #[test]
+    fn complete_region_fills_gap_between_corner_leaves() {
+        let root = MortonKey::root();
+        let first = root.children()[0].children()[0];
+        let last = root.children()[7].children()[7];
+        let gap = complete_region(first, last);
+        // first + gap + last must tile the domain completely.
+        let mut all = vec![first, last];
+        all.extend(gap);
+        all.sort_unstable();
+        assert!(is_complete_linear(&all));
+    }
+
+    #[test]
+    fn complete_region_between_siblings_is_empty() {
+        let ch = MortonKey::root().children();
+        assert!(complete_region(ch[0], ch[1]).is_empty());
+    }
+
+    #[test]
+    fn complete_octree_from_empty_is_root() {
+        assert_eq!(complete_octree(vec![]), vec![MortonKey::root()]);
+    }
+
+    #[test]
+    fn complete_octree_from_single_deep_leaf() {
+        let k = MortonKey::new(0, 0, 0, 3);
+        let t = complete_octree(vec![k]);
+        assert!(is_complete_linear(&t));
+        assert!(t.contains(&k));
+        // Minimal completion: 3 levels × 7 siblings + the leaf itself.
+        assert_eq!(t.len(), 3 * 7 + 1);
+    }
+
+    #[test]
+    fn complete_octree_from_interior_leaf() {
+        let mid = LATTICE / 2;
+        let k = MortonKey::new(mid, mid, mid, 4);
+        let t = complete_octree(vec![k]);
+        assert!(is_complete_linear(&t));
+        assert!(t.contains(&k));
+    }
+
+    #[test]
+    fn complete_octree_idempotent_on_complete_tree() {
+        let t = complete_octree(vec![MortonKey::new(0, 0, 0, 2)]);
+        let t2 = complete_octree(t.clone());
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn octree_from_points_uniform_points() {
+        // Eight points, one per level-1 octant => either root (if max_points
+        // >= 8) or the 8 children.
+        let h = LATTICE / 2;
+        let pts: Vec<[u32; 3]> = (0..8u32)
+            .map(|i| [(i & 1) * h + 1, ((i >> 1) & 1) * h + 1, ((i >> 2) & 1) * h + 1])
+            .collect();
+        let t = octree_from_points(&pts, 8, MAX_LEVEL);
+        assert_eq!(t, vec![MortonKey::root()]);
+        let t = octree_from_points(&pts, 1, MAX_LEVEL);
+        assert!(is_complete_linear(&t));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn octree_from_clustered_points_is_adaptive() {
+        // Cluster near origin forces deep refinement there only.
+        let pts: Vec<[u32; 3]> = (0..32u32).map(|i| [i % 4, (i / 4) % 4, i / 16]).collect();
+        let t = octree_from_points(&pts, 2, 10);
+        assert!(is_complete_linear(&t));
+        let max_l = t.iter().map(|k| k.level()).max().unwrap();
+        let min_l = t.iter().map(|k| k.level()).min().unwrap();
+        assert!(max_l > min_l, "tree should be adaptive");
+    }
+
+    #[test]
+    fn max_level_respected() {
+        let pts = vec![[0, 0, 0], [0, 0, 0], [1, 0, 0]];
+        let t = octree_from_points(&pts, 1, 3);
+        assert!(t.iter().all(|k| k.level() <= 3));
+        assert!(is_complete_linear(&t));
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use crate::key::{MortonKey, MAX_LEVEL};
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    #[test]
+    fn complete_octree_fuzz_random_leaf_sets() {
+        let mut seed = 42u64;
+        for trial in 0..50 {
+            let n = 1 + (lcg(&mut seed) % 20) as usize;
+            let mut keys = Vec::new();
+            for _ in 0..n {
+                let level = 1 + (lcg(&mut seed) % 6) as u8;
+                let side = 1u32 << (MAX_LEVEL - level);
+                let x = (lcg(&mut seed) as u32 % (1 << level)) * side;
+                let y = (lcg(&mut seed) as u32 % (1 << level)) * side;
+                let z = (lcg(&mut seed) as u32 % (1 << level)) * side;
+                keys.push(MortonKey::new(x, y, z, level));
+            }
+            let t = complete_octree(keys.clone());
+            assert!(is_complete_linear(&t), "trial {trial} keys {keys:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz_region {
+    use super::*;
+    use crate::key::{MortonKey, MAX_LEVEL};
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    fn rand_key(seed: &mut u64) -> MortonKey {
+        let level = 1 + (lcg(seed) % 5) as u8;
+        let side = 1u32 << (MAX_LEVEL - level);
+        MortonKey::new(
+            (lcg(seed) as u32 % (1 << level)) * side,
+            (lcg(seed) as u32 % (1 << level)) * side,
+            (lcg(seed) as u32 % (1 << level)) * side,
+            level,
+        )
+    }
+
+    #[test]
+    fn complete_region_fuzz_pairs() {
+        let mut seed = 7u64;
+        for trial in 0..500 {
+            let (mut a, mut b) = (rand_key(&mut seed), rand_key(&mut seed));
+            if a.overlaps(&b) || a == b { continue; }
+            if b < a { std::mem::swap(&mut a, &mut b); }
+            let gap = complete_region(a, b);
+            // Check: sorted, disjoint, covers exactly [a_end+1, b_start-1].
+            let mut all = vec![a];
+            all.extend(gap.clone());
+            all.push(b);
+            let mut vol: u128 = 0;
+            for w in all.windows(2) {
+                assert!(w[0] < w[1], "trial {trial}: order {:?} {:?} gap={gap:?} a={a:?} b={b:?}", w[0], w[1]);
+                assert!(w[0].deepest_last_descendant().morton() + 1 == w[1].morton(),
+                    "trial {trial}: not adjacent {:?} -> {:?}\n a={a:?} b={b:?}\n gap={gap:?}", w[0], w[1]);
+            }
+            for k in &all { vol += (k.side() as u128).pow(3); }
+            let expect = (b.deepest_last_descendant().morton() - a.morton() + 1) as u128;
+            assert_eq!(vol, expect, "trial {trial} a={a:?} b={b:?}");
+        }
+    }
+}

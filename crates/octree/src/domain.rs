@@ -1,0 +1,174 @@
+//! Mapping between octants and physical coordinates.
+//!
+//! Numerical-relativity domains are cubes like `[-400M, 400M]^3` (the paper
+//! evolves binaries of total mass `M = 1` with extraction spheres at
+//! 50–100 M, so the outer boundary is placed far away). [`Domain`] maps such
+//! a cube onto the `[0, 2^MAX_LEVEL)^3` octree lattice.
+
+use crate::key::{MortonKey, LATTICE, MAX_LEVEL};
+
+/// A cubic physical domain mapped onto the octree lattice.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Domain {
+    /// Physical coordinate of lattice origin.
+    pub min: [f64; 3],
+    /// Physical coordinate of the far lattice corner.
+    pub max: [f64; 3],
+}
+
+impl Domain {
+    /// A cube `[-half, half]^3`.
+    pub fn centered_cube(half: f64) -> Self {
+        assert!(half > 0.0);
+        Self { min: [-half; 3], max: [half; 3] }
+    }
+
+    /// The unit cube `[0,1]^3`.
+    pub fn unit() -> Self {
+        Self { min: [0.0; 3], max: [1.0; 3] }
+    }
+
+    /// Physical extent along each axis.
+    pub fn extent(&self) -> [f64; 3] {
+        [self.max[0] - self.min[0], self.max[1] - self.min[1], self.max[2] - self.min[2]]
+    }
+
+    /// Physical side length of an octant at the given level.
+    pub fn octant_size(&self, level: u8) -> f64 {
+        self.extent()[0] / (1u64 << level) as f64
+    }
+
+    /// Grid spacing inside an octant at `level` carrying `r` points per side
+    /// (points are cell-interior, spacing `size/(r-1)` for vertex-centered
+    /// layout with `r` points spanning the octant).
+    pub fn grid_spacing(&self, level: u8, r: usize) -> f64 {
+        self.octant_size(level) / (r as f64 - 1.0)
+    }
+
+    /// Physical coordinates of an octant's anchor (min corner).
+    pub fn octant_origin(&self, k: &MortonKey) -> [f64; 3] {
+        let s = self.extent();
+        let inv = 1.0 / LATTICE as f64;
+        [
+            self.min[0] + k.x() as f64 * inv * s[0],
+            self.min[1] + k.y() as f64 * inv * s[1],
+            self.min[2] + k.z() as f64 * inv * s[2],
+        ]
+    }
+
+    /// Physical coordinates of an octant's center.
+    pub fn octant_center(&self, k: &MortonKey) -> [f64; 3] {
+        let o = self.octant_origin(k);
+        let h = self.octant_size(k.level()) * 0.5;
+        [o[0] + h, o[1] + h, o[2] + h]
+    }
+
+    /// Map a physical point to lattice coordinates (clamped to the lattice).
+    pub fn point_to_lattice(&self, p: [f64; 3]) -> [u32; 3] {
+        let s = self.extent();
+        let mut out = [0u32; 3];
+        for i in 0..3 {
+            let t = ((p[i] - self.min[i]) / s[i]).clamp(0.0, 1.0);
+            out[i] = ((t * LATTICE as f64) as u64).min(LATTICE as u64 - 1) as u32;
+        }
+        out
+    }
+
+    /// The deepest octant containing a physical point.
+    pub fn locate(&self, p: [f64; 3], level: u8) -> MortonKey {
+        let l = self.point_to_lattice(p);
+        MortonKey::new(l[0], l[1], l[2], MAX_LEVEL).ancestor_at(level)
+    }
+
+    /// Euclidean distance from a physical point to the octant's closest
+    /// point (0 if inside).
+    pub fn distance_to_octant(&self, k: &MortonKey, p: [f64; 3]) -> f64 {
+        let o = self.octant_origin(k);
+        let sz = self.octant_size(k.level());
+        let mut d2 = 0.0;
+        for i in 0..3 {
+            let lo = o[i];
+            let hi = o[i] + sz;
+            let d = if p[i] < lo {
+                lo - p[i]
+            } else if p[i] > hi {
+                p[i] - hi
+            } else {
+                0.0
+            };
+            d2 += d * d;
+        }
+        d2.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_cube_geometry() {
+        let d = Domain::centered_cube(400.0);
+        assert_eq!(d.extent(), [800.0; 3]);
+        assert_eq!(d.octant_size(0), 800.0);
+        assert!((d.octant_size(3) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn octant_center_of_root_is_domain_center() {
+        let d = Domain::centered_cube(10.0);
+        let c = d.octant_center(&MortonKey::root());
+        assert!(c.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn locate_roundtrip() {
+        let d = Domain::centered_cube(1.0);
+        let k = d.locate([0.3, -0.2, 0.9], 5);
+        assert_eq!(k.level(), 5);
+        let o = d.octant_origin(&k);
+        let sz = d.octant_size(5);
+        assert!(o[0] <= 0.3 && 0.3 < o[0] + sz);
+        assert!(o[1] <= -0.2 && -0.2 < o[1] + sz);
+        assert!(o[2] <= 0.9 && 0.9 < o[2] + sz);
+    }
+
+    #[test]
+    fn locate_clamps_outside_points() {
+        let d = Domain::unit();
+        let k = d.locate([2.0, -1.0, 0.5], 3);
+        assert_eq!(k.level(), 3);
+        // Clamped into the domain.
+        let o = d.octant_origin(&k);
+        assert!(o[0] >= 0.0 && o[1] >= 0.0);
+    }
+
+    #[test]
+    fn distance_to_octant_inside_is_zero() {
+        let d = Domain::unit();
+        let k = d.locate([0.5, 0.5, 0.5], 2);
+        assert_eq!(d.distance_to_octant(&k, [0.5, 0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn distance_to_octant_outside_positive() {
+        let d = Domain::unit();
+        let k = d.locate([0.1, 0.1, 0.1], 2);
+        let dist = d.distance_to_octant(&k, [0.9, 0.9, 0.9]);
+        assert!(dist > 0.0);
+        // Should be at most the domain diagonal.
+        assert!(dist < 3f64.sqrt());
+    }
+
+    #[test]
+    fn grid_spacing_matches_paper_scale() {
+        // Paper Fig. 1: coarsest level 3, finest 15, finest resolution
+        // 4.06e-3 for a q=4 run. With r=7 points per octant on a
+        // [-400,400]^3 domain: h = 800/2^15/6 = 4.07e-3. Check the formula
+        // reproduces that scale.
+        let d = Domain::centered_cube(400.0);
+        let h = d.grid_spacing(15, 7);
+        assert!((h - 800.0 / 32768.0 / 6.0).abs() < 1e-12);
+        assert!((h - 4.069e-3).abs() < 1e-4);
+    }
+}

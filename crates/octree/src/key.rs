@@ -1,0 +1,480 @@
+//! Morton (Z-order) keys for octants on a `2^MAX_LEVEL` integer lattice.
+//!
+//! An octant is identified by the integer coordinates of its *anchor* (the
+//! corner with minimal coordinates) and its refinement level. At level `l`
+//! the octant's side length is `2^(MAX_LEVEL - l)` lattice units and its
+//! anchor is aligned to that size. The root octant is level 0 and spans the
+//! whole lattice.
+//!
+//! The total order used throughout the crate is the Morton order on anchors
+//! with ties (identical anchors, i.e. ancestor/descendant pairs) broken so
+//! the *coarser* octant sorts first. For a linear octree (leaves only,
+//! pairwise non-overlapping) anchors are unique, so the tiebreak only matters
+//! during construction.
+
+/// Maximum refinement depth supported by the key encoding.
+///
+/// 20 levels × 3 dimensions = 60 interleaved bits, fitting a `u64` Morton
+/// code. The paper's production runs use 13–15 levels (Fig. 1), so 20 leaves
+/// comfortable headroom.
+pub const MAX_LEVEL: u8 = 20;
+
+/// Side of the lattice: coordinates live in `[0, LATTICE)`.
+pub const LATTICE: u32 = 1 << MAX_LEVEL;
+
+/// An octant key: anchor coordinates plus refinement level.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MortonKey {
+    x: u32,
+    y: u32,
+    z: u32,
+    level: u8,
+}
+
+impl std::fmt::Debug for MortonKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Oct(l={} @ {},{},{})", self.level, self.x, self.y, self.z)
+    }
+}
+
+/// Interleave the low `MAX_LEVEL` bits of `v` with two zero bits between
+/// consecutive bits (the classic "part by 2" bit trick widened to 64 bits).
+#[inline]
+fn part_by_2(v: u32) -> u64 {
+    let mut x = v as u64 & 0x1f_ffff; // 21 bits is enough for MAX_LEVEL = 20
+    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`part_by_2`].
+#[inline]
+fn compact_by_2(v: u64) -> u32 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+impl MortonKey {
+    /// Construct a key, checking anchor alignment in debug builds.
+    #[inline]
+    pub fn new(x: u32, y: u32, z: u32, level: u8) -> Self {
+        debug_assert!(level <= MAX_LEVEL, "level {level} > MAX_LEVEL");
+        let side = 1u32 << (MAX_LEVEL - level);
+        debug_assert!(
+            x % side == 0 && y % side == 0 && z % side == 0,
+            "anchor ({x},{y},{z}) not aligned to level {level} (side {side})"
+        );
+        debug_assert!(x < LATTICE && y < LATTICE && z < LATTICE);
+        Self { x, y, z, level }
+    }
+
+    /// The level-0 octant spanning the whole lattice.
+    #[inline]
+    pub fn root() -> Self {
+        Self { x: 0, y: 0, z: 0, level: 0 }
+    }
+
+    #[inline]
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+    #[inline]
+    pub fn y(&self) -> u32 {
+        self.y
+    }
+    #[inline]
+    pub fn z(&self) -> u32 {
+        self.z
+    }
+    #[inline]
+    pub fn anchor(&self) -> [u32; 3] {
+        [self.x, self.y, self.z]
+    }
+    #[inline]
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Side length in lattice units.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        1 << (MAX_LEVEL - self.level)
+    }
+
+    /// Morton code of the anchor: 60 interleaved bits (x lowest).
+    #[inline]
+    pub fn morton(&self) -> u64 {
+        part_by_2(self.x) | (part_by_2(self.y) << 1) | (part_by_2(self.z) << 2)
+    }
+
+    /// Reconstruct a key from a Morton code and level.
+    #[inline]
+    pub fn from_morton(code: u64, level: u8) -> Self {
+        Self::new(compact_by_2(code), compact_by_2(code >> 1), compact_by_2(code >> 2), level)
+    }
+
+    /// Parent octant; `None` for the root.
+    #[inline]
+    pub fn parent(&self) -> Option<Self> {
+        if self.level == 0 {
+            return None;
+        }
+        let side = self.side() << 1;
+        let mask = !(side - 1);
+        Some(Self { x: self.x & mask, y: self.y & mask, z: self.z & mask, level: self.level - 1 })
+    }
+
+    /// Ancestor at the given (coarser or equal) level.
+    pub fn ancestor_at(&self, level: u8) -> Self {
+        assert!(level <= self.level);
+        let side = 1u32 << (MAX_LEVEL - level);
+        let mask = !(side - 1);
+        Self { x: self.x & mask, y: self.y & mask, z: self.z & mask, level }
+    }
+
+    /// The eight children, in Morton order. Panics at `MAX_LEVEL`.
+    pub fn children(&self) -> [Self; 8] {
+        assert!(self.level < MAX_LEVEL, "cannot refine past MAX_LEVEL");
+        let half = self.side() >> 1;
+        let l = self.level + 1;
+        let mut out = [*self; 8];
+        for (i, o) in out.iter_mut().enumerate() {
+            let i = i as u32;
+            *o = Self {
+                x: self.x + (i & 1) * half,
+                y: self.y + ((i >> 1) & 1) * half,
+                z: self.z + ((i >> 2) & 1) * half,
+                level: l,
+            };
+        }
+        out
+    }
+
+    /// Index of this octant within its parent (0..8), Morton order.
+    #[inline]
+    pub fn child_index(&self) -> usize {
+        debug_assert!(self.level > 0);
+        let side = self.side();
+        let bx = (self.x / side) & 1;
+        let by = (self.y / side) & 1;
+        let bz = (self.z / side) & 1;
+        (bx | (by << 1) | (bz << 2)) as usize
+    }
+
+    /// True if `self` strictly contains `other` (proper ancestor).
+    pub fn is_ancestor_of(&self, other: &Self) -> bool {
+        if self.level >= other.level {
+            return false;
+        }
+        other.ancestor_at(self.level).anchor() == self.anchor()
+    }
+
+    /// True if self == other or self is an ancestor of other.
+    pub fn contains(&self, other: &Self) -> bool {
+        self == other || self.is_ancestor_of(other)
+    }
+
+    /// True if the two octants overlap (one contains the other).
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// Deepest first descendant: the `MAX_LEVEL` octant at this anchor.
+    pub fn deepest_first_descendant(&self) -> Self {
+        Self { x: self.x, y: self.y, z: self.z, level: MAX_LEVEL }
+    }
+
+    /// Deepest last descendant: the `MAX_LEVEL` octant at the far corner.
+    pub fn deepest_last_descendant(&self) -> Self {
+        let off = self.side() - 1;
+        Self { x: self.x + off, y: self.y + off, z: self.z + off, level: MAX_LEVEL }
+    }
+
+    /// Finest common ancestor of two keys.
+    pub fn common_ancestor(&self, other: &Self) -> Self {
+        let mut level = self.level.min(other.level);
+        loop {
+            let a = self.ancestor_at(level);
+            if a.anchor() == other.ancestor_at(level).anchor() {
+                return a;
+            }
+            level -= 1; // level 0 always matches, so this terminates
+        }
+    }
+
+    /// Same-level neighbor offset by `d` octant-sides in each axis.
+    /// Returns `None` if it would leave the lattice.
+    pub fn neighbor(&self, d: [i8; 3]) -> Option<Self> {
+        let side = self.side() as i64;
+        let mut c = [0u32; 3];
+        for (i, (&a, &di)) in [self.x, self.y, self.z].iter().zip(d.iter()).enumerate() {
+            let v = a as i64 + di as i64 * side;
+            if v < 0 || v >= LATTICE as i64 {
+                return None;
+            }
+            c[i] = v as u32;
+        }
+        Some(Self { x: c[0], y: c[1], z: c[2], level: self.level })
+    }
+
+    /// All existing same-level neighbors sharing a face (up to 6).
+    pub fn face_neighbors(&self) -> Vec<Self> {
+        const DIRS: [[i8; 3]; 6] =
+            [[-1, 0, 0], [1, 0, 0], [0, -1, 0], [0, 1, 0], [0, 0, -1], [0, 0, 1]];
+        DIRS.iter().filter_map(|&d| self.neighbor(d)).collect()
+    }
+
+    /// All existing same-level neighbors sharing a face, edge or corner
+    /// (up to 26).
+    pub fn all_neighbors(&self) -> Vec<Self> {
+        let mut out = Vec::with_capacity(26);
+        for dz in -1i8..=1 {
+            for dy in -1i8..=1 {
+                for dx in -1i8..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    if let Some(n) = self.neighbor([dx, dy, dz]) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the octant touches the lattice boundary in any direction.
+    pub fn touches_domain_boundary(&self) -> bool {
+        let side = self.side();
+        self.x == 0
+            || self.y == 0
+            || self.z == 0
+            || self.x + side == LATTICE
+            || self.y + side == LATTICE
+            || self.z + side == LATTICE
+    }
+}
+
+impl PartialOrd for MortonKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MortonKey {
+    /// Morton order on anchors, ancestors before descendants.
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.morton().cmp(&other.morton()).then(self.level.cmp(&other.level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_roundtrip() {
+        let k = MortonKey::new(8, 16, 24, MAX_LEVEL - 3);
+        assert_eq!(MortonKey::from_morton(k.morton(), k.level()), k);
+    }
+
+    #[test]
+    fn part_compact_inverse_exhaustive_low_bits() {
+        for v in 0u32..512 {
+            assert_eq!(compact_by_2(part_by_2(v)), v);
+        }
+        assert_eq!(compact_by_2(part_by_2(LATTICE - 1)), LATTICE - 1);
+    }
+
+    #[test]
+    fn root_properties() {
+        let r = MortonKey::root();
+        assert_eq!(r.side(), LATTICE);
+        assert_eq!(r.parent(), None);
+        assert!(r.touches_domain_boundary());
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let p = MortonKey::new(0, 0, 0, 2);
+        let ch = p.children();
+        // All children are inside the parent, disjoint, and cover its volume.
+        let mut vol = 0u64;
+        for c in &ch {
+            assert_eq!(c.parent().unwrap(), p);
+            assert!(p.is_ancestor_of(c));
+            vol += (c.side() as u64).pow(3);
+        }
+        assert_eq!(vol, (p.side() as u64).pow(3));
+        for i in 0..8 {
+            assert_eq!(ch[i].child_index(), i);
+            for j in 0..i {
+                assert!(!ch[i].overlaps(&ch[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn children_sorted_in_morton_order() {
+        let p = MortonKey::new(LATTICE / 2, 0, LATTICE / 2, 1);
+        let ch = p.children();
+        for w in ch.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn ancestor_ordering() {
+        // An ancestor shares its anchor's Morton prefix and sorts first.
+        let p = MortonKey::new(0, 0, 0, 3);
+        let c = p.children()[0];
+        assert!(p < c);
+        assert!(p.is_ancestor_of(&c));
+        assert!(!c.is_ancestor_of(&p));
+        assert!(!p.is_ancestor_of(&p));
+    }
+
+    #[test]
+    fn neighbors_at_boundary_are_clipped() {
+        let corner = MortonKey::new(0, 0, 0, 4);
+        assert_eq!(corner.face_neighbors().len(), 3);
+        assert_eq!(corner.all_neighbors().len(), 7);
+        let side = corner.side();
+        let interior = MortonKey::new(side * 4, side * 4, side * 4, 4);
+        assert_eq!(interior.face_neighbors().len(), 6);
+        assert_eq!(interior.all_neighbors().len(), 26);
+    }
+
+    #[test]
+    fn common_ancestor_of_siblings_is_parent() {
+        let p = MortonKey::new(0, 0, 0, 5);
+        let ch = p.children();
+        assert_eq!(ch[0].common_ancestor(&ch[7]), p);
+        assert_eq!(ch[3].common_ancestor(&ch[3]), ch[3]);
+    }
+
+    #[test]
+    fn deepest_descendants_bracket_subtree() {
+        let k = MortonKey::new(LATTICE / 2, LATTICE / 2, 0, 2);
+        let dfd = k.deepest_first_descendant();
+        let dld = k.deepest_last_descendant();
+        assert!(k.is_ancestor_of(&dfd));
+        assert!(k.is_ancestor_of(&dld));
+        assert!(dfd <= dld);
+        // Any descendant's morton code lies within [dfd, dld].
+        let child = k.children()[5].children()[2];
+        assert!(dfd.morton() <= child.morton() && child.morton() <= dld.morton());
+    }
+
+    #[test]
+    fn morton_order_matches_z_curve_on_level1() {
+        // The 8 level-1 octants must sort exactly in child order.
+        let ch = MortonKey::root().children();
+        let mut sorted = ch;
+        sorted.sort();
+        assert_eq!(sorted, ch);
+    }
+
+    #[test]
+    fn ancestor_at_is_idempotent() {
+        let k = MortonKey::new(96, 160, 32, MAX_LEVEL - 5 + 5);
+        for l in 0..=k.level() {
+            let a = k.ancestor_at(l);
+            assert_eq!(a.level(), l);
+            assert!(a.contains(&k));
+            assert_eq!(a.ancestor_at(l), a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_key() -> impl Strategy<Value = MortonKey> {
+        (0u8..=10, 0u32..1024, 0u32..1024, 0u32..1024).prop_map(|(l, x, y, z)| {
+            let side = 1u32 << (MAX_LEVEL - l);
+            let cap = 1u32 << l;
+            MortonKey::new((x % cap) * side, (y % cap) * side, (z % cap) * side, l)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn morton_roundtrip_random(k in arb_key()) {
+            prop_assert_eq!(MortonKey::from_morton(k.morton(), k.level()), k);
+        }
+
+        #[test]
+        fn parent_contains_child(k in arb_key()) {
+            if let Some(p) = k.parent() {
+                prop_assert!(p.is_ancestor_of(&k));
+                prop_assert!(p < k || p.anchor() == k.anchor());
+                prop_assert!(p.children().contains(&k));
+            }
+        }
+
+        #[test]
+        fn ordering_consistent_with_containment(a in arb_key(), b in arb_key()) {
+            // If a contains b then a <= b in SFC order; if disjoint, the
+            // order matches anchor Morton codes.
+            if a.is_ancestor_of(&b) {
+                prop_assert!(a < b);
+            } else if !b.is_ancestor_of(&a) && a != b {
+                prop_assert_eq!(a < b, (a.morton(), a.level()) < (b.morton(), b.level()));
+            }
+        }
+
+        #[test]
+        fn common_ancestor_contains_both(a in arb_key(), b in arb_key()) {
+            let c = a.common_ancestor(&b);
+            prop_assert!(c.contains(&a));
+            prop_assert!(c.contains(&b));
+            // Minimality: no child of c contains both.
+            if c.level() < MAX_LEVEL {
+                for ch in c.children() {
+                    prop_assert!(!(ch.contains(&a) && ch.contains(&b)));
+                }
+            }
+        }
+
+        #[test]
+        fn neighbors_are_adjacent_and_symmetric(k in arb_key()) {
+            for n in k.all_neighbors() {
+                prop_assert_eq!(n.level(), k.level());
+                // Symmetric: k is among n's neighbors.
+                prop_assert!(n.all_neighbors().contains(&k));
+                // Adjacent: anchor offset exactly one side.
+                let s = k.side() as i64;
+                for (a, b) in k.anchor().iter().zip(n.anchor().iter()) {
+                    let d = (*a as i64 - *b as i64).abs();
+                    prop_assert!(d == 0 || d == s);
+                }
+            }
+        }
+
+        #[test]
+        fn dfd_dld_bracket_all_descendants(k in arb_key()) {
+            let dfd = k.deepest_first_descendant().morton();
+            let dld = k.deepest_last_descendant().morton();
+            prop_assert!(dfd <= dld);
+            if k.level() < MAX_LEVEL {
+                for c in k.children() {
+                    prop_assert!(c.morton() >= dfd);
+                    prop_assert!(c.deepest_last_descendant().morton() <= dld);
+                }
+            }
+        }
+    }
+}

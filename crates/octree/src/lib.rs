@@ -1,0 +1,44 @@
+//! Linear octree substrate for the `gw-amr` solver.
+//!
+//! This crate reproduces the octree machinery of the Dendro-GR framework that
+//! the paper builds on (section III-B of the paper):
+//!
+//! * **Morton / space-filling-curve keys** ([`key::MortonKey`]) — octants are
+//!   identified by their anchor coordinates on a `2^MAX_LEVEL` integer lattice
+//!   plus a refinement level; ordering is the Morton (Z-order) curve with
+//!   ancestors sorting before descendants.
+//! * **Linear octrees** ([`build`]) — only leaves are stored, sorted in SFC
+//!   order. Construction is bottom-up from seed points or from a refinement
+//!   callback, with `linearize` removing overlaps and `complete_region` /
+//!   `complete_octree` filling gaps (Sundar, Sampath & Biros, SISC 2008).
+//! * **2:1 balance** ([`balance`]) — no leaf may touch (face, edge or corner)
+//!   a leaf more than one level away. This constraint is what keeps the
+//!   octant-to-patch scatter kernel down to three cases (same / coarser /
+//!   finer neighbor), as exploited in section IV-A of the paper.
+//! * **Neighbor search** ([`neighbors`]) — face/edge/corner neighbor lookup
+//!   in a sorted linear octree.
+//! * **SFC partitioning** ([`partition`]) — contiguous-in-SFC weighted
+//!   partitions across ranks/devices.
+//! * **Adaptive refinement drivers** ([`refine`]) — puncture-distance-based
+//!   refinement (BBH grids, Figs. 3, 12, 13) and an interpolation-error
+//!   (wavelet-style) tolerance criterion (Fig. 19's ε sweep).
+//! * **Physical domain mapping** ([`domain`]) — octants to coordinates.
+//!
+//! The octree is purely an index structure: field storage, ghost layers and
+//! patch maps live in the `gw-mesh` crate.
+
+pub mod balance;
+pub mod build;
+pub mod domain;
+pub mod key;
+pub mod neighbors;
+pub mod partition;
+pub mod refine;
+
+pub use balance::{balance_octree, is_balanced, BalanceMode};
+pub use build::{complete_octree, complete_region, linearize, octree_from_points};
+pub use domain::Domain;
+pub use key::{MortonKey, MAX_LEVEL};
+pub use neighbors::{NeighborDirection, NeighborLevel, NeighborQuery};
+pub use partition::{partition_weighted, PartitionMap};
+pub use refine::{refine_loop, refine_step, InterpErrorRefiner, Puncture, PunctureRefiner, RefineDecision, Refiner};

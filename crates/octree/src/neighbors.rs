@@ -1,0 +1,309 @@
+//! Neighbor search in sorted linear octrees.
+//!
+//! Given a 2:1-balanced complete linear octree, a leaf's neighbor across any
+//! of its 26 directions is exactly one of: a leaf at the *same* level, the
+//! single *coarser* (parent-level) leaf covering that region, a set of
+//! *finer* (child-level) leaves tiling it, or the domain boundary. This is
+//! the case analysis that Algorithm 2 of the paper dispatches on during the
+//! octant-to-patch scatter.
+
+use crate::key::MortonKey;
+
+/// One of the 26 face/edge/corner directions, as per-axis offsets in
+/// `{-1, 0, +1}` (not all zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NeighborDirection(pub [i8; 3]);
+
+impl NeighborDirection {
+    /// Enumerate all 26 directions, faces first, then edges, then corners.
+    pub fn all() -> Vec<Self> {
+        let mut v: Vec<Self> = Vec::with_capacity(26);
+        for dz in -1i8..=1 {
+            for dy in -1i8..=1 {
+                for dx in -1i8..=1 {
+                    if dx != 0 || dy != 0 || dz != 0 {
+                        v.push(Self([dx, dy, dz]));
+                    }
+                }
+            }
+        }
+        v.sort_by_key(|d| d.arity());
+        v
+    }
+
+    /// 1 for faces, 2 for edges, 3 for corners.
+    pub fn arity(&self) -> u8 {
+        self.0.iter().map(|d| d.unsigned_abs()).sum()
+    }
+
+    pub fn is_face(&self) -> bool {
+        self.arity() == 1
+    }
+
+    /// The opposite direction.
+    pub fn opposite(&self) -> Self {
+        Self([-self.0[0], -self.0[1], -self.0[2]])
+    }
+}
+
+/// Classification of what occupies the region adjacent to a leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NeighborLevel {
+    /// A leaf at the same refinement level.
+    Same(MortonKey),
+    /// The parent-level leaf covering the neighbor region.
+    Coarser(MortonKey),
+    /// The child-level leaves tiling the neighbor region that touch the
+    /// querying leaf (1, 2 or 4 of them depending on direction arity).
+    Finer(Vec<MortonKey>),
+    /// The neighbor region lies outside the computational domain.
+    Boundary,
+}
+
+/// Sorted-leaf-array neighbor query structure.
+///
+/// Construction is `O(n)` (the input must already be sorted); each query is
+/// a couple of binary searches.
+pub struct NeighborQuery<'a> {
+    leaves: &'a [MortonKey],
+}
+
+impl<'a> NeighborQuery<'a> {
+    /// Wrap a sorted, non-overlapping leaf array.
+    pub fn new(leaves: &'a [MortonKey]) -> Self {
+        debug_assert!(leaves.windows(2).all(|w| w[0] < w[1]), "leaves must be sorted");
+        Self { leaves }
+    }
+
+    /// True if `k` is a leaf of the tree.
+    pub fn contains_leaf(&self, k: &MortonKey) -> bool {
+        self.leaves.binary_search(k).is_ok()
+    }
+
+    /// The leaf covering the given octant region from above (an ancestor or
+    /// the octant itself), if any.
+    pub fn covering_leaf(&self, probe: &MortonKey) -> Option<MortonKey> {
+        let dfd = probe.deepest_first_descendant();
+        let idx = match self.leaves.binary_search(&dfd) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let cand = self.leaves[idx];
+        cand.contains(probe).then_some(cand)
+    }
+
+    /// Classify the neighbor of leaf `k` in direction `dir`.
+    ///
+    /// Requires the tree to be complete and 2:1 balanced; panics (in debug)
+    /// if the balance assumption is violated.
+    pub fn neighbor(&self, k: &MortonKey, dir: NeighborDirection) -> NeighborLevel {
+        let Some(n) = k.neighbor(dir.0) else {
+            return NeighborLevel::Boundary;
+        };
+        if self.contains_leaf(&n) {
+            return NeighborLevel::Same(n);
+        }
+        if let Some(cov) = self.covering_leaf(&n) {
+            if cov != n {
+                debug_assert_eq!(
+                    cov.level() + 1,
+                    k.level(),
+                    "2:1 balance violated at {k:?} dir {dir:?}"
+                );
+                return NeighborLevel::Coarser(cov);
+            }
+        }
+        // Otherwise the region n is tiled by finer leaves; with 2:1 balance
+        // they are exactly the children of n facing k.
+        let facing = facing_children(&n, dir);
+        debug_assert!(
+            facing.iter().all(|c| self.contains_leaf(c)),
+            "expected finer leaves tiling neighbor of {k:?} dir {dir:?}"
+        );
+        NeighborLevel::Finer(facing)
+    }
+
+    /// All 26 neighbor classifications of a leaf, paired with direction.
+    pub fn all_neighbors(&self, k: &MortonKey) -> Vec<(NeighborDirection, NeighborLevel)> {
+        NeighborDirection::all().into_iter().map(|d| (d, self.neighbor(k, d))).collect()
+    }
+
+    /// All *leaves* (any level) that touch `k` across any face/edge/corner.
+    pub fn touching_leaves(&self, k: &MortonKey) -> Vec<MortonKey> {
+        let mut out = Vec::new();
+        for (_, n) in self.all_neighbors(k) {
+            match n {
+                NeighborLevel::Same(x) | NeighborLevel::Coarser(x) => out.push(x),
+                NeighborLevel::Finer(v) => out.extend(v),
+                NeighborLevel::Boundary => {}
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Children of octant `n` that lie on the side of `n` facing *against*
+/// direction `dir` (i.e. touching the leaf that queried across `dir`).
+fn facing_children(n: &MortonKey, dir: NeighborDirection) -> Vec<MortonKey> {
+    let ch = n.children();
+    let mut out = Vec::with_capacity(4);
+    for (i, c) in ch.iter().enumerate() {
+        let bx = (i & 1) as i8;
+        let by = ((i >> 1) & 1) as i8;
+        let bz = ((i >> 2) & 1) as i8;
+        // A child touches the querying leaf if, along each axis where
+        // dir != 0, it sits on the near side: dir=+1 means the querying leaf
+        // is at lower coordinates, so the child must have bit 0; dir=-1
+        // means bit 1.
+        let ok = |d: i8, b: i8| match d {
+            1 => b == 0,
+            -1 => b == 1,
+            _ => true,
+        };
+        if ok(dir.0[0], bx) && ok(dir.0[1], by) && ok(dir.0[2], bz) {
+            out.push(*c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{balance_octree, BalanceMode};
+    use crate::build::complete_octree;
+
+    fn adaptive_tree() -> Vec<MortonKey> {
+        // Refine the origin child twice; balance.
+        let c0 = MortonKey::root().children()[0];
+        let fine = c0.children()[0].children();
+        let t = complete_octree(fine.to_vec());
+        balance_octree(&t, BalanceMode::Full)
+    }
+
+    #[test]
+    fn direction_enumeration() {
+        let dirs = NeighborDirection::all();
+        assert_eq!(dirs.len(), 26);
+        assert_eq!(dirs.iter().filter(|d| d.is_face()).count(), 6);
+        assert_eq!(dirs.iter().filter(|d| d.arity() == 2).count(), 12);
+        assert_eq!(dirs.iter().filter(|d| d.arity() == 3).count(), 8);
+        // Faces come first.
+        assert!(dirs[..6].iter().all(|d| d.is_face()));
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in NeighborDirection::all() {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn uniform_tree_all_same_level() {
+        let mut leaves = vec![];
+        for c in MortonKey::root().children() {
+            leaves.extend(c.children());
+        }
+        leaves.sort_unstable();
+        let q = NeighborQuery::new(&leaves);
+        for k in &leaves {
+            for (_, n) in q.all_neighbors(k) {
+                assert!(matches!(n, NeighborLevel::Same(_) | NeighborLevel::Boundary));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_tree_classifications_consistent() {
+        let t = adaptive_tree();
+        let q = NeighborQuery::new(&t);
+        let mut saw_coarser = false;
+        let mut saw_finer = false;
+        for k in &t {
+            for (d, n) in q.all_neighbors(k) {
+                match n {
+                    NeighborLevel::Same(x) => {
+                        assert_eq!(x.level(), k.level());
+                        // Symmetric: x sees k in the opposite direction.
+                        assert_eq!(q.neighbor(&x, d.opposite()), NeighborLevel::Same(*k));
+                    }
+                    NeighborLevel::Coarser(x) => {
+                        assert_eq!(x.level() + 1, k.level());
+                        saw_coarser = true;
+                    }
+                    NeighborLevel::Finer(v) => {
+                        assert!(!v.is_empty());
+                        let expect = match d.arity() {
+                            1 => 4,
+                            2 => 2,
+                            3 => 1,
+                            _ => unreachable!(),
+                        };
+                        assert_eq!(v.len(), expect);
+                        for x in &v {
+                            assert_eq!(x.level(), k.level() + 1);
+                        }
+                        saw_finer = true;
+                    }
+                    NeighborLevel::Boundary => {}
+                }
+            }
+        }
+        assert!(saw_coarser && saw_finer, "adaptive tree must exhibit both transitions");
+    }
+
+    #[test]
+    fn coarser_finer_are_mutual() {
+        // Touching is symmetric: if k sees a coarser neighbor c, then c's
+        // touching set contains k (k is a facing child of some region of
+        // c), and vice versa. (The *direction* is not simply opposite —
+        // a small octant can touch a big one across a face of the big
+        // octant's corner region — so we assert set membership.)
+        let t = adaptive_tree();
+        let q = NeighborQuery::new(&t);
+        for k in &t {
+            for (_, n) in q.all_neighbors(k) {
+                if let NeighborLevel::Coarser(c) = n {
+                    assert!(
+                        q.touching_leaves(&c).contains(k),
+                        "coarse {c:?} must touch fine {k:?}"
+                    );
+                    assert!(q.touching_leaves(k).contains(&c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn touching_leaves_nonempty_for_interior() {
+        let t = adaptive_tree();
+        let q = NeighborQuery::new(&t);
+        for k in &t {
+            let touching = q.touching_leaves(k);
+            assert!(!touching.is_empty());
+            assert!(!touching.contains(k));
+        }
+    }
+
+    #[test]
+    fn covering_leaf_finds_ancestors() {
+        let t = adaptive_tree();
+        let q = NeighborQuery::new(&t);
+        for k in &t {
+            assert_eq!(q.covering_leaf(k), Some(*k));
+            if k.level() > 0 {
+                // The parent region is covered only if the parent itself is
+                // a leaf; otherwise covering_leaf must return None.
+                let p = k.parent().unwrap();
+                match q.covering_leaf(&p) {
+                    Some(c) => assert_eq!(c, p),
+                    None => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Space-filling-curve partitioning.
+//!
+//! Dendro-GR assigns contiguous ranges of the Morton-sorted leaf array to
+//! ranks (Fernando, Duplyakin & Sundar, HPDC 2017). Contiguity along the SFC
+//! keeps partitions geometrically compact, which bounds the ghost (halo)
+//! surface — the property the multi-GPU scaling experiments (Figs. 17, 18,
+//! 20) depend on.
+
+use crate::key::MortonKey;
+
+/// A partition of a leaf array into `parts` contiguous SFC ranges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionMap {
+    /// `offsets[r]..offsets[r+1]` is rank r's range; `offsets.len() = parts+1`.
+    pub offsets: Vec<usize>,
+}
+
+impl PartitionMap {
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Leaf index range owned by rank `r`.
+    pub fn range(&self, r: usize) -> std::ops::Range<usize> {
+        self.offsets[r]..self.offsets[r + 1]
+    }
+
+    /// The rank owning leaf index `i`.
+    pub fn owner_of_index(&self, i: usize) -> usize {
+        debug_assert!(i < *self.offsets.last().unwrap());
+        // offsets is sorted; find the last offset <= i.
+        match self.offsets.binary_search(&i) {
+            Ok(r) => {
+                // `i` may coincide with the start of several empty ranges;
+                // pick the first non-empty one starting at i.
+                let mut r = r;
+                while self.offsets[r + 1] == i {
+                    r += 1;
+                }
+                r
+            }
+            Err(r) => r - 1,
+        }
+    }
+
+    /// The rank owning a given key, by binary search in the leaf array the
+    /// map was built over.
+    pub fn owner_of_key(&self, leaves: &[MortonKey], k: &MortonKey) -> Option<usize> {
+        leaves.binary_search(k).ok().map(|i| self.owner_of_index(i))
+    }
+
+    /// Number of leaves per part.
+    pub fn sizes(&self) -> Vec<usize> {
+        (0..self.parts()).map(|r| self.range(r).len()).collect()
+    }
+}
+
+/// Partition `weights.len()` leaves into `parts` contiguous ranges with
+/// near-equal total weight (greedy prefix-sum splitting).
+///
+/// Weights are arbitrary non-negative work estimates — in the solver we use
+/// grid points per octant (uniform) or measured per-octant kernel cost.
+pub fn partition_weighted(weights: &[f64], parts: usize) -> PartitionMap {
+    assert!(parts >= 1);
+    assert!(weights.iter().all(|w| *w >= 0.0), "weights must be non-negative");
+    let n = weights.len();
+    // Prefix sums: prefix[i] = sum of weights[..i].
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0f64);
+    for &w in weights {
+        prefix.push(prefix.last().unwrap() + w);
+    }
+    let total = *prefix.last().unwrap();
+    let mut offsets = Vec::with_capacity(parts + 1);
+    offsets.push(0usize);
+    for r in 1..parts {
+        let target = total * (r as f64) / (parts as f64);
+        // Smallest i with prefix[i] >= target; then pick i or i-1, whichever
+        // prefix is closer to the target (classic balanced SFC split).
+        let mut i = prefix.partition_point(|&p| p < target);
+        if i > 0 && i <= n {
+            let lo = prefix[i - 1];
+            let hi = prefix[i.min(n)];
+            if (target - lo).abs() < (hi - target).abs() {
+                i -= 1;
+            }
+        }
+        let i = i.min(n).max(offsets[r - 1]);
+        offsets.push(i);
+    }
+    offsets.push(n);
+    PartitionMap { offsets }
+}
+
+/// Convenience: uniform weights.
+pub fn partition_uniform(n: usize, parts: usize) -> PartitionMap {
+    partition_weighted(&vec![1.0; n], parts)
+}
+
+/// Load imbalance of a partition under the given weights:
+/// `max_part_weight / mean_part_weight` (1.0 = perfect).
+pub fn imbalance(weights: &[f64], map: &PartitionMap) -> f64 {
+    let parts = map.parts();
+    let mut sums = vec![0.0f64; parts];
+    for r in 0..parts {
+        sums[r] = map.range(r).map(|i| weights[i]).sum();
+    }
+    let total: f64 = sums.iter().sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    let mean = total / parts as f64;
+    sums.iter().cloned().fold(0.0f64, f64::max) / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_partition_is_even() {
+        let m = partition_uniform(100, 4);
+        assert_eq!(m.parts(), 4);
+        assert_eq!(m.sizes(), vec![25, 25, 25, 25]);
+        assert!(imbalance(&vec![1.0; 100], &m) <= 1.01);
+    }
+
+    #[test]
+    fn single_part_takes_all() {
+        let m = partition_uniform(17, 1);
+        assert_eq!(m.sizes(), vec![17]);
+    }
+
+    #[test]
+    fn ranges_are_disjoint_and_cover() {
+        let w: Vec<f64> = (0..37).map(|i| 1.0 + (i % 5) as f64).collect();
+        let m = partition_weighted(&w, 5);
+        assert_eq!(m.offsets[0], 0);
+        assert_eq!(*m.offsets.last().unwrap(), 37);
+        for r in 0..m.parts() - 1 {
+            assert!(m.offsets[r] <= m.offsets[r + 1]);
+        }
+        let covered: usize = m.sizes().iter().sum();
+        assert_eq!(covered, 37);
+    }
+
+    #[test]
+    fn weighted_partition_balances_skewed_weights() {
+        // Heavy leaves at the front; greedy split must not dump everything
+        // in part 0.
+        let mut w = vec![10.0; 10];
+        w.extend(vec![1.0; 90]);
+        let m = partition_weighted(&w, 4);
+        let imb = imbalance(&w, &m);
+        assert!(imb < 1.5, "imbalance {imb} too high; sizes {:?}", m.sizes());
+    }
+
+    #[test]
+    fn owner_of_index_matches_ranges() {
+        let m = partition_uniform(20, 3);
+        for r in 0..3 {
+            for i in m.range(r) {
+                assert_eq!(m.owner_of_index(i), r);
+            }
+        }
+    }
+
+    #[test]
+    fn more_parts_than_leaves_yields_empty_tail_parts() {
+        let m = partition_uniform(2, 4);
+        assert_eq!(m.parts(), 4);
+        let covered: usize = m.sizes().iter().sum();
+        assert_eq!(covered, 2);
+    }
+}

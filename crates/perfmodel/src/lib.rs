@@ -1,0 +1,24 @@
+//! Performance models (section III-D of the paper) and the analytic
+//! models behind Tables I and IV and the scaling figures.
+//!
+//! * [`ram`] — the slow/fast-memory (RAM) execution models: infinite-cache
+//!   `T∞(f, m) = f·τ_f + m·τ_m` and finite-cache
+//!   `T(f, m) = m·τ_m·max(1, mξ) + f·τ_f`, plus kernel classification.
+//! * [`roofline`] — attainable-performance ceilings and projection of
+//!   measured counter sets onto the roofline (Fig. 14).
+//! * [`requirements`] — the Table I resolution/timestep model: 120 points
+//!   across each horizon, quadrupole-decay merger time, `Δt = Δx_min`.
+//! * [`production`] — the Table IV wall-clock model driven by measured
+//!   per-step costs.
+//! * [`scaling`] — strong/weak scaling projection from per-rank work and
+//!   the ghost-exchange plan (Figs. 17, 18, 20).
+
+pub mod production;
+pub mod ram;
+pub mod requirements;
+pub mod roofline;
+pub mod scaling;
+
+pub use ram::{KernelClass, RamModel};
+pub use requirements::{resolution_requirements, Requirement};
+pub use roofline::{Roofline, RooflinePoint};

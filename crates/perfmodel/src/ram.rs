@@ -1,0 +1,124 @@
+//! The slow/fast-memory execution models of section III-D.
+
+use gw_gpu_sim::{CounterSnapshot, MachineSpec};
+
+/// Bandwidth- vs compute-bound classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelClass {
+    BandwidthBound,
+    ComputeBound,
+}
+
+/// The RAM model bound to a machine.
+#[derive(Clone, Debug)]
+pub struct RamModel {
+    pub machine: MachineSpec,
+}
+
+impl RamModel {
+    pub fn new(machine: MachineSpec) -> Self {
+        Self { machine }
+    }
+
+    pub fn a100() -> Self {
+        Self::new(MachineSpec::a100())
+    }
+
+    /// Infinite-cache kernel time: `T∞ = f τ_f + m τ_m`.
+    pub fn time_infinite_cache(&self, flops: u64, bytes: u64) -> f64 {
+        flops as f64 * self.machine.tau_f + bytes as f64 * self.machine.tau_m
+    }
+
+    /// Finite-cache kernel time: `T = m τ_m max(1, mξ) + f τ_f`.
+    pub fn time_finite_cache(&self, flops: u64, bytes: u64) -> f64 {
+        let m = bytes as f64;
+        m * self.machine.tau_m * (m * self.machine.xi()).max(1.0)
+            + flops as f64 * self.machine.tau_f
+    }
+
+    /// Model time for a metered kernel (uses global traffic + flops). The
+    /// `m ξ` term matters only for working sets beyond the caches; we use
+    /// the per-launch average working set = bytes / launches when the
+    /// caller provides launches ≥ 1.
+    pub fn kernel_time(&self, s: &CounterSnapshot) -> f64 {
+        let m = s.global_bytes() + s.spill_load_bytes + s.spill_store_bytes;
+        self.time_infinite_cache(s.flops, m)
+    }
+
+    /// Classification by arithmetic intensity: below `τ_m/τ_f` the flops
+    /// are negligible (the paper's `Q < 6.25` criterion on the A100).
+    pub fn classify(&self, ai: f64) -> KernelClass {
+        if ai < self.machine.bandwidth_bound_ai() {
+            KernelClass::BandwidthBound
+        } else {
+            KernelClass::ComputeBound
+        }
+    }
+
+    /// Projected GFlop/s for a metered kernel under the model.
+    pub fn projected_gflops(&self, s: &CounterSnapshot) -> f64 {
+        let t = self.kernel_time(s);
+        if t <= 0.0 {
+            return 0.0;
+        }
+        s.flops as f64 * 1e-9 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidth_criterion() {
+        let m = RamModel::a100();
+        // Paper: Q < 6.25 ⇒ bandwidth bound. Both paper kernels qualify:
+        // o2p (Q_U ≤ 5.07) and A (Q_A ≈ 1.94).
+        assert_eq!(m.classify(5.07), KernelClass::BandwidthBound);
+        assert_eq!(m.classify(1.94), KernelClass::BandwidthBound);
+        assert_eq!(m.classify(0.62), KernelClass::BandwidthBound);
+        assert_eq!(m.classify(10.0), KernelClass::ComputeBound);
+    }
+
+    #[test]
+    fn infinite_cache_time_components() {
+        let m = RamModel::a100();
+        // Pure data movement: 1 GB at 6.4e-13 s/B = 0.64 ms.
+        let t = m.time_infinite_cache(0, 1_000_000_000);
+        assert!((t - 6.4e-4).abs() < 1e-8);
+        // Pure flops: 1 GFlop at 1e-13 s = 0.1 ms.
+        let t = m.time_infinite_cache(1_000_000_000, 0);
+        assert!((t - 1e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finite_cache_penalizes_large_working_sets() {
+        let m = RamModel::a100();
+        // Paper: m ≈ 2 MB/octant × 108 octants ⇒ mξ ≈ 10.
+        let bytes = (2.0e6 * 108.0) as u64;
+        let mxi = bytes as f64 * m.machine.xi();
+        assert!(mxi > 5.0 && mxi < 15.0, "mξ = {mxi}");
+        let t_inf = m.time_infinite_cache(0, bytes);
+        let t_fin = m.time_finite_cache(0, bytes);
+        assert!(t_fin > 5.0 * t_inf);
+        // Small working sets: the models agree.
+        let small = 100_000;
+        assert!(
+            (m.time_finite_cache(0, small) - m.time_infinite_cache(0, small)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn projected_gflops_bounded_by_peak() {
+        let m = RamModel::a100();
+        let s = CounterSnapshot {
+            flops: 10_000_000,
+            global_load_bytes: 1_000_000,
+            global_store_bytes: 500_000,
+            ..Default::default()
+        };
+        let g = m.projected_gflops(&s);
+        assert!(g > 0.0 && g <= m.machine.peak_gflops());
+    }
+}

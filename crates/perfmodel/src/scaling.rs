@@ -1,0 +1,162 @@
+//! Strong/weak scaling projection (Figs. 17, 18, 20).
+//!
+//! The host in this reproduction has a single core, so multi-GPU and
+//! multi-node scaling cannot be *timed*; it is *modelled*, which the paper
+//! itself does for its cost analysis: per-rank compute time comes from
+//! measured single-device kernel costs divided over ranks (with the SFC
+//! partition's actual load balance), and communication time from the
+//! ghost-exchange plan's bytes/messages under an interconnect model.
+
+use gw_comm::GhostPlan;
+
+/// Interconnect parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Network {
+    /// Per-message latency, seconds.
+    pub latency: f64,
+    /// Inverse bandwidth, seconds per byte.
+    pub inv_bandwidth: f64,
+}
+
+impl Network {
+    /// NVLink-class intra-node GPU interconnect (Lonestar 6's A100s:
+    /// ~200 GB/s effective per direction, ~5 µs per aggregated exchange).
+    pub fn gpu_interconnect() -> Self {
+        Self { latency: 5e-6, inv_bandwidth: 1.0 / 200e9 }
+    }
+
+    /// HDR InfiniBand-class fabric (Frontera: ~12 GB/s effective,
+    /// ~2 µs MPI latency).
+    pub fn cluster_fabric() -> Self {
+        Self { latency: 2e-6, inv_bandwidth: 1.0 / 12e9 }
+    }
+
+    /// Time to ship one aggregated exchange of `(messages, bytes)`.
+    pub fn exchange_time(&self, messages: usize, bytes: u64) -> f64 {
+        self.latency * messages as f64 + bytes as f64 * self.inv_bandwidth
+    }
+}
+
+/// One rank's projected step cost breakdown.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepCost {
+    pub compute: f64,
+    pub comm: f64,
+}
+
+impl StepCost {
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm
+    }
+}
+
+/// Project the per-step wall time on `p` ranks: the slowest rank's
+/// compute (from per-rank work shares) plus its exchange time.
+///
+/// `work_per_rank[r]` is rank r's compute seconds per step (already
+/// divided by per-device throughput); `plan` the ghost schedule for this
+/// partition; `dof`/`block_points` size the exchanged blocks.
+pub fn project_step(
+    work_per_rank: &[f64],
+    plan: &GhostPlan,
+    net: &Network,
+    dof: usize,
+    block_points: usize,
+    exchanges_per_step: usize,
+) -> StepCost {
+    let p = work_per_rank.len();
+    assert_eq!(plan.parts(), p);
+    let mut worst = StepCost::default();
+    for r in 0..p {
+        let comm = net.exchange_time(plan.messages_aggregated(r), plan.send_bytes(r, dof, block_points))
+            * exchanges_per_step as f64;
+        let c = StepCost { compute: work_per_rank[r], comm };
+        if c.total() > worst.total() {
+            worst = c;
+        }
+    }
+    worst
+}
+
+/// Parallel efficiency of a strong-scaling series `t[k]` at rank counts
+/// `p[k]` relative to the first entry.
+pub fn strong_efficiency(p: &[usize], t: &[f64]) -> Vec<f64> {
+    assert_eq!(p.len(), t.len());
+    let base = t[0] * p[0] as f64;
+    p.iter().zip(t.iter()).map(|(&pi, &ti)| base / (ti * pi as f64)).collect()
+}
+
+/// Weak-scaling efficiency: `t[0] / t[k]` for constant per-rank work.
+pub fn weak_efficiency(t: &[f64]) -> Vec<f64> {
+    t.iter().map(|&ti| t[0] / ti).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gw_comm::GhostSchedule;
+    use gw_octree::partition::partition_uniform;
+
+    fn chain_plan(n: usize, p: usize) -> GhostPlan {
+        let part = partition_uniform(n, p);
+        let mut deps = Vec::new();
+        for i in 1..n as u32 {
+            deps.push((i - 1, i));
+            deps.push((i, i - 1));
+        }
+        GhostSchedule::build(&part, deps.into_iter())
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_decays() {
+        // Fixed total work, more ranks: comm grows relative to compute.
+        let total_work = 1.0;
+        let net = Network::gpu_interconnect();
+        let n_oct = 4096;
+        let mut times = Vec::new();
+        let ps = [1usize, 2, 4, 8, 16];
+        for &p in &ps {
+            let plan = chain_plan(n_oct, p);
+            let work = vec![total_work / p as f64; p];
+            times.push(project_step(&work, &plan, &net, 24, 343, 4).total());
+        }
+        let eff = strong_efficiency(&ps, &times);
+        assert!((eff[0] - 1.0).abs() < 1e-12);
+        for w in eff.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "efficiency must decay: {eff:?}");
+        }
+        assert!(eff[4] < 1.0);
+    }
+
+    #[test]
+    fn weak_scaling_efficiency_stays_high() {
+        // Constant per-rank work: efficiency stays near 1 because ghost
+        // volume per rank is constant in a chain.
+        let net = Network::gpu_interconnect();
+        let per_rank_work = 0.5;
+        let mut times = Vec::new();
+        for p in [1usize, 2, 4, 8, 16] {
+            let plan = chain_plan(256 * p, p);
+            let work = vec![per_rank_work; p];
+            times.push(project_step(&work, &plan, &net, 24, 343, 4).total());
+        }
+        let eff = weak_efficiency(&times);
+        assert!(eff.iter().all(|&e| e > 0.9), "{eff:?}");
+    }
+
+    #[test]
+    fn exchange_time_components() {
+        let net = Network { latency: 1e-5, inv_bandwidth: 1e-9 };
+        let t = net.exchange_time(3, 1_000_000);
+        assert!((t - (3e-5 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_dominates_worst_rank() {
+        let net = Network::gpu_interconnect();
+        let plan = chain_plan(100, 4);
+        let balanced = project_step(&[0.25; 4], &plan, &net, 24, 343, 1);
+        let skewed = project_step(&[0.1, 0.1, 0.1, 0.7], &plan, &net, 24, 343, 1);
+        assert!(skewed.total() > 2.0 * balanced.total());
+    }
+}

@@ -1,0 +1,392 @@
+//! Intergrid transfer: prolongation (coarse→fine) and injection
+//! (fine→coarse) operators.
+//!
+//! Interpolations are tensor products of 1D operators (section IV-A,
+//! "Interpolations"): the 1D prolongation maps the `r` coarse points of an
+//! octant edge to the `2r − 1` fine points of its refined edge (even fine
+//! points coincide with coarse points; odd points are degree-`r−1` Lagrange
+//! midpoint interpolants). A full octant prolongation is three 1D passes
+//! (x, then y, then z slices), costing `O(3(2r−1)r^3)` operations — the
+//! count used for the paper's arithmetic-intensity bound `Q_U ≤ 5.07`
+//! (Eq. 20).
+
+use crate::patch::{PatchLayout, POINTS_PER_SIDE};
+
+/// Fine points along a refined edge: `2r − 1`.
+pub const FINE_SIDE: usize = 2 * POINTS_PER_SIDE - 1;
+
+/// Lagrange basis weights for evaluating at `x` from nodes `nodes`.
+pub fn lagrange_weights(nodes: &[f64], x: f64) -> Vec<f64> {
+    let n = nodes.len();
+    let mut w = vec![0.0; n];
+    for j in 0..n {
+        let mut p = 1.0;
+        for m in 0..n {
+            if m != j {
+                p *= (x - nodes[m]) / (nodes[j] - nodes[m]);
+            }
+        }
+        w[j] = p;
+    }
+    w
+}
+
+/// Lagrange basis weights together with their first and second
+/// derivatives at `x` — differentiation of the interpolant, used for
+/// evaluating gradients/Hessians of grid fields at off-grid points
+/// (e.g. the Weyl-scalar extraction on spheres).
+pub fn lagrange_weights_d2(nodes: &[f64], x: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let n = nodes.len();
+    let mut w = vec![0.0; n];
+    let mut dw = vec![0.0; n];
+    let mut ddw = vec![0.0; n];
+    for j in 0..n {
+        // ℓ_j(x) = Π_{m≠j} (x − x_m)/(x_j − x_m); differentiate the
+        // product analytically via sums over excluded factors.
+        let denom: f64 = (0..n).filter(|&m| m != j).map(|m| nodes[j] - nodes[m]).product();
+        let mut p0 = 1.0; // Π (x − x_m)
+        for m in 0..n {
+            if m != j {
+                p0 *= x - nodes[m];
+            }
+        }
+        // First derivative: Σ_k Π_{m≠j,k} (x − x_m).
+        let mut p1 = 0.0;
+        let mut p2 = 0.0;
+        for k in 0..n {
+            if k == j {
+                continue;
+            }
+            let mut prod_k = 1.0;
+            for m in 0..n {
+                if m != j && m != k {
+                    prod_k *= x - nodes[m];
+                }
+            }
+            p1 += prod_k;
+            // Second derivative: Σ_{k≠l} Π_{m≠j,k,l} (x − x_m).
+            for l in 0..n {
+                if l == j || l == k {
+                    continue;
+                }
+                let mut prod_kl = 1.0;
+                for m in 0..n {
+                    if m != j && m != k && m != l {
+                        prod_kl *= x - nodes[m];
+                    }
+                }
+                p2 += prod_kl;
+            }
+        }
+        w[j] = p0 / denom;
+        dw[j] = p1 / denom;
+        ddw[j] = p2 / denom;
+    }
+    (w, dw, ddw)
+}
+
+/// The `(2r−1) × r` 1D prolongation matrix: row `i` holds the weights that
+/// produce fine point `i` (at coarse coordinate `i/2`) from the `r` coarse
+/// points at integer coordinates.
+pub fn prolong_matrix() -> Vec<[f64; POINTS_PER_SIDE]> {
+    let nodes: Vec<f64> = (0..POINTS_PER_SIDE).map(|i| i as f64).collect();
+    let mut rows = Vec::with_capacity(FINE_SIDE);
+    for i in 0..FINE_SIDE {
+        let x = i as f64 * 0.5;
+        let w = lagrange_weights(&nodes, x);
+        let mut row = [0.0; POINTS_PER_SIDE];
+        row.copy_from_slice(&w);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Inject a fine edge (length `2r−1`) onto the coarse edge (length `r`) by
+/// taking the coincident (even) points. Exact for grid-aligned refinement.
+pub fn inject_1d(fine: &[f64], coarse: &mut [f64]) {
+    debug_assert_eq!(fine.len(), FINE_SIDE);
+    debug_assert_eq!(coarse.len(), POINTS_PER_SIDE);
+    for (c, f) in coarse.iter_mut().zip(fine.iter().step_by(2)) {
+        *c = *f;
+    }
+}
+
+/// Reusable temporaries for [`Prolongation::prolong3d_ws`].
+pub struct ProlongWorkspace {
+    t1: Vec<f64>,
+    t2: Vec<f64>,
+}
+
+impl Default for ProlongWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProlongWorkspace {
+    pub fn new() -> Self {
+        let r = POINTS_PER_SIDE;
+        let f = FINE_SIDE;
+        Self { t1: vec![0.0; f * r * r], t2: vec![0.0; f * f * r] }
+    }
+}
+
+/// Precomputed tensor-product prolongation operator.
+pub struct Prolongation {
+    rows: Vec<[f64; POINTS_PER_SIDE]>,
+}
+
+impl Default for Prolongation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prolongation {
+    pub fn new() -> Self {
+        Self { rows: prolong_matrix() }
+    }
+
+    /// Number of f64 values in the operator table (`(2r−1) × r`), used by
+    /// the performance model for the `2r^2`-ish operator-load term.
+    pub fn table_len(&self) -> usize {
+        self.rows.len() * POINTS_PER_SIDE
+    }
+
+    /// Prolong a `r^3` coarse octant to the full `(2r−1)^3` fine block via
+    /// three 1D passes. Returns the flop count performed (for the
+    /// simulator's counters). Allocates internal temporaries; hot loops
+    /// should use [`Prolongation::prolong3d_ws`].
+    pub fn prolong3d(&self, coarse: &[f64], fine: &mut [f64]) -> u64 {
+        let mut ws = ProlongWorkspace::new();
+        self.prolong3d_ws(coarse, fine, &mut ws)
+    }
+
+    /// Allocation-free variant of [`Prolongation::prolong3d`].
+    pub fn prolong3d_ws(
+        &self,
+        coarse: &[f64],
+        fine: &mut [f64],
+        ws: &mut ProlongWorkspace,
+    ) -> u64 {
+        let r = POINTS_PER_SIDE;
+        let f = FINE_SIDE;
+        debug_assert_eq!(coarse.len(), r * r * r);
+        debug_assert_eq!(fine.len(), f * f * f);
+        let mut flops = 0u64;
+        // Pass 1: x direction, (r,r,r) -> (f,r,r).
+        let t1 = &mut ws.t1;
+        for kz in 0..r {
+            for ky in 0..r {
+                for i in 0..f {
+                    let row = &self.rows[i];
+                    let mut acc = 0.0;
+                    for (c, w) in row.iter().enumerate() {
+                        acc += w * coarse[(kz * r + ky) * r + c];
+                    }
+                    t1[(kz * r + ky) * f + i] = acc;
+                    flops += 2 * r as u64;
+                }
+            }
+        }
+        // Pass 2: y direction, (f,r,r) -> (f,f,r).
+        let t2 = &mut ws.t2;
+        for kz in 0..r {
+            for j in 0..f {
+                let row = &self.rows[j];
+                for i in 0..f {
+                    let mut acc = 0.0;
+                    for (c, w) in row.iter().enumerate() {
+                        acc += w * t1[(kz * r + c) * f + i];
+                    }
+                    t2[(kz * f + j) * f + i] = acc;
+                    flops += 2 * r as u64;
+                }
+            }
+        }
+        // Pass 3: z direction, (f,f,r) -> (f,f,f).
+        for kk in 0..f {
+            let row = &self.rows[kk];
+            for j in 0..f {
+                for i in 0..f {
+                    let mut acc = 0.0;
+                    for (c, w) in row.iter().enumerate() {
+                        acc += w * t2[(c * f + j) * f + i];
+                    }
+                    fine[(kk * f + j) * f + i] = acc;
+                    flops += 2 * r as u64;
+                }
+            }
+        }
+        flops
+    }
+
+    /// Prolong directly into one child's `r^3` block (`child` is the Morton
+    /// child index: bit 0 = x-high, bit 1 = y-high, bit 2 = z-high).
+    pub fn prolong_to_child(&self, coarse: &[f64], child: usize, out: &mut [f64]) -> u64 {
+        let r = POINTS_PER_SIDE;
+        debug_assert!(child < 8);
+        debug_assert_eq!(out.len(), r * r * r);
+        let mut fine = vec![0.0f64; FINE_SIDE * FINE_SIDE * FINE_SIDE];
+        let flops = self.prolong3d(coarse, &mut fine);
+        let ox = (child & 1) * (r - 1);
+        let oy = ((child >> 1) & 1) * (r - 1);
+        let oz = ((child >> 2) & 1) * (r - 1);
+        let l = PatchLayout::octant();
+        for kz in 0..r {
+            for ky in 0..r {
+                for kx in 0..r {
+                    out[l.idx(kx, ky, kz)] =
+                        fine[((kz + oz) * FINE_SIDE + (ky + oy)) * FINE_SIDE + (kx + ox)];
+                }
+            }
+        }
+        flops
+    }
+
+    /// Restrict (inject) a child's `r^3` block back onto the parent: writes
+    /// the `⌈r/2⌉^3` coincident parent points covered by that child.
+    pub fn inject_from_child(&self, child_data: &[f64], child: usize, parent: &mut [f64]) {
+        let r = POINTS_PER_SIDE;
+        debug_assert!(child < 8);
+        debug_assert_eq!(child_data.len(), r * r * r);
+        debug_assert_eq!(parent.len(), r * r * r);
+        let half = r / 2; // 3 for r = 7
+        let ox = (child & 1) * half;
+        let oy = ((child >> 1) & 1) * half;
+        let oz = ((child >> 2) & 1) * half;
+        let l = PatchLayout::octant();
+        // Child fine point 2m coincides with parent point offset + m.
+        for mz in 0..=half {
+            for my in 0..=half {
+                for mx in 0..=half {
+                    parent[l.idx(ox + mx, oy + my, oz + mz)] =
+                        child_data[l.idx(2 * mx, 2 * my, 2 * mz)];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prolong_matrix_rows_are_partition_of_unity() {
+        for row in prolong_matrix() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn even_rows_are_injection() {
+        let m = prolong_matrix();
+        for i in (0..FINE_SIDE).step_by(2) {
+            for (c, w) in m[i].iter().enumerate() {
+                let expect = if c == i / 2 { 1.0 } else { 0.0 };
+                assert!((w - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_weights_exact_for_polynomials() {
+        let nodes: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let f = |x: f64| 2.0 * x.powi(6) - x.powi(3) + 4.0;
+        let x = 2.5;
+        let w = lagrange_weights(&nodes, x);
+        let approx: f64 = w.iter().zip(nodes.iter()).map(|(w, n)| w * f(*n)).sum();
+        assert!((approx - f(x)).abs() < 1e-9);
+    }
+
+    fn octant_field(f: impl Fn(f64, f64, f64) -> f64) -> Vec<f64> {
+        let r = POINTS_PER_SIDE;
+        let l = PatchLayout::octant();
+        let mut v = vec![0.0; r * r * r];
+        for (i, j, k) in l.iter() {
+            v[l.idx(i, j, k)] = f(i as f64, j as f64, k as f64);
+        }
+        v
+    }
+
+    #[test]
+    fn prolong3d_exact_on_polynomial() {
+        let p = Prolongation::new();
+        let f = |x: f64, y: f64, z: f64| x * x * y - 0.5 * z.powi(3) + x * y * z + 1.0;
+        let coarse = octant_field(f);
+        let mut fine = vec![0.0; FINE_SIDE * FINE_SIDE * FINE_SIDE];
+        p.prolong3d(&coarse, &mut fine);
+        for kz in 0..FINE_SIDE {
+            for ky in 0..FINE_SIDE {
+                for kx in 0..FINE_SIDE {
+                    let exact = f(kx as f64 * 0.5, ky as f64 * 0.5, kz as f64 * 0.5);
+                    let got = fine[(kz * FINE_SIDE + ky) * FINE_SIDE + kx];
+                    assert!((got - exact).abs() < 1e-9, "({kx},{ky},{kz}): {got} vs {exact}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prolong_flop_count_matches_model() {
+        // Paper: a single coarse→fine interpolation is O(3(2r−1)r^3) ops.
+        // Our three passes do 2r flops per output point:
+        // pass1 f·r·r + pass2 f·f·r + pass3 f·f·f outputs.
+        let p = Prolongation::new();
+        let coarse = vec![1.0; 343];
+        let mut fine = vec![0.0; FINE_SIDE.pow(3)];
+        let flops = p.prolong3d(&coarse, &mut fine);
+        let r = POINTS_PER_SIDE as u64;
+        let f = FINE_SIDE as u64;
+        let expect = 2 * r * (f * r * r + f * f * r + f * f * f);
+        assert_eq!(flops, expect);
+    }
+
+    #[test]
+    fn prolong_to_child_matches_window_of_full() {
+        let p = Prolongation::new();
+        let f = |x: f64, y: f64, z: f64| (0.3 * x).sin() + y * z * 0.1;
+        let coarse = octant_field(f);
+        let mut full = vec![0.0; FINE_SIDE.pow(3)];
+        p.prolong3d(&coarse, &mut full);
+        let r = POINTS_PER_SIDE;
+        for child in 0..8 {
+            let mut block = vec![0.0; r * r * r];
+            p.prolong_to_child(&coarse, child, &mut block);
+            let ox = (child & 1) * (r - 1);
+            let oy = ((child >> 1) & 1) * (r - 1);
+            let oz = ((child >> 2) & 1) * (r - 1);
+            let l = PatchLayout::octant();
+            for (i, j, k) in l.iter() {
+                let expect = full[((k + oz) * FINE_SIDE + (j + oy)) * FINE_SIDE + (i + ox)];
+                assert_eq!(block[l.idx(i, j, k)], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn inject_inverts_prolong_on_coincident_points() {
+        let p = Prolongation::new();
+        let f = |x: f64, y: f64, z: f64| x + 2.0 * y - z + 0.25 * x * y;
+        let parent = octant_field(f);
+        let mut rec = vec![f64::NAN; parent.len()];
+        for child in 0..8 {
+            let mut block = vec![0.0; parent.len()];
+            p.prolong_to_child(&parent, child, &mut block);
+            p.inject_from_child(&block, child, &mut rec);
+        }
+        for (a, b) in parent.iter().zip(rec.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn inject_1d_takes_even_points() {
+        let fine: Vec<f64> = (0..FINE_SIDE).map(|i| i as f64).collect();
+        let mut coarse = vec![0.0; POINTS_PER_SIDE];
+        inject_1d(&fine, &mut coarse);
+        assert_eq!(coarse, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Index arithmetic for octant blocks and padded patches.
+//!
+//! Terminology follows section III-C of the paper: each leaf octant carries
+//! `r^3` uniformly spaced grid points; padding it with `k` ghost points per
+//! direction yields a *patch* of `(r+2k)^3` points. For the 6th-order
+//! stencils the paper fixes `r = 7`, `k = 3`, so patches are `13^3 = 2197`
+//! points and octant blocks `7^3 = 343` points (which is also the GPU thread
+//! block size in the fused RHS kernel, `__launch_bounds__(343, 3)`).
+
+/// Grid points per octant side (`r` in the paper).
+pub const POINTS_PER_SIDE: usize = 7;
+/// Ghost layers per direction (`k` in the paper).
+pub const PADDING: usize = 3;
+/// Padded patch side (`r + 2k`).
+pub const PATCH_SIDE: usize = POINTS_PER_SIDE + 2 * PADDING;
+/// Points in an octant block.
+pub const BLOCK_VOLUME: usize = POINTS_PER_SIDE * POINTS_PER_SIDE * POINTS_PER_SIDE;
+/// Points in a padded patch.
+pub const PATCH_VOLUME: usize = PATCH_SIDE * PATCH_SIDE * PATCH_SIDE;
+
+/// Layout helper for a cubic block of side `n` stored x-fastest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatchLayout {
+    pub n: usize,
+}
+
+impl PatchLayout {
+    /// The `r^3` octant block layout.
+    pub const fn octant() -> Self {
+        Self { n: POINTS_PER_SIDE }
+    }
+
+    /// The `(r+2k)^3` padded patch layout.
+    pub const fn padded() -> Self {
+        Self { n: PATCH_SIDE }
+    }
+
+    /// Total number of points.
+    #[inline]
+    pub const fn volume(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    /// Flatten (i, j, k) — x fastest.
+    #[inline]
+    pub const fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (k * self.n + j) * self.n + i
+    }
+
+    /// Inverse of [`Self::idx`].
+    #[inline]
+    pub const fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let i = idx % self.n;
+        let j = (idx / self.n) % self.n;
+        let k = idx / (self.n * self.n);
+        (i, j, k)
+    }
+
+    /// Iterate all (i, j, k) triples in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let n = self.n;
+        (0..n).flat_map(move |k| (0..n).flat_map(move |j| (0..n).map(move |i| (i, j, k))))
+    }
+
+    /// True if the point is in the interior region `[lo, n-hi)` in every
+    /// axis.
+    #[inline]
+    pub const fn is_interior(&self, i: usize, j: usize, k: usize, margin: usize) -> bool {
+        i >= margin
+            && i < self.n - margin
+            && j >= margin
+            && j < self.n - margin
+            && k >= margin
+            && k < self.n - margin
+    }
+}
+
+/// Copy the interior `r^3` block of a padded patch into an octant block.
+///
+/// This is the *patch-to-octant* data movement (a pure copy — zero
+/// arithmetic intensity, as Table III notes).
+pub fn patch_interior_to_octant(patch: &[f64], octant: &mut [f64]) {
+    let p = PatchLayout::padded();
+    let o = PatchLayout::octant();
+    debug_assert_eq!(patch.len(), p.volume());
+    debug_assert_eq!(octant.len(), o.volume());
+    for k in 0..POINTS_PER_SIDE {
+        for j in 0..POINTS_PER_SIDE {
+            let src = p.idx(PADDING, j + PADDING, k + PADDING);
+            let dst = o.idx(0, j, k);
+            octant[dst..dst + POINTS_PER_SIDE]
+                .copy_from_slice(&patch[src..src + POINTS_PER_SIDE]);
+        }
+    }
+}
+
+/// Copy an octant block into the interior of a padded patch.
+pub fn octant_to_patch_interior(octant: &[f64], patch: &mut [f64]) {
+    let p = PatchLayout::padded();
+    let o = PatchLayout::octant();
+    debug_assert_eq!(patch.len(), p.volume());
+    debug_assert_eq!(octant.len(), o.volume());
+    for k in 0..POINTS_PER_SIDE {
+        for j in 0..POINTS_PER_SIDE {
+            let dst = p.idx(PADDING, j + PADDING, k + PADDING);
+            let src = o.idx(0, j, k);
+            patch[dst..dst + POINTS_PER_SIDE]
+                .copy_from_slice(&octant[src..src + POINTS_PER_SIDE]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions() {
+        assert_eq!(POINTS_PER_SIDE, 7);
+        assert_eq!(PADDING, 3);
+        assert_eq!(PATCH_SIDE, 13);
+        assert_eq!(BLOCK_VOLUME, 343);
+        assert_eq!(PATCH_VOLUME, 2197);
+    }
+
+    #[test]
+    fn idx_coords_roundtrip() {
+        let l = PatchLayout::padded();
+        for idx in 0..l.volume() {
+            let (i, j, k) = l.coords(idx);
+            assert_eq!(l.idx(i, j, k), idx);
+        }
+    }
+
+    #[test]
+    fn iter_visits_all_in_order() {
+        let l = PatchLayout { n: 3 };
+        let pts: Vec<_> = l.iter().collect();
+        assert_eq!(pts.len(), 27);
+        assert_eq!(pts[0], (0, 0, 0));
+        assert_eq!(pts[1], (1, 0, 0)); // x fastest
+        assert_eq!(pts[26], (2, 2, 2));
+        for (n, &(i, j, k)) in pts.iter().enumerate() {
+            assert_eq!(l.idx(i, j, k), n);
+        }
+    }
+
+    #[test]
+    fn interior_margins() {
+        let l = PatchLayout::padded();
+        assert!(l.is_interior(3, 3, 3, PADDING));
+        assert!(l.is_interior(9, 9, 9, PADDING));
+        assert!(!l.is_interior(2, 5, 5, PADDING));
+        assert!(!l.is_interior(5, 5, 10, PADDING));
+    }
+
+    #[test]
+    fn octant_patch_copy_roundtrip() {
+        let o = PatchLayout::octant();
+        let octant: Vec<f64> = (0..o.volume()).map(|i| i as f64).collect();
+        let mut patch = vec![f64::NAN; PatchLayout::padded().volume()];
+        octant_to_patch_interior(&octant, &mut patch);
+        let mut back = vec![0.0; o.volume()];
+        patch_interior_to_octant(&patch, &mut back);
+        assert_eq!(octant, back);
+    }
+
+    #[test]
+    fn patch_interior_copy_leaves_ghosts_untouched() {
+        let o = PatchLayout::octant();
+        let octant = vec![1.0; o.volume()];
+        let mut patch = vec![-2.0; PatchLayout::padded().volume()];
+        octant_to_patch_interior(&octant, &mut patch);
+        let p = PatchLayout::padded();
+        let mut interior = 0;
+        for (i, j, k) in p.iter() {
+            let v = patch[p.idx(i, j, k)];
+            if p.is_interior(i, j, k, PADDING) {
+                assert_eq!(v, 1.0);
+                interior += 1;
+            } else {
+                assert_eq!(v, -2.0);
+            }
+        }
+        assert_eq!(interior, BLOCK_VOLUME);
+    }
+}

@@ -1,0 +1,188 @@
+//! Quadrupole inspiral–merger–ringdown toy waveform.
+//!
+//! Generates physically-shaped `h₂₂(t)` for a binary of mass ratio `q`:
+//! Newtonian quadrupole chirp (frequency and amplitude from the
+//! quadrupole-decay separation evolution) smoothly matched to a damped
+//! ringdown sinusoid at merger. This supplies the "q = 1 / q = 2
+//! waveform" shapes for the Fig. 21 substitution experiments, and the
+//! time-dependent source for the wave-propagation examples.
+
+use crate::complex::Complex;
+use crate::series::WaveformSeries;
+
+/// IMR toy-model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ChirpModel {
+    /// Mass ratio q = m1/m2 ≥ 1 (total mass 1).
+    pub q: f64,
+    /// Initial separation (geometric units).
+    pub d0: f64,
+    /// Extraction distance scaling (amplitude ∝ 1/r).
+    pub r_extract: f64,
+    /// Ringdown quality factor.
+    pub q_ring: f64,
+    /// Ringdown frequency (≈ 0.5/M for the fundamental l=2 QNM of the
+    /// remnant, weakly q-dependent here).
+    pub f_ring: f64,
+}
+
+impl ChirpModel {
+    pub fn new(q: f64, d0: f64) -> Self {
+        assert!(q >= 1.0 && d0 > 2.0);
+        Self { q, d0, r_extract: 1.0, q_ring: 3.0, f_ring: 0.08 }
+    }
+
+    fn masses(&self) -> (f64, f64, f64) {
+        let m1 = self.q / (1.0 + self.q);
+        let m2 = 1.0 / (1.0 + self.q);
+        (m1, m2, m1 * m2)
+    }
+
+    /// Coordinate separation at time t under quadrupole decay:
+    /// d(t) = d0 (1 − t/t_m)^{1/4}.
+    pub fn separation(&self, t: f64) -> f64 {
+        let tm = self.merger_time();
+        if t >= tm {
+            return 0.0;
+        }
+        self.d0 * (1.0 - t / tm).powf(0.25)
+    }
+
+    /// Quadrupole merger time 5 d₀⁴/(256 μ M³) with M = 1.
+    pub fn merger_time(&self) -> f64 {
+        let (_, _, mu) = self.masses();
+        5.0 / 256.0 * self.d0.powi(4) / mu
+    }
+
+    /// Orbital angular frequency at separation d (Kepler, M = 1).
+    pub fn orbital_omega(&self, d: f64) -> f64 {
+        d.powf(-1.5)
+    }
+
+    /// Complex strain h₂₂ at time t.
+    pub fn h22(&self, t: f64) -> Complex {
+        let tm = self.merger_time();
+        let (_, _, mu) = self.masses();
+        // Cap the inspiral at the ISCO-ish separation where the ringdown
+        // takes over.
+        let d_cut = 3.0;
+        let t_cut = tm * (1.0 - (d_cut / self.d0).powi(4));
+        if t < t_cut {
+            let d = self.separation(t);
+            let omega_gw = 2.0 * self.orbital_omega(d);
+            // GW phase = ∫ ω dt; closed form for d(t) ∝ (1−t/tm)^{1/4}:
+            // Φ(t) = 2·(8 tm/5) d0^{-3/2} [1 − (1−t/tm)^{5/8}].
+            let phase = 2.0 * (8.0 * tm / 5.0) * self.d0.powf(-1.5)
+                * (1.0 - (1.0 - t / tm).powf(5.0 / 8.0));
+            let amp = 4.0 * mu / (self.r_extract * d);
+            let _ = omega_gw;
+            Complex::from_polar(amp, phase)
+        } else {
+            // Ringdown matched in amplitude and phase at t_cut.
+            let d = d_cut;
+            let omega_gw = 2.0 * self.orbital_omega(d);
+            let phase_cut = 2.0 * (8.0 * tm / 5.0) * self.d0.powf(-1.5)
+                * (1.0 - (1.0 - t_cut / tm).powf(5.0 / 8.0));
+            let amp_cut = 4.0 * mu / (self.r_extract * d);
+            let w_ring = 2.0 * std::f64::consts::PI * self.f_ring;
+            let tau = self.q_ring / w_ring;
+            let dt = t - t_cut;
+            // Blend the frequency from ω_gw to ω_ring over ~tau.
+            let blend = 1.0 - (-dt / tau).exp();
+            let omega = omega_gw * (1.0 - blend) + w_ring * blend;
+            Complex::from_polar(amp_cut * (-dt / tau).exp(), phase_cut + omega * dt)
+        }
+    }
+
+    /// Sample the full waveform at uniform spacing `dt` until the
+    /// amplitude decays below `floor` × peak (after merger).
+    pub fn waveform(&self, dt: f64, floor: f64) -> WaveformSeries {
+        let mut s = WaveformSeries::new();
+        let tm = self.merger_time();
+        let mut t = 0.0;
+        let mut peak = 0.0f64;
+        loop {
+            let v = self.h22(t);
+            peak = peak.max(v.norm());
+            s.push(t, v);
+            if t > tm && v.norm() < floor * peak {
+                break;
+            }
+            t += dt;
+            if t > 3.0 * tm + 200.0 {
+                break; // safety
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merger_time_matches_quadrupole_formula() {
+        let m = ChirpModel::new(1.0, 8.0);
+        // μ = 1/4: t = 5·4096/(256·0.25) = 320.
+        assert!((m.merger_time() - 320.0).abs() < 1e-9);
+        // Higher q merges later (smaller μ).
+        assert!(ChirpModel::new(4.0, 8.0).merger_time() > m.merger_time());
+    }
+
+    #[test]
+    fn frequency_chirps_upward() {
+        let m = ChirpModel::new(1.0, 10.0);
+        let s = m.waveform(0.5, 0.01);
+        let phase = s.phase();
+        // Instantaneous frequency increases during inspiral.
+        let tm = m.merger_time();
+        let n = s.times.iter().position(|&t| t > 0.95 * tm).unwrap();
+        let f_early = (phase[20] - phase[10]) / (s.times[20] - s.times[10]);
+        let f_late = (phase[n] - phase[n - 10]) / (s.times[n] - s.times[n - 10]);
+        assert!(f_late > 2.0 * f_early, "chirp: {f_early} -> {f_late}");
+    }
+
+    #[test]
+    fn amplitude_grows_then_rings_down() {
+        let m = ChirpModel::new(2.0, 10.0);
+        let s = m.waveform(0.5, 0.005);
+        let amp = s.amplitude();
+        let peak_idx = amp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(amp[peak_idx] > 2.0 * amp[10], "inspiral must grow");
+        // Exponential decay after the peak.
+        let last = *amp.last().unwrap();
+        assert!(last < 0.02 * amp[peak_idx]);
+        // Peak near the merger time.
+        let t_peak = s.times[peak_idx];
+        let tm = m.merger_time();
+        assert!(t_peak > 0.7 * tm && t_peak < 1.2 * tm, "peak at {t_peak}, tm={tm}");
+    }
+
+    #[test]
+    fn q_dependence_of_amplitude() {
+        // Higher q ⇒ smaller μ ⇒ weaker wave.
+        let a1 = ChirpModel::new(1.0, 10.0).h22(10.0).norm();
+        let a4 = ChirpModel::new(4.0, 10.0).h22(10.0).norm();
+        assert!(a1 > a4);
+        // Ratio ≈ μ₁/μ₄ = 0.25/0.16.
+        assert!((a1 / a4 - 0.25 / 0.16).abs() < 0.05);
+    }
+
+    #[test]
+    fn waveform_is_smooth_at_match() {
+        // No amplitude discontinuity at the inspiral→ringdown handover.
+        let m = ChirpModel::new(1.0, 9.0);
+        let s = m.waveform(0.1, 0.01);
+        let amp = s.amplitude();
+        for w in amp.windows(2) {
+            let rel = (w[1] - w[0]).abs() / w[0].max(1e-12);
+            assert!(rel < 0.2, "amplitude jump {rel}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Strain-mode extraction and Ψ₄.
+//!
+//! **Substitution note (DESIGN.md):** the paper computes Ψ₄ from the Weyl
+//! tensor. In the wave zone Ψ₄ = ḧ₊ − i ḧ× to leading order in 1/r, so we
+//! extract the strain polarizations from the conformal metric on the
+//! sphere, decompose into spin-−2 (l, m) modes, and differentiate the
+//! recorded mode series twice in time. This preserves everything the
+//! paper's accuracy experiments measure (mode time series, their
+//! convergence and cross-code agreement) while avoiding a full
+//! electric/magnetic Weyl decomposition.
+//!
+//! Strain from the metric: with γ̃_ij = δ_ij + h_ij (wave zone), in the
+//! orthonormal transverse frame (ê_θ, ê_φ) at each node,
+//! `h₊ = ½ (h_θθ − h_φφ)` and `h× = h_θφ`.
+
+use crate::complex::Complex;
+use crate::lebedev::QuadNode;
+use crate::series::WaveformSeries;
+use crate::sphere::ExtractionSphere;
+use crate::swsh::swsh;
+use gw_expr::symbols::var;
+use gw_mesh::{Field, Mesh};
+
+/// Extracts spin-−2 (l, m) modes of the strain `H = h₊ − i h×` on one
+/// sphere and records their time series.
+pub struct ModeExtractor {
+    pub sphere: ExtractionSphere,
+    /// Modes to project, e.g. [(2,2), (2,-2), (3,2)].
+    pub modes: Vec<(i64, i64)>,
+    /// One series per mode.
+    pub series: Vec<WaveformSeries>,
+    /// Precomputed conj(₋₂Yₗₘ) at each node for each mode.
+    basis: Vec<Vec<Complex>>,
+}
+
+impl ModeExtractor {
+    pub fn new(sphere: ExtractionSphere, modes: Vec<(i64, i64)>) -> Self {
+        let basis = modes
+            .iter()
+            .map(|&(l, m)| {
+                sphere
+                    .nodes
+                    .iter()
+                    .map(|n| swsh(-2, l, m, n.theta, n.phi).conj())
+                    .collect()
+            })
+            .collect();
+        let series = modes.iter().map(|_| WaveformSeries::new()).collect();
+        Self { sphere, modes, series, basis }
+    }
+
+    /// Strain polarizations at every node from the mesh fields.
+    pub fn strain_at_nodes(&self, mesh: &Mesh, field: &Field) -> Vec<Complex> {
+        // Sample the 6 conformal metric components.
+        let comps: Vec<Vec<f64>> = [
+            var::gt(0, 0),
+            var::gt(0, 1),
+            var::gt(0, 2),
+            var::gt(1, 1),
+            var::gt(1, 2),
+            var::gt(2, 2),
+        ]
+        .iter()
+        .map(|&v| self.sphere.sample(mesh, field, v))
+        .collect();
+        self.sphere
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let h = [
+                    [comps[0][i] - 1.0, comps[1][i], comps[2][i]],
+                    [comps[1][i], comps[3][i] - 1.0, comps[4][i]],
+                    [comps[2][i], comps[4][i], comps[5][i] - 1.0],
+                ];
+                strain_from_h(&h, n)
+            })
+            .collect()
+    }
+
+    /// Project strains onto the mode basis and record at time `t`.
+    pub fn record(&mut self, t: f64, mesh: &Mesh, field: &Field) {
+        let strains = self.strain_at_nodes(mesh, field);
+        for (mi, basis) in self.basis.iter().enumerate() {
+            let mut acc = Complex::ZERO;
+            for ((s, y), n) in strains.iter().zip(basis.iter()).zip(self.sphere.nodes.iter()) {
+                acc += (*s * *y).scale(n.weight);
+            }
+            self.series[mi].push(t, acc);
+        }
+    }
+
+    /// The recorded series of a mode.
+    pub fn mode(&self, l: i64, m: i64) -> Option<&WaveformSeries> {
+        self.modes.iter().position(|&lm| lm == (l, m)).map(|i| &self.series[i])
+    }
+}
+
+/// `H = h₊ − i h×` at a node from the Cartesian metric perturbation.
+pub fn strain_from_h(h: &[[f64; 3]; 3], n: &QuadNode) -> Complex {
+    let (st, ct) = (n.theta.sin(), n.theta.cos());
+    let (sp, cp) = (n.phi.sin(), n.phi.cos());
+    // Orthonormal transverse basis.
+    let eth = [ct * cp, ct * sp, -st];
+    let eph = [-sp, cp, 0.0];
+    let mut htt = 0.0;
+    let mut hpp = 0.0;
+    let mut htp = 0.0;
+    for i in 0..3 {
+        for j in 0..3 {
+            htt += eth[i] * h[i][j] * eth[j];
+            hpp += eph[i] * h[i][j] * eph[j];
+            htp += eth[i] * h[i][j] * eph[j];
+        }
+    }
+    Complex::new(0.5 * (htt - hpp), -htp)
+}
+
+/// Ψ₄ mode series from a strain mode series: Ψ₄ ≈ Ḧ (second time
+/// derivative of `h₊ − i h×`), wave-zone leading order.
+pub fn psi4_from_strain(strain: &WaveformSeries) -> WaveformSeries {
+    strain.second_derivative()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lebedev::product_rule;
+
+    #[test]
+    fn strain_of_plus_polarized_z_wave() {
+        // h_xx = −h_yy = A, wave along z. At the north pole (θ=0, φ=0):
+        // ê_θ = x̂, ê_φ = ŷ ⇒ h₊ = A, h× = 0.
+        let h = [[0.01, 0.0, 0.0], [0.0, -0.01, 0.0], [0.0, 0.0, 0.0]];
+        let n = QuadNode { theta: 1e-9, phi: 0.0, dir: [0.0, 0.0, 1.0], weight: 1.0 };
+        let s = strain_from_h(&h, &n);
+        assert!((s.re - 0.01).abs() < 1e-10);
+        assert!(s.im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn strain_of_cross_polarized_z_wave() {
+        // h_xy = A: at the pole h× = A ⇒ H = −iA.
+        let h = [[0.0, 0.01, 0.0], [0.01, 0.0, 0.0], [0.0, 0.0, 0.0]];
+        let n = QuadNode { theta: 1e-9, phi: 0.0, dir: [0.0, 0.0, 1.0], weight: 1.0 };
+        let s = strain_from_h(&h, &n);
+        assert!(s.re.abs() < 1e-10);
+        assert!((s.im + 0.01).abs() < 1e-10);
+    }
+
+    #[test]
+    fn plus_wave_has_pure_m_pm2_content() {
+        // A uniform h₊ pattern h_xx = −h_yy = A over the sphere contains
+        // only m = ±2 spin−2 modes (l = 2 dominant).
+        let rule = product_rule(10, 20);
+        let h = [[1.0, 0.0, 0.0], [0.0, -1.0, 0.0], [0.0, 0.0, 0.0]];
+        let project = |l: i64, m: i64| -> Complex {
+            let mut acc = Complex::ZERO;
+            for n in &rule {
+                let s = strain_from_h(&h, n);
+                let y = swsh(-2, l, m, n.theta, n.phi).conj();
+                acc += (s * y).scale(n.weight);
+            }
+            acc
+        };
+        let c22 = project(2, 2);
+        let c2m2 = project(2, -2);
+        let c20 = project(2, 0);
+        let c21 = project(2, 1);
+        assert!(c22.norm() > 0.5, "22 mode must be strong: {c22:?}");
+        assert!((c22.norm() - c2m2.norm()).abs() < 1e-10);
+        assert!(c20.norm() < 1e-10);
+        assert!(c21.norm() < 1e-10);
+    }
+
+    #[test]
+    fn psi4_of_oscillating_strain() {
+        // H(t) = e^{iωt} ⇒ Ψ₄ = −ω² e^{iωt}.
+        let omega = 2.0;
+        let mut s = WaveformSeries::new();
+        for i in 0..200 {
+            let t = i as f64 * 0.01;
+            s.push(t, Complex::from_polar(1.0, omega * t));
+        }
+        let p4 = psi4_from_strain(&s);
+        for (t, v) in p4.times.iter().zip(p4.values.iter()) {
+            let expect = Complex::from_polar(omega * omega, omega * t + std::f64::consts::PI);
+            assert!((v.re - expect.re).abs() < 1e-3, "t={t}");
+            assert!((v.im - expect.im).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Quadrature on the unit sphere.
+//!
+//! The paper integrates mode projections with Lebedev quadrature
+//! (Lebedev 1977). We provide the classical low-order Lebedev rules with
+//! exact rational weights (octahedrally symmetric; orders 3, 5, 7) and a
+//! Gauss–Legendre × uniform-φ product rule for arbitrary band limits
+//! (used when the integrand has l > 3 content; the mode projections in
+//! `extract` default to it).
+//!
+//! All weights are normalized so Σ wᵢ = 4π (i.e. ∫ dΩ of 1 is exact).
+
+use std::f64::consts::PI;
+
+/// A quadrature node on S².
+#[derive(Clone, Copy, Debug)]
+pub struct QuadNode {
+    pub theta: f64,
+    pub phi: f64,
+    /// Unit direction (redundant with θ, φ; avoids re-deriving).
+    pub dir: [f64; 3],
+    pub weight: f64,
+}
+
+fn node_from_dir(d: [f64; 3], weight: f64) -> QuadNode {
+    let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+    let dir = [d[0] / r, d[1] / r, d[2] / r];
+    QuadNode {
+        theta: dir[2].clamp(-1.0, 1.0).acos(),
+        phi: dir[1].atan2(dir[0]),
+        dir,
+        weight,
+    }
+}
+
+/// The 6 octahedron vertices.
+fn octahedron() -> Vec<[f64; 3]> {
+    vec![
+        [1.0, 0.0, 0.0],
+        [-1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, -1.0, 0.0],
+        [0.0, 0.0, 1.0],
+        [0.0, 0.0, -1.0],
+    ]
+}
+
+/// The 12 edge midpoints (±1, ±1, 0)/√2 and permutations.
+fn edge_midpoints() -> Vec<[f64; 3]> {
+    let mut v = Vec::with_capacity(12);
+    for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        for sa in [1.0f64, -1.0] {
+            for sb in [1.0f64, -1.0] {
+                let mut d = [0.0; 3];
+                d[a] = sa;
+                d[b] = sb;
+                v.push(d);
+            }
+        }
+    }
+    v
+}
+
+/// The 8 cube corners (±1, ±1, ±1)/√3.
+fn cube_corners() -> Vec<[f64; 3]> {
+    let mut v = Vec::with_capacity(8);
+    for sx in [1.0f64, -1.0] {
+        for sy in [1.0f64, -1.0] {
+            for sz in [1.0f64, -1.0] {
+                v.push([sx, sy, sz]);
+            }
+        }
+    }
+    v
+}
+
+/// A Lebedev rule exact for spherical polynomials up to the given degree
+/// (3, 5 or 7 — the classical 6-, 14- and 26-point rules).
+pub fn lebedev_rule(degree: usize) -> Vec<QuadNode> {
+    let four_pi = 4.0 * PI;
+    match degree {
+        0..=3 => octahedron().into_iter().map(|d| node_from_dir(d, four_pi / 6.0)).collect(),
+        4..=5 => {
+            // 14 points: vertices w = 1/15, corners w = 3/40.
+            let mut nodes: Vec<QuadNode> = octahedron()
+                .into_iter()
+                .map(|d| node_from_dir(d, four_pi / 15.0))
+                .collect();
+            nodes.extend(cube_corners().into_iter().map(|d| node_from_dir(d, four_pi * 3.0 / 40.0)));
+            nodes
+        }
+        6..=7 => {
+            // 26 points: vertices 1/21, edge midpoints 4/105, corners 27/840.
+            let mut nodes: Vec<QuadNode> = octahedron()
+                .into_iter()
+                .map(|d| node_from_dir(d, four_pi / 21.0))
+                .collect();
+            nodes.extend(
+                edge_midpoints().into_iter().map(|d| node_from_dir(d, four_pi * 4.0 / 105.0)),
+            );
+            nodes.extend(
+                cube_corners().into_iter().map(|d| node_from_dir(d, four_pi * 27.0 / 840.0)),
+            );
+            nodes
+        }
+        _ => panic!("Lebedev rules implemented for degree <= 7; use product_rule"),
+    }
+}
+
+/// Gauss–Legendre nodes/weights on [-1, 1] by Newton iteration.
+pub fn gauss_legendre(n: usize) -> Vec<(f64, f64)> {
+    assert!(n >= 1);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        // Initial guess (Chebyshev-like).
+        let mut x = (PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            // Evaluate P_n and P_n' by recurrence.
+            let (mut p0, mut p1) = (1.0f64, x);
+            for k in 2..=n {
+                let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            let dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+            let dx = p1 / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        let (mut p0, mut p1) = (1.0f64, x);
+        for k in 2..=n {
+            let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+            p0 = p1;
+            p1 = p2;
+        }
+        let dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        out.push((x, w));
+    }
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    out
+}
+
+/// Product rule: `n_theta` Gauss–Legendre nodes in cos θ × `n_phi`
+/// uniform nodes in φ. Exact for spherical harmonics with
+/// l ≤ 2 n_theta − 1 and |m| < n_phi/…(trapezoid exactness).
+pub fn product_rule(n_theta: usize, n_phi: usize) -> Vec<QuadNode> {
+    let gl = gauss_legendre(n_theta);
+    let dphi = 2.0 * PI / n_phi as f64;
+    let mut out = Vec::with_capacity(n_theta * n_phi);
+    for &(x, w) in &gl {
+        let theta = x.clamp(-1.0, 1.0).acos();
+        let st = theta.sin();
+        for j in 0..n_phi {
+            let phi = j as f64 * dphi;
+            out.push(QuadNode {
+                theta,
+                phi,
+                dir: [st * phi.cos(), st * phi.sin(), x],
+                weight: w * dphi,
+            });
+        }
+    }
+    out
+}
+
+/// Integrate a scalar function over S² with the given rule.
+pub fn integrate(nodes: &[QuadNode], mut f: impl FnMut(&QuadNode) -> f64) -> f64 {
+    nodes.iter().map(|n| n.weight * f(n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly_exactness(nodes: &[QuadNode], degree: usize) {
+        // ∫ x^a y^b z^c dΩ closed forms: zero unless all even; else
+        // 4π (a−1)!!(b−1)!!(c−1)!!/(a+b+c+1)!!.
+        fn dfact(n: i64) -> f64 {
+            if n <= 0 {
+                1.0
+            } else {
+                (n as f64) * dfact(n - 2)
+            }
+        }
+        for a in 0..=degree {
+            for b in 0..=(degree - a) {
+                for c in 0..=(degree - a - b) {
+                    let got = integrate(nodes, |n| {
+                        n.dir[0].powi(a as i32) * n.dir[1].powi(b as i32) * n.dir[2].powi(c as i32)
+                    });
+                    let expect = if a % 2 == 1 || b % 2 == 1 || c % 2 == 1 {
+                        0.0
+                    } else {
+                        4.0 * PI * dfact(a as i64 - 1) * dfact(b as i64 - 1) * dfact(c as i64 - 1)
+                            / dfact((a + b + c) as i64 + 1)
+                    };
+                    assert!(
+                        (got - expect).abs() < 1e-12,
+                        "x^{a} y^{b} z^{c}: {got} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lebedev_6_exact_to_degree_3() {
+        let r = lebedev_rule(3);
+        assert_eq!(r.len(), 6);
+        poly_exactness(&r, 3);
+    }
+
+    #[test]
+    fn lebedev_14_exact_to_degree_5() {
+        let r = lebedev_rule(5);
+        assert_eq!(r.len(), 14);
+        poly_exactness(&r, 5);
+    }
+
+    #[test]
+    fn lebedev_26_exact_to_degree_7() {
+        let r = lebedev_rule(7);
+        assert_eq!(r.len(), 26);
+        poly_exactness(&r, 7);
+    }
+
+    #[test]
+    fn weights_sum_to_sphere_area() {
+        for deg in [3, 5, 7] {
+            let s: f64 = lebedev_rule(deg).iter().map(|n| n.weight).sum();
+            assert!((s - 4.0 * PI).abs() < 1e-12);
+        }
+        let s: f64 = product_rule(8, 16).iter().map(|n| n.weight).sum();
+        assert!((s - 4.0 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauss_legendre_nodes_match_known_values() {
+        let gl2 = gauss_legendre(2);
+        assert!((gl2[0].0 + 1.0 / 3f64.sqrt()).abs() < 1e-14);
+        assert!((gl2[1].0 - 1.0 / 3f64.sqrt()).abs() < 1e-14);
+        assert!((gl2[0].1 - 1.0).abs() < 1e-14);
+        let gl3 = gauss_legendre(3);
+        assert!(gl3[1].0.abs() < 1e-14);
+        assert!((gl3[1].1 - 8.0 / 9.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn product_rule_exact_for_high_degree() {
+        poly_exactness(&product_rule(8, 17), 12);
+    }
+
+    #[test]
+    fn node_angles_consistent_with_directions() {
+        for n in lebedev_rule(7) {
+            let d = [
+                n.theta.sin() * n.phi.cos(),
+                n.theta.sin() * n.phi.sin(),
+                n.theta.cos(),
+            ];
+            for i in 0..3 {
+                assert!((d[i] - n.dir[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

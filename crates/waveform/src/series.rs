@@ -1,0 +1,208 @@
+//! Waveform time series.
+
+use crate::complex::Complex;
+
+/// A complex time series (one (l, m) mode at one extraction radius).
+#[derive(Clone, Debug, Default)]
+pub struct WaveformSeries {
+    pub times: Vec<f64>,
+    pub values: Vec<Complex>,
+}
+
+impl WaveformSeries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, t: f64, v: Complex) {
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "time samples must be strictly increasing");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Amplitude |h(t)|.
+    pub fn amplitude(&self) -> Vec<f64> {
+        self.values.iter().map(|v| v.norm()).collect()
+    }
+
+    /// Continuous (unwrapped) phase.
+    pub fn phase(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut offset = 0.0;
+        let mut prev = 0.0f64;
+        for (i, v) in self.values.iter().enumerate() {
+            let mut p = v.arg();
+            if i > 0 {
+                while p + offset - prev > std::f64::consts::PI {
+                    offset -= 2.0 * std::f64::consts::PI;
+                }
+                while p + offset - prev < -std::f64::consts::PI {
+                    offset += 2.0 * std::f64::consts::PI;
+                }
+            }
+            p += offset;
+            out.push(p);
+            prev = p;
+        }
+        out
+    }
+
+    /// Second time derivative by centered differences (endpoints dropped).
+    pub fn second_derivative(&self) -> WaveformSeries {
+        let n = self.len();
+        let mut out = WaveformSeries::new();
+        if n < 3 {
+            return out;
+        }
+        for i in 1..n - 1 {
+            let dt1 = self.times[i] - self.times[i - 1];
+            let dt2 = self.times[i + 1] - self.times[i];
+            // Nonuniform 3-point second derivative.
+            let a = 2.0 / (dt1 * (dt1 + dt2));
+            let b = -2.0 / (dt1 * dt2);
+            let c = 2.0 / (dt2 * (dt1 + dt2));
+            let v = self.values[i - 1].scale(a) + self.values[i].scale(b) + self.values[i + 1].scale(c);
+            out.push(self.times[i], v);
+        }
+        out
+    }
+
+    /// Sample by linear interpolation (clamped at the ends).
+    pub fn sample(&self, t: f64) -> Complex {
+        assert!(!self.is_empty());
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().unwrap() {
+            return *self.values.last().unwrap();
+        }
+        let i = self.times.partition_point(|&x| x < t);
+        let (t0, t1) = (self.times[i - 1], self.times[i]);
+        let w = (t - t0) / (t1 - t0);
+        self.values[i - 1].scale(1.0 - w) + self.values[i].scale(w)
+    }
+
+    /// L∞ difference of the real parts against another series over their
+    /// common time span (the Fig. 19 metric: |Re ψ₄ − Re ψ₄_ref|).
+    pub fn linf_re_diff(&self, other: &WaveformSeries) -> f64 {
+        let t0 = self.times[0].max(other.times[0]);
+        let t1 = self.times.last().unwrap().min(*other.times.last().unwrap());
+        assert!(t1 > t0, "series do not overlap in time");
+        let mut m = 0.0f64;
+        for (&t, v) in self.times.iter().zip(self.values.iter()) {
+            if t < t0 || t > t1 {
+                continue;
+            }
+            m = m.max((v.re - other.sample(t).re).abs());
+        }
+        m
+    }
+
+    /// RMS difference of the real parts over the common span.
+    pub fn rms_re_diff(&self, other: &WaveformSeries) -> f64 {
+        let t0 = self.times[0].max(other.times[0]);
+        let t1 = self.times.last().unwrap().min(*other.times.last().unwrap());
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for (&t, v) in self.times.iter().zip(self.values.iter()) {
+            if t < t0 || t > t1 {
+                continue;
+            }
+            let d = v.re - other.sample(t).re;
+            acc += d * d;
+            n += 1;
+        }
+        (acc / n.max(1) as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chirpish(n: usize, dt: f64, f0: f64) -> WaveformSeries {
+        let mut s = WaveformSeries::new();
+        for i in 0..n {
+            let t = i as f64 * dt;
+            let phase = 2.0 * std::f64::consts::PI * f0 * t * (1.0 + 0.1 * t);
+            s.push(t, Complex::from_polar(1.0 + 0.01 * t, phase));
+        }
+        s
+    }
+
+    #[test]
+    fn phase_unwraps_monotonically() {
+        let s = chirpish(200, 0.05, 1.0);
+        let p = s.phase();
+        // A positive-frequency chirp has increasing phase without 2π jumps.
+        for w in p.windows(2) {
+            let d = w[1] - w[0];
+            assert!(d > 0.0 && d < std::f64::consts::PI, "jump {d}");
+        }
+    }
+
+    #[test]
+    fn second_derivative_of_quadratic() {
+        let mut s = WaveformSeries::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            s.push(t, Complex::new(3.0 * t * t, -t * t));
+        }
+        let dd = s.second_derivative();
+        for v in &dd.values {
+            assert!((v.re - 6.0).abs() < 1e-10);
+            assert!((v.im + 2.0).abs() < 1e-10);
+        }
+        assert_eq!(dd.len(), 18);
+    }
+
+    #[test]
+    fn sample_interpolates() {
+        let mut s = WaveformSeries::new();
+        s.push(0.0, Complex::new(0.0, 0.0));
+        s.push(1.0, Complex::new(2.0, 4.0));
+        let v = s.sample(0.25);
+        assert!((v.re - 0.5).abs() < 1e-15);
+        assert!((v.im - 1.0).abs() < 1e-15);
+        // Clamping.
+        assert_eq!(s.sample(-5.0), Complex::new(0.0, 0.0));
+        assert_eq!(s.sample(9.0), Complex::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn diff_norms_zero_for_identical() {
+        let s = chirpish(100, 0.1, 0.5);
+        assert_eq!(s.linf_re_diff(&s), 0.0);
+        assert_eq!(s.rms_re_diff(&s), 0.0);
+    }
+
+    #[test]
+    fn diff_norms_detect_amplitude_error() {
+        let a = chirpish(100, 0.1, 0.5);
+        let mut b = a.clone();
+        for v in b.values.iter_mut() {
+            *v = v.scale(1.1);
+        }
+        assert!(a.linf_re_diff(&b) > 0.05);
+        assert!(a.rms_re_diff(&b) > 0.01);
+        assert!(a.rms_re_diff(&b) <= a.linf_re_diff(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_nonmonotonic_times() {
+        let mut s = WaveformSeries::new();
+        s.push(1.0, Complex::ZERO);
+        s.push(0.5, Complex::ZERO);
+    }
+}

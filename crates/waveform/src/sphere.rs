@@ -1,0 +1,173 @@
+//! Extraction spheres and mesh-to-sphere interpolation.
+//!
+//! The paper places several extraction spheres at 50–100 M (Fig. 4); at
+//! each timestep the needed fields are interpolated from the AMR grid to
+//! the quadrature nodes. Interpolation is tensor-product degree-6
+//! Lagrange inside the containing octant (matching the scheme order).
+
+use crate::lebedev::QuadNode;
+use gw_mesh::{Field, Mesh};
+use gw_stencil::interp::lagrange_weights;
+use gw_stencil::patch::{PatchLayout, POINTS_PER_SIDE};
+
+/// An extraction sphere: radius + quadrature nodes.
+pub struct ExtractionSphere {
+    pub radius: f64,
+    pub nodes: Vec<QuadNode>,
+    /// Cartesian coordinates of each node (center-origin).
+    pub points: Vec<[f64; 3]>,
+}
+
+impl ExtractionSphere {
+    pub fn new(radius: f64, nodes: Vec<QuadNode>) -> Self {
+        assert!(radius > 0.0);
+        let points = nodes
+            .iter()
+            .map(|n| [radius * n.dir[0], radius * n.dir[1], radius * n.dir[2]])
+            .collect();
+        Self { radius, nodes, points }
+    }
+
+    /// Interpolate variable `var` of `field` onto every node.
+    pub fn sample(&self, mesh: &Mesh, field: &Field, var: usize) -> Vec<f64> {
+        self.points.iter().map(|&p| interpolate(mesh, field, var, p)).collect()
+    }
+}
+
+/// Degree-6 Lagrange interpolation of one variable at a physical point.
+///
+/// Panics if the point is outside the mesh domain.
+pub fn interpolate(mesh: &Mesh, field: &Field, var: usize, p: [f64; 3]) -> f64 {
+    let oct = mesh
+        .locate(p)
+        .unwrap_or_else(|| panic!("point {p:?} outside mesh domain"));
+    let info = &mesh.octants[oct];
+    let nodes: Vec<f64> = (0..POINTS_PER_SIDE).map(|i| i as f64).collect();
+    let mut w = [[0.0f64; POINTS_PER_SIDE]; 3];
+    for axis in 0..3 {
+        let xi = ((p[axis] - info.origin[axis]) / info.h).clamp(0.0, 6.0);
+        w[axis].copy_from_slice(&lagrange_weights(&nodes, xi));
+    }
+    let block = field.block(var, oct);
+    let l = PatchLayout::octant();
+    let mut acc = 0.0;
+    for k in 0..POINTS_PER_SIDE {
+        if w[2][k] == 0.0 {
+            continue;
+        }
+        for j in 0..POINTS_PER_SIDE {
+            let wjk = w[1][j] * w[2][k];
+            if wjk == 0.0 {
+                continue;
+            }
+            let row = l.idx(0, j, k);
+            let mut s = 0.0;
+            for i in 0..POINTS_PER_SIDE {
+                s += w[0][i] * block[row + i];
+            }
+            acc += wjk * s;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lebedev::lebedev_rule;
+    use gw_octree::{balance_octree, complete_octree, BalanceMode, Domain, MortonKey};
+
+    fn adaptive_mesh() -> Mesh {
+        let c0 = MortonKey::root().children()[0];
+        let fine: Vec<MortonKey> = c0.children()[7].children().to_vec();
+        let t = complete_octree(fine);
+        let t = balance_octree(&t, BalanceMode::Full);
+        Mesh::build(Domain::centered_cube(10.0), &t)
+    }
+
+    fn poly_field(mesh: &Mesh, f: impl Fn([f64; 3]) -> f64) -> Field {
+        let mut fld = Field::zeros(1, mesh.n_octants());
+        for oct in 0..mesh.n_octants() {
+            let l = PatchLayout::octant();
+            let vals: Vec<f64> =
+                l.iter().map(|(i, j, k)| f(mesh.point_coords(oct, i, j, k))).collect();
+            fld.block_mut(0, oct).copy_from_slice(&vals);
+        }
+        fld
+    }
+
+    #[test]
+    fn interpolation_exact_on_degree6_polynomials() {
+        let mesh = adaptive_mesh();
+        let f = |p: [f64; 3]| {
+            0.3 + p[0] - 2.0 * p[1] * p[2] + 0.05 * p[0].powi(3) * p[1].powi(2)
+                + 0.001 * p[2].powi(6)
+        };
+        let fld = poly_field(&mesh, f);
+        for p in [[0.3, -4.0, 2.2], [7.7, 7.7, 7.7], [-9.0, 3.0, -1.0], [0.01, 0.01, 0.01]] {
+            let got = interpolate(&mesh, &fld, 0, p);
+            let expect = f(p);
+            assert!(
+                (got - expect).abs() < 1e-8 * (1.0 + expect.abs()),
+                "{p:?}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_at_grid_points_is_identity() {
+        let mesh = adaptive_mesh();
+        let f = |p: [f64; 3]| (0.3 * p[0]).sin() + (0.2 * p[1] * p[2]).cos();
+        let fld = poly_field(&mesh, f);
+        // Sample interior grid points (not on octant boundaries) of a few
+        // octants.
+        for oct in [0usize, mesh.n_octants() / 2] {
+            let p = mesh.point_coords(oct, 3, 2, 4);
+            let got = interpolate(&mesh, &fld, 0, p);
+            assert!((got - f(p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sphere_sampling_smooth_field() {
+        let mesh = adaptive_mesh();
+        let f = |p: [f64; 3]| p[0] * p[0] + p[1] * p[1] + p[2] * p[2];
+        let fld = poly_field(&mesh, f);
+        let sph = ExtractionSphere::new(5.0, lebedev_rule(7));
+        let vals = sph.sample(&mesh, &fld, 0);
+        // r² is constant on the sphere.
+        for v in vals {
+            assert!((v - 25.0).abs() < 1e-8, "{v}");
+        }
+    }
+
+    #[test]
+    fn sphere_mode_content() {
+        // A field equal to Re Y₂₂-like angular pattern integrates to zero
+        // against Y₀₀ but not against itself.
+        let mesh = adaptive_mesh();
+        let fld = poly_field(&mesh, |p| {
+            let r2 = p[0] * p[0] + p[1] * p[1] + p[2] * p[2];
+            if r2 < 1e-12 {
+                return 0.0;
+            }
+            (p[0] * p[0] - p[1] * p[1]) / r2 // ∝ sin²θ cos 2φ
+        });
+        let sph = ExtractionSphere::new(6.0, crate::lebedev::product_rule(8, 16));
+        let vals = sph.sample(&mesh, &fld, 0);
+        let mean: f64 = sph
+            .nodes
+            .iter()
+            .zip(vals.iter())
+            .map(|(n, v)| n.weight * v)
+            .sum::<f64>();
+        assert!(mean.abs() < 1e-8, "monopole of quadrupole pattern: {mean}");
+        let power: f64 = sph
+            .nodes
+            .iter()
+            .zip(vals.iter())
+            .map(|(n, v)| n.weight * v * v)
+            .sum::<f64>();
+        assert!(power > 0.1);
+    }
+}

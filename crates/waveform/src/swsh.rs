@@ -1,0 +1,167 @@
+//! Spin-weighted spherical harmonics.
+//!
+//! Goldberg et al. (1967) closed form:
+//!
+//! ```text
+//! ₛYₗₘ(θ,φ) = (−1)^{l+m−s} √((2l+1)/4π) √( (l+m)!(l−m)! / ((l+s)!(l−s)!) )
+//!             sin^{2l}(θ/2) e^{imφ}
+//!             Σ_r C(l−s, r) C(l+s, r+s−m) (−1)^r cot^{2r+s−m}(θ/2)
+//! ```
+//!
+//! We implement the equivalent Wigner-d form, which is better conditioned
+//! at the poles: `ₛYₗₘ = (−1)^s √((2l+1)/4π) d^l_{m,−s}(θ) e^{imφ}` with
+//!
+//! ```text
+//! d^l_{m,k}(θ) = √((l+m)!(l−m)!(l+k)!(l−k)!) ·
+//!   Σ_t (−1)^t / (t!(l+m−t)!(l−k−t)!(k−m+t)!) ·
+//!   cos(θ/2)^{2l+m−k−2t} sin(θ/2)^{k−m+2t}
+//! ```
+
+use crate::complex::Complex;
+
+fn factorial(n: i64) -> f64 {
+    assert!(n >= 0);
+    (1..=n).map(|k| k as f64).product()
+}
+
+/// Binomial-safe Wigner small-d matrix element `d^l_{m,k}(θ)`.
+pub fn wigner_d(l: i64, m: i64, k: i64, theta: f64) -> f64 {
+    assert!(m.abs() <= l && k.abs() <= l);
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    let pref =
+        (factorial(l + m) * factorial(l - m) * factorial(l + k) * factorial(l - k)).sqrt();
+    let t_min = 0.max(m - k);
+    let t_max = (l + m).min(l - k);
+    let mut sum = 0.0;
+    for t in t_min..=t_max {
+        let denom = factorial(t) * factorial(l + m - t) * factorial(l - k - t) * factorial(k - m + t);
+        let sign = if t % 2 == 0 { 1.0 } else { -1.0 };
+        let cp = 2 * l + m - k - 2 * t;
+        let sp = k - m + 2 * t;
+        sum += sign / denom * c.powi(cp as i32) * s.powi(sp as i32);
+    }
+    pref * sum
+}
+
+/// Spin-weighted spherical harmonic `ₛYₗₘ(θ, φ)`.
+pub fn swsh(s: i64, l: i64, m: i64, theta: f64, phi: f64) -> Complex {
+    assert!(l >= s.abs() && m.abs() <= l, "invalid (s,l,m) = ({s},{l},{m})");
+    let sign = if s % 2 == 0 { 1.0 } else { -1.0 };
+    let norm = ((2 * l + 1) as f64 / (4.0 * std::f64::consts::PI)).sqrt();
+    let d = wigner_d(l, m, -s, theta);
+    Complex::from_polar(1.0, m as f64 * phi).scale(sign * norm * d)
+}
+
+/// Ordinary spherical harmonic `Yₗₘ` (spin 0), for tests and scalars.
+pub fn ylm(l: i64, m: i64, theta: f64, phi: f64) -> Complex {
+    swsh(0, l, m, theta, phi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn y00_is_constant() {
+        let v = ylm(0, 0, 1.234, 2.345);
+        assert!((v.re - 0.5 / PI.sqrt()).abs() < 1e-14);
+        assert!(v.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn y10_matches_closed_form() {
+        for theta in [0.3, 1.2, 2.7] {
+            let v = ylm(1, 0, theta, 0.0);
+            let expect = (3.0 / (4.0 * PI)).sqrt() * theta.cos();
+            assert!((v.re - expect).abs() < 1e-13, "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn y22_matches_closed_form() {
+        for (theta, phi) in [(0.7, 0.2), (1.5, 2.0), (2.5, 4.5)] {
+            let v = ylm(2, 2, theta, phi);
+            let amp = 0.25 * (15.0 / (2.0 * PI)).sqrt() * theta.sin().powi(2);
+            let expect = Complex::from_polar(amp, 2.0 * phi);
+            assert!((v.re - expect.re).abs() < 1e-13);
+            assert!((v.im - expect.im).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn spin_m2_y22_matches_closed_form() {
+        // ₋₂Y₂₂ = √(5/64π) (1 + cosθ)² e^{2iφ}.
+        for (theta, phi) in [(0.4, 1.0), (1.3, 0.3), (2.9, 5.0)] {
+            let v = swsh(-2, 2, 2, theta, phi);
+            let amp = (5.0 / (64.0 * PI)).sqrt() * (1.0 + theta.cos()).powi(2);
+            let expect = Complex::from_polar(amp, 2.0 * phi);
+            assert!((v.re - expect.re).abs() < 1e-12, "θ={theta} φ={phi}: {v:?} vs {expect:?}");
+            assert!((v.im - expect.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spin_m2_y2m2_matches_closed_form() {
+        // ₋₂Y₂₋₂ = √(5/64π) (1 − cosθ)² e^{−2iφ}.
+        for (theta, phi) in [(0.4, 1.0), (2.0, 0.7)] {
+            let v = swsh(-2, 2, -2, theta, phi);
+            let amp = (5.0 / (64.0 * PI)).sqrt() * (1.0 - theta.cos()).powi(2);
+            let expect = Complex::from_polar(amp, -2.0 * phi);
+            assert!((v.re - expect.re).abs() < 1e-12);
+            assert!((v.im - expect.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthonormality_under_product_quadrature() {
+        // ∫ ₛYₗₘ conj(ₛYₗ'ₘ') dΩ = δ_{ll'} δ_{mm'} — the strongest
+        // correctness check. Gauss–Legendre × uniform-φ (exact for the
+        // band-limits involved).
+        let rule = crate::lebedev::product_rule(12, 24);
+        let s = -2;
+        let modes = [(2i64, 2i64), (2, 0), (2, -1), (3, 2), (3, -3), (4, 0)];
+        for &(l1, m1) in &modes {
+            for &(l2, m2) in &modes {
+                let mut acc = Complex::ZERO;
+                for node in &rule {
+                    let a = swsh(s, l1, m1, node.theta, node.phi);
+                    let b = swsh(s, l2, m2, node.theta, node.phi).conj();
+                    acc += (a * b).scale(node.weight);
+                }
+                let expect = if l1 == l2 && m1 == m2 { 1.0 } else { 0.0 };
+                assert!(
+                    (acc.re - expect).abs() < 1e-10 && acc.im.abs() < 1e-10,
+                    "({l1},{m1})×({l2},{m2}): {acc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wigner_d_at_zero_is_identity() {
+        for l in 0..4 {
+            for m in -l..=l {
+                for k in -l..=l {
+                    let d = wigner_d(l, m, k, 0.0);
+                    let expect = if m == k { 1.0 } else { 0.0 };
+                    assert!((d - expect).abs() < 1e-13);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjugation_symmetry() {
+        // conj(ₛYₗₘ) = (−1)^{s+m} ₋ₛYₗ₋ₘ.
+        let (s, l, m) = (-2i64, 3i64, 1i64);
+        for (theta, phi) in [(0.9, 0.4), (2.2, 3.3)] {
+            let a = swsh(s, l, m, theta, phi).conj();
+            let b = swsh(-s, l, -m, theta, phi);
+            let sign = if (s + m) % 2 == 0 { 1.0 } else { -1.0 };
+            assert!((a.re - sign * b.re).abs() < 1e-12);
+            assert!((a.im - sign * b.im).abs() < 1e-12);
+        }
+    }
+}

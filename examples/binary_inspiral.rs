@@ -1,0 +1,136 @@
+//! Binary-black-hole puncture evolution.
+//!
+//! Builds the q = 1 Brandt–Brügmann puncture data with Bowen–York
+//! momenta (the paper's BSSN_GR/tpid substitute), a puncture-refined AMR
+//! grid (Fig. 3-style nested levels), evolves the strong-field system
+//! for a short horizon with moving-puncture gauge, monitors constraints,
+//! and demonstrates a regrid as the punctures orbit.
+
+use gw_bssn::constraints;
+use gw_bssn::init::PunctureData;
+use gw_core::solver::{GwSolver, SolverConfig};
+use gw_expr::symbols::{input_value, var, NUM_INPUTS, NUM_VARS};
+use gw_mesh::Mesh;
+use gw_octree::{
+    refine_loop, BalanceMode, Domain, MortonKey, Puncture, PunctureRefiner,
+};
+use gw_stencil::patch::PatchLayout;
+
+fn puncture_refiner(data: &PunctureData, finest: u8) -> PunctureRefiner {
+    let ps = data
+        .punctures
+        .iter()
+        .map(|b| Puncture {
+            pos: b.pos,
+            finest_level: finest,
+            inner_radius: (b.mass * 1.5).max(0.3),
+        })
+        .collect();
+    PunctureRefiner::new(ps, 2)
+}
+
+fn main() {
+    let q = 1.0;
+    let d = 6.0;
+    let data = PunctureData::binary(q, d);
+    println!(
+        "q = {q} binary: m1 = {:.3} at x = {:+.2}, m2 = {:.3} at x = {:+.2}, P = ±{:.4}",
+        data.punctures[0].mass,
+        data.punctures[0].pos[0],
+        data.punctures[1].mass,
+        data.punctures[1].pos[0],
+        data.punctures[0].momentum[1]
+    );
+
+    let domain = Domain::centered_cube(16.0);
+    let finest = 6;
+    let refiner = puncture_refiner(&data, finest);
+    let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 16);
+    let mesh = Mesh::build(domain, &leaves);
+    println!("\ngrid: {} octants, {} unknowns (finest level {finest})", mesh.n_octants(), mesh.unknowns(24));
+    gw_examples::print_level_histogram(&mesh);
+
+    let data2 = data.clone();
+    let mut solver = GwSolver::new(
+        SolverConfig { ..Default::default() },
+        mesh,
+        move |p, out| data2.evaluate(p, out),
+    );
+
+    // Initial diagnostics: lapse profile along the axis and constraint
+    // residual at sample points.
+    let u0 = solver.state();
+    let l = PatchLayout::octant();
+    println!("\nlapse α along the x axis (pre-collapsed ψ⁻²):");
+    for &x in &[-6.0, -3.0, -1.5, 0.0, 1.5, 3.0, 6.0] {
+        let oct = solver.mesh.locate([x, 0.05, 0.05]).unwrap();
+        // Nearest grid point:
+        let info = &solver.mesh.octants[oct];
+        let i = (((x - info.origin[0]) / info.h).round() as usize).min(6);
+        let a = u0.block(var::ALPHA, oct)[l.idx(i, 3, 3)];
+        println!("  x = {x:+5.1}: α = {a:.4}");
+    }
+
+    let ham_rms = |solver: &GwSolver| -> f64 {
+        // Algebraic Hamiltonian monitor on octant centers (derivative
+        // terms omitted — tracks the strong-field amplitude).
+        let u = solver.state();
+        let mut acc = 0.0;
+        let n = solver.mesh.n_octants();
+        for oct in 0..n {
+            let mut inputs = vec![0.0; NUM_INPUTS];
+            for v in 0..NUM_VARS {
+                inputs[input_value(v)] = u.block(v, oct)[l.idx(3, 3, 3)];
+            }
+            let h = constraints::hamiltonian(&inputs);
+            acc += h * h;
+        }
+        (acc / n as f64).sqrt()
+    };
+    println!("\ninitial algebraic-Hamiltonian RMS: {:.3e}", ham_rms(&solver));
+
+    // Evolve a short strong-field segment.
+    let steps = 8;
+    println!("evolving {steps} steps, dt = {:.5} ...", solver.dt());
+    for s in 0..steps {
+        solver.step();
+        if s % 4 == 3 {
+            let u = solver.state();
+            println!(
+                "  step {:2}: t = {:.4}, max|K| = {:.3e}, min α kept > 0: {}",
+                s + 1,
+                solver.time,
+                u.linf(var::K),
+                u.block(var::ALPHA, solver.mesh.locate([0.0, 0.05, 0.05]).unwrap())
+                    .iter()
+                    .all(|&a| a > 0.0)
+            );
+        }
+    }
+    println!("post-evolution algebraic-Hamiltonian RMS: {:.3e}", ham_rms(&solver));
+
+    // Regrid for punctures that have moved along their orbit (Newtonian
+    // phase advance as the track estimate — the paper regrids on the
+    // moving-puncture locations).
+    let omega = d.powf(-1.5);
+    let phi = omega * solver.time;
+    let moved = PunctureData::binary(q, d);
+    let mut moved_refiner = puncture_refiner(&moved, finest);
+    for p in &mut moved_refiner.punctures {
+        let (x, y) = (p.pos[0], p.pos[1]);
+        p.pos[0] = x * phi.cos() - y * phi.sin();
+        p.pos[1] = x * phi.sin() + y * phi.cos();
+    }
+    let before = solver.mesh.n_octants();
+    solver.regrid(&moved_refiner);
+    println!(
+        "\nregrid at t = {:.4}: {} -> {} octants ({} regrids performed)",
+        solver.time,
+        before,
+        solver.mesh.n_octants(),
+        solver.regrids
+    );
+    solver.step();
+    println!("post-regrid step ok; t = {:.4}", solver.time);
+    println!("\nok: binary_inspiral completed");
+}

@@ -1,0 +1,80 @@
+//! Code-generation design-space explorer.
+//!
+//! Interactively sweeps the Table-II design space: scheduling strategy ×
+//! register budget, reporting DAG statistics, peak live temporaries,
+//! spill bytes and executed tape throughput — the paper's section IV-B
+//! analysis as a tool.
+
+use gw_expr::bssn::{build_bssn_rhs, BssnParams};
+use gw_expr::regalloc::simulate_spills;
+use gw_expr::schedule::{schedule, ScheduleStrategy};
+use gw_expr::symbols::NUM_INPUTS;
+use gw_expr::tape::Tape;
+use std::time::Instant;
+
+fn main() {
+    let rhs = build_bssn_rhs(BssnParams::default());
+    let (nodes, edges) = rhs.graph.graph_stats(&rhs.outputs);
+    println!("BSSN A-component computational graph");
+    println!("  nodes: {nodes} (paper: 2516)");
+    println!("  edges: {edges} (paper: 6708)");
+    println!("  CSE temporaries: {}", rhs.graph.interior_count(&rhs.outputs));
+    println!("  flops/point: {}", rhs.graph.flop_count(&rhs.outputs));
+
+    let mut inputs = vec![0.01f64; NUM_INPUTS];
+    inputs[0] = 1.0;
+    inputs[7] = 1.0;
+    inputs[9] = 1.0;
+    inputs[12] = 1.0;
+    inputs[14] = 1.0;
+
+    println!("\nstrategy × register-budget sweep (spill bytes = loads + stores):");
+    println!(
+        "  {:>14} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "strategy", "max live", "slots", "R=32", "R=56", "R=128", "ns/point"
+    );
+    for strat in ScheduleStrategy::all() {
+        let sch = schedule(&rhs.graph, &rhs.outputs, strat);
+        let live = sch.max_live(&rhs.graph);
+        let tape = Tape::compile(&rhs.graph, &sch, 56);
+        let spills: Vec<u64> = [32usize, 56, 128]
+            .iter()
+            .map(|&r| simulate_spills(&rhs.graph, &sch, r).total_spill_bytes())
+            .collect();
+        // Execution throughput.
+        let mut out = vec![0.0; tape.n_outputs];
+        let mut slots = vec![0.0; tape.n_slots];
+        for _ in 0..200 {
+            tape.eval_into(&inputs, &mut out, &mut slots);
+        }
+        let n = 20_000;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            tape.eval_into(&inputs, &mut out, &mut slots);
+        }
+        let ns = t0.elapsed().as_secs_f64() * 1e9 / n as f64;
+        println!(
+            "  {:>14} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12.0}",
+            strat.name(),
+            live,
+            tape.n_slots,
+            spills[0],
+            spills[1],
+            spills[2],
+            ns
+        );
+    }
+
+    println!("\nregister-budget sensitivity of the binary-reduce schedule:");
+    let sch = schedule(&rhs.graph, &rhs.outputs, ScheduleStrategy::BinaryReduce);
+    println!("  {:>5} {:>12} {:>12}", "R", "spill loads", "spill stores");
+    for r in [16usize, 24, 32, 48, 56, 80, 128, 256] {
+        let s = simulate_spills(&rhs.graph, &sch, r);
+        println!("  {:>5} {:>12} {:>12}", r, s.spill_load_bytes, s.spill_store_bytes);
+    }
+    println!(
+        "\nTakeaway (paper §IV-B): minimizing operations (CSE) is not the target when\n\
+         spilling dominates — ordering for short live ranges (binary-reduce,\n\
+         staged+CSE) cuts spill traffic and wins on the device."
+    );
+}

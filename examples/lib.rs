@@ -1,0 +1,35 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The binaries in this package exercise the `gw-amr` public API on the
+//! scenarios the paper motivates:
+//!
+//! * `quickstart` — the whole pipeline in one page of code.
+//! * `wave_propagation` — GW packet propagation with a convergence study
+//!   against the analytic solution.
+//! * `binary_inspiral` — BBH puncture grids, short strong-field
+//!   evolution, regridding as the punctures move.
+//! * `codegen_explorer` — the Table-II code-generation design space.
+
+/// Pretty-print a waveform series as (t, re, im) rows.
+pub fn print_series(name: &str, s: &gw_waveform::WaveformSeries, stride: usize) {
+    println!("\n{name} ({} samples):", s.len());
+    println!("  {:>8}  {:>13}  {:>13}", "t", "Re", "Im");
+    for i in (0..s.len()).step_by(stride.max(1)) {
+        println!(
+            "  {:8.3}  {:+.6e}  {:+.6e}",
+            s.times[i], s.values[i].re, s.values[i].im
+        );
+    }
+}
+
+/// Simple fixed-width histogram of octant levels.
+pub fn print_level_histogram(mesh: &gw_mesh::Mesh) {
+    let mut counts = std::collections::BTreeMap::new();
+    for o in &mesh.octants {
+        *counts.entry(o.level).or_insert(0usize) += 1;
+    }
+    println!("octant levels:");
+    for (l, c) in counts {
+        println!("  level {l:2}: {c:6}  {}", "#".repeat((c as f64).log2().max(1.0) as usize));
+    }
+}

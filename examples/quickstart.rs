@@ -1,0 +1,71 @@
+//! Quickstart: the full gw-amr pipeline in one page.
+//!
+//! Builds an adaptive octree around a linearized gravitational-wave
+//! packet, evolves the 24-variable BSSN system on the simulated A100,
+//! extracts the (2,2) strain mode on a sphere, and prints device-counter
+//! statistics — Algorithm 1 of the paper, end to end.
+
+use gw_bssn::init::LinearWaveData;
+use gw_core::backend::RhsKind;
+use gw_core::solver::{GwSolver, SolverConfig};
+use gw_expr::schedule::ScheduleStrategy;
+use gw_mesh::Mesh;
+use gw_octree::{refine_loop, BalanceMode, Domain, InterpErrorRefiner, MortonKey};
+use gw_waveform::{lebedev::product_rule, ExtractionSphere, ModeExtractor};
+
+fn main() {
+    // 1. The physical setup: a weak GW packet travelling along z.
+    let domain = Domain::centered_cube(8.0);
+    let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+
+    // 2. Build an adaptive grid refined where the wave lives.
+    let refiner = InterpErrorRefiner::new(move |p: [f64; 3]| wave.h_plus(p[2], 0.0), 1e-4, 2, 4);
+    let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+    let mesh = Mesh::build(domain, &leaves);
+    println!(
+        "grid: {} octants, {} unknowns, adaptivity ratio {:.3}",
+        mesh.n_octants(),
+        mesh.unknowns(24),
+        mesh.adaptivity_ratio()
+    );
+    gw_examples::print_level_histogram(&mesh);
+
+    // 3. Solver on the simulated GPU with generated (staged+CSE) RHS code.
+    let mut solver = GwSolver::new(
+        SolverConfig {
+            use_gpu: true,
+            rhs_kind: RhsKind::Generated(ScheduleStrategy::StagedCse),
+            extract_every: 1,
+            ..Default::default()
+        },
+        mesh,
+        |p, out| wave.evaluate(p, out),
+    );
+    let sphere = ExtractionSphere::new(4.0, product_rule(6, 12));
+    solver.add_extractor(ModeExtractor::new(sphere, vec![(2, 2)]));
+
+    // 4. Evolve.
+    let steps = 10;
+    println!("\nevolving {steps} RK4 steps, dt = {:.4} ...", solver.dt());
+    for _ in 0..steps {
+        solver.step();
+    }
+    println!("t = {:.3} after {} steps", solver.time, solver.steps_taken);
+
+    // 5. The extracted waveform.
+    let h22 = solver.extractors[0].mode(2, 2).unwrap();
+    gw_examples::print_series("h22 strain mode", h22, 1);
+
+    // 6. Device statistics (Algorithm 1's data-movement discipline).
+    if let Some(c) = solver.backend.counters() {
+        println!("\nsimulated-A100 counters:");
+        println!("  kernel launches : {}", c.launches);
+        println!("  global traffic  : {:.1} MB", c.global_bytes() as f64 / 1e6);
+        println!("  flops           : {:.2} G", c.flops as f64 / 1e9);
+        println!("  arithmetic int. : {:.2} F/B", c.arithmetic_intensity());
+        println!("  h2d / d2h       : {:.1} / {:.1} MB",
+            c.h2d_bytes as f64 / 1e6, c.d2h_bytes as f64 / 1e6);
+        println!("  spills (gen'd)  : {:.1} MB", (c.spill_load_bytes + c.spill_store_bytes) as f64 / 1e6);
+    }
+    println!("\nok: quickstart completed");
+}

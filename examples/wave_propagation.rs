@@ -1,0 +1,84 @@
+//! Wave-propagation convergence study.
+//!
+//! Evolves a linearized GW packet on uniform grids of increasing
+//! resolution and on ε-refined AMR grids, comparing against the
+//! closed-form solution h₊(z − t) — the experiment behind the Fig. 19
+//! substitution, plus a grid-convergence-order measurement.
+
+use gw_bssn::init::LinearWaveData;
+use gw_core::solver::{GwSolver, SolverConfig};
+use gw_core::unigrid::unigrid_solver;
+use gw_mesh::Mesh;
+use gw_octree::{refine_loop, BalanceMode, Domain, InterpErrorRefiner, MortonKey};
+use gw_stencil::patch::PatchLayout;
+
+/// L∞ error of γ̃_xx against the analytic translation, interior only.
+fn wave_error(solver: &GwSolver, wave: &LinearWaveData) -> f64 {
+    let u = solver.state();
+    let l = PatchLayout::octant();
+    let t = solver.time;
+    let mut err = 0.0f64;
+    for oct in 0..solver.mesh.n_octants() {
+        for (i, j, k) in l.iter() {
+            let p = solver.mesh.point_coords(oct, i, j, k);
+            if p.iter().any(|c| c.abs() > 4.5) {
+                continue;
+            }
+            let got = u.block(gw_expr::symbols::var::gt(0, 0), oct)[l.idx(i, j, k)];
+            let expect = 1.0 + wave.h_plus(p[2], t);
+            err = err.max((got - expect).abs());
+        }
+    }
+    err
+}
+
+fn main() {
+    let domain = Domain::centered_cube(8.0);
+    let amp = 1e-4;
+    let wave = LinearWaveData::new(amp, 0.0, 2.5, 0.9);
+    let horizon = 0.8; // evolve to t = 0.8 on every grid
+
+    println!("== uniform-grid convergence (error vs analytic at t = {horizon}) ==");
+    let mut prev_err: Option<f64> = None;
+    for level in [2u8, 3] {
+        let mut s = unigrid_solver(SolverConfig::default(), domain, level, |p, out| {
+            wave.evaluate(p, out)
+        });
+        let dt = s.dt();
+        let steps = (horizon / dt).round() as usize;
+        for _ in 0..steps {
+            s.step();
+        }
+        let err = wave_error(&s, &wave);
+        let h = s.mesh.octants[0].h;
+        print!("  level {level}: h = {h:.4}, {} octants, err = {err:.3e}", s.mesh.n_octants());
+        if let Some(pe) = prev_err {
+            let order: f64 = (pe / err).log2();
+            println!(", observed order ~{order:.1}");
+        } else {
+            println!();
+        }
+        prev_err = Some(err);
+    }
+
+    println!("\n== AMR (ε-driven) vs analytic at t = {horizon} ==");
+    for eps in [1e-3, 1e-4] {
+        let refiner =
+            InterpErrorRefiner::new(move |p: [f64; 3]| wave.h_plus(p[2], 0.0), eps, 2, 4);
+        let leaves =
+            refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+        let mesh = Mesh::build(domain, &leaves);
+        let n = mesh.n_octants();
+        let mut s = GwSolver::new(SolverConfig::default(), mesh, |p, out| wave.evaluate(p, out));
+        let dt = s.dt();
+        let steps = (horizon / dt).round() as usize;
+        for _ in 0..steps {
+            s.step();
+        }
+        let err = wave_error(&s, &wave);
+        println!("  eps = {eps:.0e}: {n} octants ({} unknowns), err = {err:.3e}",
+            s.mesh.unknowns(24));
+    }
+    println!("\nSmaller eps / finer grids track the analytic packet more closely —");
+    println!("the content of the paper's Fig. 19 convergence demonstration.");
+}

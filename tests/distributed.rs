@@ -1,0 +1,95 @@
+//! Distributed-evolution integration: multi-rank runs against the
+//! single-rank reference, ghost-plan properties, scaling-model inputs.
+
+use gw_bssn::init::LinearWaveData;
+use gw_bssn::BssnParams;
+use gw_comm::GhostSchedule;
+use gw_core::backend::{Backend, CpuBackend, RhsKind};
+use gw_core::multi::{dependencies, evolve_distributed};
+use gw_core::rk4::Rk4;
+use gw_core::solver::fill_field;
+use gw_integration_tests::{adaptive_mesh, uniform_mesh};
+use gw_octree::partition::partition_uniform;
+use gw_octree::Domain;
+use gw_perfmodel::scaling::{project_step, strong_efficiency, Network};
+
+#[test]
+fn four_ranks_match_reference_on_uniform_grid() {
+    let domain = Domain::centered_cube(8.0);
+    let mesh = uniform_mesh(domain, 2);
+    let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+    let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+    let params = BssnParams::default();
+    let mut backend = Backend::Cpu(CpuBackend::new(&mesh, params, RhsKind::Pointwise));
+    backend.upload(&u0);
+    let rk = Rk4::default();
+    let dt = rk.timestep(&mesh);
+    rk.step(&mut backend, &mesh, dt);
+    let reference = backend.download();
+
+    let result = evolve_distributed(&mesh, &u0, 4, 1, 0.25, params);
+    for (a, b) in reference.as_slice().iter().zip(result.state.as_slice().iter()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn ghost_plan_covers_every_cross_dependency() {
+    let domain = Domain::centered_cube(8.0);
+    let mesh = adaptive_mesh(domain);
+    let deps = dependencies(&mesh);
+    for p in [2usize, 3, 5] {
+        let part = partition_uniform(mesh.n_octants(), p);
+        let plan = GhostSchedule::build(&part, deps.iter().copied());
+        for &(src, dst) in &deps {
+            let rs = part.owner_of_index(src as usize);
+            let rd = part.owner_of_index(dst as usize);
+            if rs == rd {
+                continue;
+            }
+            assert!(
+                plan.sends[rs][rd].contains(&src),
+                "dep {src}->{dst} not covered by plan ({rs}->{rd})"
+            );
+        }
+    }
+}
+
+#[test]
+fn measured_traffic_matches_plan_prediction() {
+    let domain = Domain::centered_cube(8.0);
+    let mesh = adaptive_mesh(domain);
+    let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+    let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+    let ranks = 3;
+    let steps = 2;
+    let result = evolve_distributed(&mesh, &u0, ranks, steps, 0.25, BssnParams::default());
+    // 5 exchanges per step, each shipping plan.send_bytes per rank.
+    for r in 0..ranks {
+        let expect = 5 * steps as u64 * result.plan.send_bytes(r, 24, 343);
+        let got = result.traffic[r].1;
+        assert_eq!(got, expect, "rank {r}: plan {expect} vs measured {got}");
+    }
+}
+
+#[test]
+fn scaling_model_consumes_real_plans() {
+    // Feed the scaling model with the actual measured plan of an
+    // adaptive mesh — the Fig. 17 pipeline end to end.
+    let domain = Domain::centered_cube(8.0);
+    let mesh = adaptive_mesh(domain);
+    let deps = dependencies(&mesh);
+    let n = mesh.n_octants();
+    let net = Network::gpu_interconnect();
+    let ps = [1usize, 2, 4];
+    let mut times = Vec::new();
+    for &p in &ps {
+        let part = partition_uniform(n, p);
+        let plan = GhostSchedule::build(&part, deps.iter().copied());
+        let work: Vec<f64> = (0..p).map(|r| 1e-3 * part.range(r).len() as f64 / n as f64).collect();
+        times.push(project_step(&work, &plan, &net, 24, 343, 5).total());
+    }
+    let eff = strong_efficiency(&ps, &times);
+    assert!((eff[0] - 1.0).abs() < 1e-12);
+    assert!(eff.iter().all(|&e| e > 0.0 && e <= 1.0 + 1e-9), "{eff:?}");
+}

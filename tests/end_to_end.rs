@@ -1,0 +1,154 @@
+//! End-to-end integration: grid → initial data → evolution → extraction.
+
+use gw_bssn::init::LinearWaveData;
+use gw_core::solver::{GwSolver, SolverConfig};
+use gw_core::unigrid::unigrid_solver;
+use gw_expr::symbols::var;
+use gw_integration_tests::uniform_mesh;
+use gw_octree::Domain;
+use gw_waveform::{lebedev::product_rule, psi4_from_strain, ExtractionSphere, ModeExtractor};
+
+#[test]
+fn full_pipeline_produces_wave_signal() {
+    let domain = Domain::centered_cube(8.0);
+    let wave = LinearWaveData::new(1e-3, -2.0, 1.5, 1.2);
+    let mesh = uniform_mesh(domain, 3);
+    let mut solver = GwSolver::new(
+        SolverConfig { extract_every: 1, ..Default::default() },
+        mesh,
+        |p, out| wave.evaluate(p, out),
+    );
+    let sphere = ExtractionSphere::new(4.0, product_rule(6, 12));
+    solver.add_extractor(ModeExtractor::new(sphere, vec![(2, 2), (2, -2), (3, 3)]));
+    for _ in 0..8 {
+        solver.step();
+    }
+    let h22 = solver.extractors[0].mode(2, 2).unwrap();
+    assert_eq!(h22.len(), 8);
+    // Wave content present in the (2, ±2) channels, negligible in (3,3).
+    let p22: f64 = h22.values.iter().map(|v| v.norm()).sum();
+    let p33: f64 =
+        solver.extractors[0].mode(3, 3).unwrap().values.iter().map(|v| v.norm()).sum();
+    assert!(p22 > 1e-6, "22 power {p22}");
+    assert!(p22 > 20.0 * p33, "mode leakage: 22 {p22} vs 33 {p33}");
+    // Ψ₄ from the strain series exists and is finite.
+    let psi4 = psi4_from_strain(h22);
+    assert_eq!(psi4.len(), 6);
+    assert!(psi4.values.iter().all(|v| v.re.is_finite() && v.im.is_finite()));
+}
+
+#[test]
+fn amplitude_scaling_is_linear() {
+    // Double the initial amplitude ⇒ double the extracted mode (linear
+    // regime end-to-end).
+    let domain = Domain::centered_cube(8.0);
+    let run = |amp: f64| {
+        let wave = LinearWaveData::new(amp, 0.0, 2.0, 1.0);
+        let mut solver = unigrid_solver(
+            SolverConfig { extract_every: 1, ..Default::default() },
+            domain,
+            2,
+            move |p, out| wave.evaluate(p, out),
+        );
+        let sphere = ExtractionSphere::new(4.0, product_rule(6, 12));
+        solver.add_extractor(ModeExtractor::new(sphere, vec![(2, 2)]));
+        for _ in 0..4 {
+            solver.step();
+        }
+        solver.extractors[0].mode(2, 2).unwrap().clone()
+    };
+    let a = run(1e-4);
+    let b = run(2e-4);
+    for (x, y) in a.values.iter().zip(b.values.iter()) {
+        if x.norm() < 1e-12 {
+            continue;
+        }
+        let ratio = y.norm() / x.norm();
+        assert!((ratio - 2.0).abs() < 0.05, "nonlinear response: ratio {ratio}");
+    }
+}
+
+#[test]
+fn strong_field_puncture_short_evolution_is_stable() {
+    use gw_bssn::init::PunctureData;
+    let domain = Domain::centered_cube(16.0);
+    let data = PunctureData::binary(1.0, 6.0);
+    let mesh = uniform_mesh(domain, 3);
+    let d2 = data.clone();
+    let mut solver = GwSolver::new(SolverConfig::default(), mesh, move |p, out| d2.evaluate(p, out));
+    let u0 = solver.state();
+    assert!(u0.linf(var::ALPHA) <= 1.0);
+    for _ in 0..4 {
+        solver.step();
+    }
+    let u = solver.state();
+    // No blow-up; gauge fields responded; χ stays positive at octant
+    // centers (punctures are off grid-point by construction of the grid).
+    assert!(u.linf_all().is_finite());
+    assert!(u.linf(var::K) > 1e-6, "strong-field K response expected");
+    assert!(u.linf_all() < 50.0, "short evolution must remain bounded");
+}
+
+#[test]
+fn energy_leaves_the_domain_through_sommerfeld() {
+    // A compact pulse near the boundary exits; total wave content decays
+    // once the packet crosses the extraction radius... monitor the field
+    // max decreasing after passage.
+    let domain = Domain::centered_cube(8.0);
+    let wave = LinearWaveData::new(1e-3, 3.5, 1.5, 1.0); // heading to +z boundary
+    let mesh = uniform_mesh(domain, 2);
+    let mut solver = GwSolver::new(SolverConfig::default(), mesh, |p, out| wave.evaluate(p, out));
+    let dev0 = {
+        let u = solver.state();
+        (u.linf(var::gt(0, 0)) - 1.0).abs()
+    };
+    // 48 steps ≈ t = 8: the packet (center 3.5, width 1.5) fully crosses
+    // the z = +8 boundary, and the radiative boundary damps the residue.
+    for _ in 0..48 {
+        solver.step();
+    }
+    let u = solver.state();
+    let dev1 = (u.linf(var::gt(0, 0)) - 1.0).abs();
+    assert!(
+        dev1 < 0.8 * dev0,
+        "outgoing packet must leave: initial dev {dev0:.3e}, final {dev1:.3e}"
+    );
+}
+
+#[test]
+fn weyl_psi4_matches_strain_second_derivative() {
+    // Cross-validation of the two extraction pipelines: the direct Weyl
+    // Ψ₄ recorded during an evolution must match the second time
+    // derivative of the strain-mode series (wave-zone identity), which
+    // is itself checked against the analytic packet elsewhere.
+    let domain = Domain::centered_cube(8.0);
+    let wave = LinearWaveData::new(1e-4, 0.0, 2.5, 0.9);
+    let mesh = uniform_mesh(domain, 3);
+    let mut solver = GwSolver::new(
+        SolverConfig { extract_every: 1, ..Default::default() },
+        mesh,
+        |p, out| wave.evaluate(p, out),
+    );
+    let mk_sphere = || gw_waveform::ExtractionSphere::new(3.0, product_rule(6, 12));
+    solver.add_extractor(ModeExtractor::new(mk_sphere(), vec![(2, 2)]));
+    solver.add_psi4_extractor(gw_waveform::Psi4Extractor::new(mk_sphere(), vec![(2, 2)]));
+    for _ in 0..10 {
+        solver.step();
+    }
+    let strain = solver.extractors[0].mode(2, 2).unwrap();
+    let psi4_from_ddot = psi4_from_strain(strain);
+    let psi4_weyl = solver.psi4_extractors[0].mode(2, 2).unwrap();
+    // Compare over the common interior samples.
+    let mut max_rel = 0.0f64;
+    let mut scale = 0.0f64;
+    for (t, v) in psi4_from_ddot.times.iter().zip(psi4_from_ddot.values.iter()) {
+        let w = psi4_weyl.sample(*t);
+        scale = scale.max(w.norm());
+        max_rel = max_rel.max((v.re - w.re).hypot(v.im - w.im));
+    }
+    assert!(scale > 1e-8, "Ψ₄ signal must be present (scale {scale:.3e})");
+    assert!(
+        max_rel < 0.25 * scale,
+        "Weyl and strain-ddot Ψ₄ must agree in the wave zone: diff {max_rel:.3e} vs scale {scale:.3e}"
+    );
+}

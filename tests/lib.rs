@@ -1,0 +1,23 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use gw_mesh::Mesh;
+use gw_octree::{balance_octree, complete_octree, BalanceMode, Domain, MortonKey};
+
+/// A small uniform mesh.
+pub fn uniform_mesh(domain: Domain, level: u8) -> Mesh {
+    let mut leaves = vec![MortonKey::root()];
+    for _ in 0..level {
+        leaves = leaves.iter().flat_map(|k| k.children()).collect();
+    }
+    leaves.sort();
+    Mesh::build(domain, &leaves)
+}
+
+/// A small adaptive mesh with all three interface kinds.
+pub fn adaptive_mesh(domain: Domain) -> Mesh {
+    let c0 = MortonKey::root().children()[0];
+    let fine: Vec<MortonKey> = c0.children()[7].children().to_vec();
+    let t = complete_octree(fine);
+    let t = balance_octree(&t, BalanceMode::Full);
+    Mesh::build(domain, &t)
+}
