@@ -15,17 +15,10 @@ fn bench_extraction(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
 
-    group.bench_function("swsh-2-2", |b| {
-        b.iter(|| swsh(-2, 2, 2, 1.234, 0.567))
-    });
-    group.bench_function("swsh-4-3", |b| {
-        b.iter(|| swsh(-2, 4, 3, 1.234, 0.567))
-    });
+    group.bench_function("swsh-2-2", |b| b.iter(|| swsh(-2, 2, 2, 1.234, 0.567)));
+    group.bench_function("swsh-4-3", |b| b.iter(|| swsh(-2, 4, 3, 1.234, 0.567)));
 
-    for (name, rule) in [
-        ("lebedev-26", lebedev_rule(7)),
-        ("product-8x16", product_rule(8, 16)),
-    ] {
+    for (name, rule) in [("lebedev-26", lebedev_rule(7)), ("product-8x16", product_rule(8, 16))] {
         group.bench_function(format!("integrate-{name}"), |b| {
             b.iter(|| integrate(&rule, |n| n.dir[0] * n.dir[0] * n.dir[2].abs()))
         });

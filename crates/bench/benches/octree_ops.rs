@@ -30,15 +30,11 @@ fn bench_octree(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
 
     let t = unbalanced_tree();
-    group.bench_function("balance-ripple", |b| {
-        b.iter(|| balance_octree(&t, BalanceMode::Full))
-    });
+    group.bench_function("balance-ripple", |b| b.iter(|| balance_octree(&t, BalanceMode::Full)));
     group.bench_function("balance-bucket", |b| {
         b.iter(|| balance_octree_bucket(&t, BalanceMode::Full))
     });
-    group.bench_function("balance-face-only", |b| {
-        b.iter(|| balance_octree(&t, BalanceMode::Face))
-    });
+    group.bench_function("balance-face-only", |b| b.iter(|| balance_octree(&t, BalanceMode::Face)));
 
     group.bench_function("complete-octree", |b| {
         let keys: Vec<MortonKey> = t.iter().step_by(3).copied().collect();

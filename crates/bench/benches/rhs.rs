@@ -57,8 +57,7 @@ fn bench_rhs(c: &mut Criterion) {
             let mut ws = RhsWorkspace::new(tape.n_slots);
             let mut out: Vec<Vec<f64>> = vec![vec![0.0; BLOCK_VOLUME]; NUM_VARS];
             b.iter(|| {
-                let mut views: Vec<&mut [f64]> =
-                    out.iter_mut().map(|v| v.as_mut_slice()).collect();
+                let mut views: Vec<&mut [f64]> = out.iter_mut().map(|v| v.as_mut_slice()).collect();
                 bssn_rhs_patch(&refs, h, &params, &RhsMode::Tape(&tape), &mut ws, &mut views)
             })
         });

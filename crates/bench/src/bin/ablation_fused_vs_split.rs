@@ -62,8 +62,7 @@ fn main() {
     // Same arithmetic; extra global round trip of 210 blocks per octant.
     // (Host execution reuses the fused code; the model adds the traffic,
     // which is the paper's point: the split variant is bandwidth-murder.)
-    let split_extra =
-        n as u64 * 8 * (NUM_DERIV_BLOCKS as u64 * BLOCK_VOLUME as u64) * 2; // write + read
+    let split_extra = n as u64 * 8 * (NUM_DERIV_BLOCKS as u64 * BLOCK_VOLUME as u64) * 2; // write + read
     let split_bytes = fused_bytes + split_extra;
 
     let ram = RamModel::a100();

@@ -2,9 +2,7 @@
 //! axis for (a) a q = 8 binary during inspiral and (b) a post-merger
 //! grid with a radially outgoing wave shell.
 
-use gw_octree::{
-    refine_loop, BalanceMode, Domain, MortonKey, Puncture, PunctureRefiner,
-};
+use gw_octree::{refine_loop, BalanceMode, Domain, MortonKey, Puncture, PunctureRefiner};
 
 fn profile_along_x(domain: &Domain, leaves: &[MortonKey], samples: usize) -> Vec<(f64, u8)> {
     let half = domain.max[0];
@@ -49,11 +47,8 @@ fn main() {
     print_profile("Fig. 12 — level vs x, q = 8 inspiral (asymmetric wells)", &prof);
     // Structural checks mirrored from the paper's plot.
     let lmax = prof.iter().map(|p| p.1).max().unwrap();
-    let small_region: Vec<u8> = prof
-        .iter()
-        .filter(|(x, _)| (x - d * m1).abs() < 1.0)
-        .map(|p| p.1)
-        .collect();
+    let small_region: Vec<u8> =
+        prof.iter().filter(|(x, _)| (x - d * m1).abs() < 1.0).map(|p| p.1).collect();
     assert!(small_region.contains(&lmax), "deepest refinement at the small hole");
 
     // Fig. 13: post-merger — single central remnant + outgoing wave shell.
@@ -64,12 +59,8 @@ fn main() {
     let prof = profile_along_x(&domain, &leaves, 48);
     print_profile("Fig. 13 — level vs x, post-merger (center + wave shell)", &prof);
     // The shell band must be refined above its surroundings.
-    let shell_lvl = prof
-        .iter()
-        .filter(|(x, _)| x.abs() > 8.5 && x.abs() < 11.5)
-        .map(|p| p.1)
-        .max()
-        .unwrap();
+    let shell_lvl =
+        prof.iter().filter(|(x, _)| x.abs() > 8.5 && x.abs() < 11.5).map(|p| p.1).max().unwrap();
     // The far field is probed at the domain corners (r ≈ 26), well
     // outside the shell's influence; the x-axis beyond the shell stays
     // partially refined because sibling-coarsening is all-or-nothing.

@@ -15,10 +15,12 @@ use gw_perfmodel::{Roofline, RooflinePoint};
 
 fn main() {
     let roofline = Roofline::new(gw_gpu_sim::MachineSpec::a100());
-    println!("A100 roofline: peak {} GF/s, bw {} GB/s, ridge AI {:.2}",
+    println!(
+        "A100 roofline: peak {} GF/s, bw {} GB/s, ridge AI {:.2}",
         roofline.machine.peak_gflops(),
         roofline.machine.peak_bandwidth_gbs(),
-        roofline.ridge_ai());
+        roofline.ridge_ai()
+    );
     println!("Ceiling series (AI, GF/s):");
     for (ai, gf) in roofline.ceiling_series(0.25, 32.0, 8) {
         println!("  {ai:8.3}  {gf:9.1}");
@@ -31,7 +33,11 @@ fn main() {
     // AI ~0.62 despite the Eq. 21a bound of 6.68).
     let effective_ai = |d: &gw_gpu_sim::CounterSnapshot| -> f64 {
         let bytes = d.global_bytes() + d.shared_bytes + d.spill_load_bytes + d.spill_store_bytes;
-        if bytes == 0 { 0.0 } else { d.flops as f64 / bytes as f64 }
+        if bytes == 0 {
+            0.0
+        } else {
+            d.flops as f64 / bytes as f64
+        }
     };
 
     // Analytic AI of the A component (Eq. 21b): Q_A = O_A/(8·(48+210)).
@@ -48,8 +54,12 @@ fn main() {
                 *o = 1.0 + 0.01 * ((0.2 * p[0] + v as f64).sin() + 1e-3 * p[1] * p[2]);
             }
         });
-        let mut gpu =
-            GpuBackend::new(&mesh, BssnParams::default(), RhsKind::Generated(ScheduleStrategy::StagedCse), Device::a100());
+        let mut gpu = GpuBackend::new(
+            &mesh,
+            BssnParams::default(),
+            RhsKind::Generated(ScheduleStrategy::StagedCse),
+            Device::a100(),
+        );
         gpu.upload(&u);
         let b0 = gpu.counters();
         gpu.o2p_only(&mesh, Buf::U);

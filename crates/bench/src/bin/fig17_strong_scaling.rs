@@ -80,10 +80,10 @@ fn main() {
             // bytes scale with the surface.
             let ghost_scale = if vol_scale > 1.0 { surface_scale } else { 1.0 };
             let mut worst = gw_perfmodel::scaling::StepCost::default();
-            for r in 0..p {
+            for (r, &compute) in work.iter().enumerate() {
                 let bytes = (plan.send_bytes(r, 24, 343) as f64 * ghost_scale) as u64;
                 let comm = net.exchange_time(plan.messages_aggregated(r), bytes) * 5.0;
-                let c = gw_perfmodel::scaling::StepCost { compute: work[r], comm };
+                let c = gw_perfmodel::scaling::StepCost { compute, comm };
                 if c.total() > worst.total() {
                     worst = c;
                 }

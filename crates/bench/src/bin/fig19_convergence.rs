@@ -25,15 +25,13 @@ fn run_amr(eps: f64, horizon: f64) -> (gw_waveform::WaveformSeries, usize) {
     // eps sweep 4e-4 → 1e-4 crosses two refinement transitions).
     let field = move |p: [f64; 3]| wave.h_plus(p[2], 0.0);
     let refiner = InterpErrorRefiner::new(field, eps, 2, 4);
-    let leaves =
-        refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+    let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
     let mesh = Mesh::build(domain, &leaves);
     let n_oct = mesh.n_octants();
-    let mut solver = GwSolver::new(
-        SolverConfig { extract_every: 1, ..Default::default() },
-        mesh,
-        |p, out| wave.evaluate(p, out),
-    );
+    let mut solver =
+        GwSolver::new(SolverConfig { extract_every: 1, ..Default::default() }, mesh, |p, out| {
+            wave.evaluate(p, out)
+        });
     let sphere = ExtractionSphere::new(4.0, product_rule(6, 12));
     solver.add_extractor(ModeExtractor::new(sphere, vec![(2, 2)]));
     let steps = (horizon / solver.dt()).round().max(4.0) as usize;
@@ -68,12 +66,7 @@ fn main() {
     }
     let ref_psi4 = psi4_from_strain(reference.extractors[0].mode(2, 2).unwrap());
 
-    let mut t = TablePrinter::new(&[
-        "eps",
-        "octants",
-        "Linf |Re psi4 - ref|",
-        "RMS diff",
-    ]);
+    let mut t = TablePrinter::new(&["eps", "octants", "Linf |Re psi4 - ref|", "RMS diff"]);
     let mut prev = f64::INFINITY;
     let mut monotone = true;
     for eps in [4e-4, 2e-4, 1e-4] {

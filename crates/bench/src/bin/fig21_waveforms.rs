@@ -57,13 +57,7 @@ fn main() {
             max_gpu = max_gpu.max(b.re.abs());
             linf = linf.max((a.re - b.re).abs());
         }
-        t.row(&[
-            format!("{q}"),
-            cpu.len().to_string(),
-            sci(max_cpu),
-            sci(max_gpu),
-            sci(linf),
-        ]);
+        t.row(&[format!("{q}"), cpu.len().to_string(), sci(max_cpu), sci(max_gpu), sci(linf)]);
         println!("q={q} Re h22 series (t, cpu, gpu):");
         for i in (0..cpu.len()).step_by(2) {
             println!(

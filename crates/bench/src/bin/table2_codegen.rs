@@ -19,9 +19,7 @@ use std::time::Instant;
 fn main() {
     let rhs = build_bssn_rhs(BssnParams::default());
     let (nodes, edges) = rhs.graph.graph_stats(&rhs.outputs);
-    println!(
-        "BSSN A-component DAG: {nodes} nodes, {edges} edges (paper: 2516 nodes, 6708 edges)"
-    );
+    println!("BSSN A-component DAG: {nodes} nodes, {edges} edges (paper: 2516 nodes, 6708 edges)");
     println!(
         "CSE temporaries (multi-use): {} (paper: ~900); interior nodes: {}; flops/point: {}",
         rhs.graph.shared_count(&rhs.outputs),
@@ -65,7 +63,11 @@ fn main() {
         a100.time_infinite_cache(tape.flops, stream_bytes + spill)
     };
     let mut base_model = 0.0;
-    let paper = [("SymPyGR", 15892u64, 33288u64, 1.0), ("binary-reduce", 0, 22012, 1.55), ("staged + CSE", 8876, 22028, 1.76)];
+    let paper = [
+        ("SymPyGR", 15892u64, 33288u64, 1.0),
+        ("binary-reduce", 0, 22012, 1.55),
+        ("staged + CSE", 8876, 22028, 1.76),
+    ];
     for (i, strat) in ScheduleStrategy::all().iter().enumerate() {
         let sch = schedule(&rhs.graph, &rhs.outputs, *strat);
         let tape = Tape::compile(&rhs.graph, &sch, 56);

@@ -36,7 +36,8 @@ fn main() {
             }
         });
         // Device o2p with counters.
-        let mut gpu = GpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise, Device::a100());
+        let mut gpu =
+            GpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise, Device::a100());
         gpu.upload(&u);
         let before = gpu.counters();
         // eval_rhs runs o2p + rhs; we want o2p alone — use the internal

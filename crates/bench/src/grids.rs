@@ -96,10 +96,7 @@ mod tests {
         assert_eq!(grids.len(), 5);
         let ratios: Vec<f64> = grids.iter().map(|(_, m)| m.adaptivity_ratio()).collect();
         // m1 clearly more adaptive than m5.
-        assert!(
-            ratios[0] > ratios[4] + 0.05,
-            "adaptivity must decrease m1→m5: {ratios:?}"
-        );
+        assert!(ratios[0] > ratios[4] + 0.05, "adaptivity must decrease m1→m5: {ratios:?}");
         let sizes: Vec<usize> = grids.iter().map(|(_, m)| m.n_octants()).collect();
         assert!(sizes[4] > sizes[0], "m5 should be the largest: {sizes:?}");
     }

@@ -26,11 +26,8 @@ impl TablePrinter {
             }
         }
         let line = |cells: &[String]| {
-            let parts: Vec<String> = cells
-                .iter()
-                .zip(widths.iter())
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let parts: Vec<String> =
+                cells.iter().zip(widths.iter()).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             println!("  {}", parts.join("  "));
         };
         line(&self.headers);

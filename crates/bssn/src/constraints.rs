@@ -304,9 +304,8 @@ mod tests {
         let psi_yy = -m / (2.0 * r * r * r);
         let psi_zz = psi_yy;
         let chi_d = |pd: f64| -4.0 * psi.powi(-5) * pd;
-        let chi_dd = |pa: f64, pb: f64, pab: f64| {
-            20.0 * psi.powi(-6) * pa * pb - 4.0 * psi.powi(-5) * pab
-        };
+        let chi_dd =
+            |pa: f64, pb: f64, pab: f64| 20.0 * psi.powi(-6) * pa * pb - 4.0 * psi.powi(-5) * pab;
         u[input_d1(var::CHI, 0)] = chi_d(psi_x);
         u[input_d2(var::CHI, 0, 0)] = chi_dd(psi_x, psi_x, psi_xx);
         u[input_d2(var::CHI, 1, 1)] = chi_dd(0.0, 0.0, psi_yy);

@@ -6,9 +6,7 @@
 //! them for a whole `r^3` octant block from the 24 padded patches and
 //! assembles the per-point 234-entry input vector for the `A` component.
 
-use gw_expr::symbols::{
-    input_d1, input_d2, input_ko, second_deriv_slot, NUM_INPUTS, NUM_VARS,
-};
+use gw_expr::symbols::{input_d1, input_d2, input_ko, second_deriv_slot, NUM_INPUTS, NUM_VARS};
 use gw_stencil::fd::DerivOps;
 use gw_stencil::ko::ko_deriv_axis;
 use gw_stencil::patch::BLOCK_VOLUME;
@@ -91,7 +89,12 @@ impl DerivWorkspace {
     /// Assemble the 234-entry input vector for one grid point.
     /// `patch_point` maps the block point to its patch index (interior
     /// offset applied by the caller via the field values slice).
-    pub fn assemble_inputs(&self, fields_at_point: &[f64; NUM_VARS], point: usize, out: &mut [f64]) {
+    pub fn assemble_inputs(
+        &self,
+        fields_at_point: &[f64; NUM_VARS],
+        point: usize,
+        out: &mut [f64],
+    ) {
         debug_assert!(out.len() >= NUM_INPUTS);
         out[..NUM_VARS].copy_from_slice(fields_at_point);
         for slot in NUM_VARS..NUM_INPUTS {

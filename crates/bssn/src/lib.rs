@@ -19,6 +19,11 @@
 //! * [`constraints`] — Hamiltonian and momentum constraint monitors.
 //! * [`sommerfeld`] — radiative (Sommerfeld) outer-boundary RHS.
 
+// Tensor-index loops (`for k in 0..3`) mirror the written math
+// throughout this crate; enumerate() forms would obscure the index
+// symmetry.
+#![allow(clippy::needless_range_loop)]
+
 pub mod constraints;
 pub mod derivs;
 pub mod init;

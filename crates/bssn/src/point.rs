@@ -16,8 +16,13 @@ pub fn bssn_rhs_point(u: &[f64], out: &mut [f64], params: &BssnParams) {
 
     // ---- Load fields -----------------------------------------------------
     let alpha = u[input_value(var::ALPHA)];
-    let beta = [u[input_value(var::beta(0))], u[input_value(var::beta(1))], u[input_value(var::beta(2))]];
-    let bb = [u[input_value(var::b_var(0))], u[input_value(var::b_var(1))], u[input_value(var::b_var(2))]];
+    let beta =
+        [u[input_value(var::beta(0))], u[input_value(var::beta(1))], u[input_value(var::beta(2))]];
+    let bb = [
+        u[input_value(var::b_var(0))],
+        u[input_value(var::b_var(1))],
+        u[input_value(var::b_var(2))],
+    ];
     let chi = u[input_value(var::CHI)];
     let kk = u[input_value(var::K)];
     let mut gt = [[0.0f64; 3]; 3];
@@ -28,7 +33,8 @@ pub fn bssn_rhs_point(u: &[f64], out: &mut [f64], params: &BssnParams) {
             at[i][j] = u[input_value(var::at(i, j))];
         }
     }
-    let gamt = [u[input_value(var::gamt(0))], u[input_value(var::gamt(1))], u[input_value(var::gamt(2))]];
+    let gamt =
+        [u[input_value(var::gamt(0))], u[input_value(var::gamt(1))], u[input_value(var::gamt(2))]];
 
     // ---- Load derivatives ------------------------------------------------
     let d = |v: usize, a: usize| u[input_d1(v, a)];

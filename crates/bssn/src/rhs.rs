@@ -131,8 +131,7 @@ mod tests {
             let mut ws = RhsWorkspace::new(max_slots);
             let mut out: Vec<Vec<f64>> = vec![vec![0.0; BLOCK_VOLUME]; NUM_VARS];
             {
-                let mut views: Vec<&mut [f64]> =
-                    out.iter_mut().map(|v| v.as_mut_slice()).collect();
+                let mut views: Vec<&mut [f64]> = out.iter_mut().map(|v| v.as_mut_slice()).collect();
                 bssn_rhs_patch(&refs, h, &params, mode, &mut ws, &mut views);
             }
             out
@@ -185,8 +184,14 @@ mod tests {
         let mut ws = RhsWorkspace::new(1);
         let mut out: Vec<Vec<f64>> = vec![vec![0.0; BLOCK_VOLUME]; NUM_VARS];
         let mut views: Vec<&mut [f64]> = out.iter_mut().map(|v| v.as_mut_slice()).collect();
-        let (d, a) =
-            bssn_rhs_patch(&refs, h, &BssnParams::default(), &RhsMode::Pointwise, &mut ws, &mut views);
+        let (d, a) = bssn_rhs_patch(
+            &refs,
+            h,
+            &BssnParams::default(),
+            &RhsMode::Pointwise,
+            &mut ws,
+            &mut views,
+        );
         // Derivative flops: ~(72+33)·13 + 33·97 per point — order 10^6 per
         // octant. A flops similar.
         assert!(d > 500_000, "deriv flops {d}");

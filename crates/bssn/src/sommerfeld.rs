@@ -108,6 +108,8 @@ mod tests {
         u[input_value(var::gt(2, 2))] = 1.0;
         let mut out = vec![0.0; NUM_VARS];
         sommerfeld_rhs_point(&u, [0.0, 0.0, 30.0], &mut out);
-        assert!((out[var::ALPHA].abs() / out[var::K].abs() - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(
+            (out[var::ALPHA].abs() / out[var::K].abs() - std::f64::consts::SQRT_2).abs() < 1e-12
+        );
     }
 }

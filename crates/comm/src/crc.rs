@@ -1,0 +1,77 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) for wire and on-disk
+//! integrity: halo message headers ([`crate::world`]) and the v2
+//! checkpoint format in `gw-core` both append this checksum so that
+//! truncated or corrupted payloads are *detected* instead of silently
+//! evolving garbage.
+
+/// Reflected CRC-32 polynomial (same parameters as zlib's `crc32`).
+const POLY: u32 = 0xedb8_8320;
+
+/// Byte-at-a-time table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` (zlib-compatible: init `0xffff_ffff`, final XOR).
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xffff_ffff, data) ^ 0xffff_ffff
+}
+
+/// Streaming update: feed chunks, then XOR with `0xffff_ffff` at the end
+/// (or use [`crc32`] for one-shot data).
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard zlib/IEEE test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"halo exchange payload 0123456789";
+        let mut st = 0xffff_ffffu32;
+        for chunk in data.chunks(7) {
+            st = update(st, chunk);
+        }
+        assert_eq!(st ^ 0xffff_ffff, crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0u8; 64];
+        data[10] = 0xab;
+        let good = crc32(&data);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), good, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

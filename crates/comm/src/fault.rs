@@ -1,0 +1,139 @@
+//! Deterministic fault injection for the message layer.
+//!
+//! Production campaigns lose halo messages to flaky links and node
+//! failures; silently evolving with a stale or partial ghost block is the
+//! worst possible outcome (a bit-wrong answer after 388 node-hours, see
+//! Table IV of the paper). The exchange layer therefore carries
+//! length+CRC headers ([`crate::world`]), and this module supplies the
+//! *test harness* side: a seeded, wall-clock-free schedule of message
+//! faults so every detection and recovery path is exercisable in unit
+//! tests.
+//!
+//! Decisions are a pure function of `(seed, src, dst, sequence)`, so a
+//! run with the same plan faults exactly the same messages every time —
+//! the determinism the ISSUE's acceptance criteria require.
+
+/// What to do with one outgoing message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver untouched.
+    Deliver,
+    /// Never deliver (receiver times out).
+    Drop,
+    /// Deliver with the payload cut short (header still describes the
+    /// full payload, so the receiver detects the mismatch).
+    Truncate,
+}
+
+/// A seeded schedule of message faults. Fully disabled by default
+/// (`CommFaultPlan` is only consulted when installed on a world, and the
+/// zero-rate plan never faults).
+#[derive(Clone, Copy, Debug)]
+pub struct CommFaultPlan {
+    /// RNG seed; same seed ⇒ same faulted messages.
+    pub seed: u64,
+    /// Probability a message is dropped, in [0, 1].
+    pub drop_rate: f64,
+    /// Probability a message is truncated, in [0, 1].
+    pub truncate_rate: f64,
+    /// Upper bound on total injected faults (the world enforces it).
+    pub max_faults: usize,
+}
+
+impl CommFaultPlan {
+    /// A plan that never faults (rates zero) — compose with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, drop_rate: 0.0, truncate_rate: 0.0, max_faults: usize::MAX }
+    }
+
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    pub fn with_truncate_rate(mut self, rate: f64) -> Self {
+        self.truncate_rate = rate;
+        self
+    }
+
+    pub fn with_max_faults(mut self, n: usize) -> Self {
+        self.max_faults = n;
+        self
+    }
+
+    /// Decide the fate of message number `seq` on the `src → dst` link.
+    /// Pure and deterministic; no wall-clock or OS entropy.
+    pub fn decide(&self, src: usize, dst: usize, seq: u64) -> FaultAction {
+        if self.drop_rate <= 0.0 && self.truncate_rate <= 0.0 {
+            return FaultAction::Deliver;
+        }
+        let u = unit(mix(self.seed, src as u64, dst as u64, seq));
+        if u < self.drop_rate {
+            FaultAction::Drop
+        } else if u < self.drop_rate + self.truncate_rate {
+            FaultAction::Truncate
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// splitmix64-style avalanche over the decision key.
+fn mix(seed: u64, src: u64, dst: u64, seq: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(src.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(dst.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(seq.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map to [0, 1).
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let plan = CommFaultPlan::new(42);
+        for seq in 0..1000 {
+            assert_eq!(plan.decide(0, 1, seq), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = CommFaultPlan::new(7).with_drop_rate(0.1).with_truncate_rate(0.1);
+        let b = CommFaultPlan::new(7).with_drop_rate(0.1).with_truncate_rate(0.1);
+        for src in 0..4 {
+            for dst in 0..4 {
+                for seq in 0..200 {
+                    assert_eq!(a.decide(src, dst, seq), b.decide(src, dst, seq));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = CommFaultPlan::new(3).with_drop_rate(0.25);
+        let n = 10_000;
+        let drops = (0..n).filter(|&s| plan.decide(1, 2, s) == FaultAction::Drop).count();
+        let frac = drops as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.03, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CommFaultPlan::new(1).with_drop_rate(0.5);
+        let b = CommFaultPlan::new(2).with_drop_rate(0.5);
+        let differ = (0..256).any(|s| a.decide(0, 1, s) != b.decide(0, 1, s));
+        assert!(differ);
+    }
+}

@@ -15,8 +15,15 @@
 //!   per-rank aggregated message plan (one message per neighbor rank per
 //!   round — the aggregation ablation of DESIGN.md §5).
 
+//! * [`crc`] — CRC-32 used for message and checkpoint integrity.
+//! * [`fault`] — deterministic, seeded fault injection for the message
+//!   layer (dropped / truncated halo messages), off by default.
+
+pub mod crc;
+pub mod fault;
 pub mod ghost;
 pub mod world;
 
+pub use fault::{CommFaultPlan, FaultAction};
 pub use ghost::{GhostPlan, GhostSchedule};
-pub use world::{RankCtx, TrafficStats, World};
+pub use world::{CommError, RankCtx, TrafficStats, World};

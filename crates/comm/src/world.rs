@@ -1,20 +1,93 @@
 //! The rank world: threads + channels + collectives.
+//!
+//! Every point-to-point message carries a self-describing integrity
+//! header (declared payload length + CRC-32). Receives verify the header
+//! and surface violations as [`CommError`] instead of silently handing
+//! corrupt ghost data to the solver; dropped messages surface as
+//! timeouts. Fault injection ([`crate::fault`]) is off by default and
+//! adds no work to the fault-free path beyond the header (one CRC pass
+//! per message).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::crc::crc32;
+use crate::fault::{CommFaultPlan, FaultAction};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
 
-/// A tagged message between ranks.
+/// A tagged message between ranks, with integrity header.
 struct Message {
     tag: u64,
+    /// Length the sender intended (bytes); a shorter payload means the
+    /// message was truncated in flight.
+    declared_len: u64,
+    /// CRC-32 of the intended payload.
+    crc: u32,
     payload: Vec<u8>,
 }
+
+/// A detected communication failure. Every variant names the link, so a
+/// supervisor log can say exactly which exchange died.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// No message arrived before the receive timeout (lost/dropped).
+    Timeout { src: usize, dst: usize, tag: u64 },
+    /// The sending rank is gone.
+    Disconnected { src: usize, dst: usize },
+    /// Payload shorter than the declared length (truncated in flight).
+    Truncated { src: usize, dst: usize, tag: u64, declared: usize, got: usize },
+    /// Payload length matches but the checksum does not (corrupted).
+    ChecksumMismatch { src: usize, dst: usize, tag: u64 },
+    /// A message with an unexpected tag (protocol desync).
+    TagMismatch { src: usize, dst: usize, expected: u64, got: u64 },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { src, dst, tag } => {
+                write!(f, "timeout waiting for message {src}->{dst} tag {tag} (dropped?)")
+            }
+            CommError::Disconnected { src, dst } => {
+                write!(f, "rank {src} disconnected (link {src}->{dst})")
+            }
+            CommError::Truncated { src, dst, tag, declared, got } => write!(
+                f,
+                "truncated message {src}->{dst} tag {tag}: declared {declared} bytes, got {got}"
+            ),
+            CommError::ChecksumMismatch { src, dst, tag } => {
+                write!(f, "checksum mismatch on message {src}->{dst} tag {tag}")
+            }
+            CommError::TagMismatch { src, dst, expected, got } => {
+                write!(f, "tag mismatch on link {src}->{dst}: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Per-rank communication traffic counters.
 #[derive(Debug, Default)]
 pub struct TrafficStats {
     pub messages_sent: AtomicU64,
     pub bytes_sent: AtomicU64,
+}
+
+/// Runtime options for a world.
+#[derive(Clone, Copy, Debug)]
+pub struct WorldConfig {
+    /// Deterministic message-fault schedule; `None` (default) disables
+    /// injection entirely.
+    pub faults: Option<CommFaultPlan>,
+    /// How long a receive waits before reporting a lost message.
+    pub recv_timeout: Duration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self { faults: None, recv_timeout: Duration::from_secs(10) }
+    }
 }
 
 /// The world: matrix of channels between `p` ranks.
@@ -24,10 +97,15 @@ pub struct World {
     receivers: Vec<Mutex<Vec<Receiver<Message>>>>, // receivers[dst][src]
     barrier: Barrier,
     traffic: Vec<TrafficStats>,
+    config: WorldConfig,
+    /// Message sequence number per (src, dst) link, for fault decisions.
+    link_seq: Vec<AtomicU64>,
+    /// Total faults injected so far (bounded by the plan's `max_faults`).
+    faults_injected: AtomicUsize,
 }
 
 impl World {
-    fn new(size: usize) -> Arc<Self> {
+    fn new(size: usize, config: WorldConfig) -> Arc<Self> {
         assert!(size >= 1);
         let mut senders: Vec<Vec<Sender<Message>>> = (0..size).map(|_| Vec::new()).collect();
         let mut receivers: Vec<Vec<Receiver<Message>>> = (0..size).map(|_| Vec::new()).collect();
@@ -44,6 +122,9 @@ impl World {
             receivers: receivers.into_iter().map(Mutex::new).collect(),
             barrier: Barrier::new(size),
             traffic: (0..size).map(|_| TrafficStats::default()).collect(),
+            config,
+            link_seq: (0..size * size).map(|_| AtomicU64::new(0)).collect(),
+            faults_injected: AtomicUsize::new(0),
         })
     }
 
@@ -54,12 +135,20 @@ impl World {
         T: Send,
         F: Fn(RankCtx<'_>) -> T + Sync,
     {
-        let world = Self::new(size);
+        Self::run_cfg(size, WorldConfig::default(), body)
+    }
+
+    /// [`World::run`] with explicit options (fault plan, receive timeout).
+    pub fn run_cfg<T, F>(size: usize, config: WorldConfig, body: F) -> (Vec<T>, Vec<(u64, u64)>)
+    where
+        T: Send,
+        F: Fn(RankCtx<'_>) -> T + Sync,
+    {
+        let world = Self::new(size, config);
         let results: Vec<Mutex<Option<T>>> = (0..size).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for rank in 0..size {
+            for (rank, slot) in results.iter().enumerate() {
                 let world = Arc::clone(&world);
-                let slot = &results[rank];
                 let body = &body;
                 scope.spawn(move || {
                     let ctx = RankCtx { world: &world, rank };
@@ -68,10 +157,8 @@ impl World {
                 });
             }
         });
-        let outs = results
-            .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("rank completed"))
-            .collect();
+        let outs =
+            results.into_iter().map(|m| m.into_inner().unwrap().expect("rank completed")).collect();
         let traffic = world
             .traffic
             .iter()
@@ -98,29 +185,75 @@ impl RankCtx<'_> {
         self.world.size
     }
 
-    /// Point-to-point send (non-blocking; unbounded buffering).
+    /// Point-to-point send (non-blocking; unbounded buffering). The
+    /// message carries a length+CRC header; an installed fault plan may
+    /// drop or truncate it in flight.
     pub fn send(&self, dst: usize, tag: u64, payload: &[f64]) {
         let bytes: Vec<u8> = payload.iter().flat_map(|v| v.to_le_bytes()).collect();
         let t = &self.world.traffic[self.rank];
         t.messages_sent.fetch_add(1, Ordering::Relaxed);
         t.bytes_sent.fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        self.world.senders[self.rank][dst]
-            .send(Message { tag, payload: bytes })
-            .expect("receiver alive");
+        let mut msg =
+            Message { tag, declared_len: bytes.len() as u64, crc: crc32(&bytes), payload: bytes };
+        if let Some(plan) = &self.world.config.faults {
+            let seq = self.world.link_seq[self.rank * self.world.size + dst]
+                .fetch_add(1, Ordering::Relaxed);
+            if self.world.faults_injected.load(Ordering::Relaxed) < plan.max_faults {
+                match plan.decide(self.rank, dst, seq) {
+                    FaultAction::Deliver => {}
+                    FaultAction::Drop => {
+                        self.world.faults_injected.fetch_add(1, Ordering::Relaxed);
+                        return; // lost on the wire
+                    }
+                    FaultAction::Truncate => {
+                        self.world.faults_injected.fetch_add(1, Ordering::Relaxed);
+                        msg.payload.truncate(msg.payload.len() / 2);
+                    }
+                }
+            }
+        }
+        self.world.senders[self.rank][dst].send(msg).expect("receiver alive");
     }
 
-    /// Blocking receive of the next message from `src` with `tag`.
-    /// Messages from one sender arrive in order; mismatched tags are an
-    /// error (the solver's schedules are deterministic).
-    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
-        let guard = self.world.receivers[self.rank].lock().unwrap();
-        let msg = guard[src].recv().expect("sender alive");
+    /// Checked blocking receive of the next message from `src` with
+    /// `tag`: verifies arrival (timeout), length and checksum, and
+    /// surfaces violations as [`CommError`].
+    pub fn try_recv(&self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        let dst = self.rank;
+        let guard = self.world.receivers[dst].lock().unwrap();
+        let got = guard[src].recv_timeout(self.world.config.recv_timeout);
         drop(guard);
-        assert_eq!(msg.tag, tag, "rank {} got tag {} from {src}, wanted {tag}", self.rank, msg.tag);
-        msg.payload
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        let msg = match got {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => return Err(CommError::Timeout { src, dst, tag }),
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(CommError::Disconnected { src, dst })
+            }
+        };
+        if msg.tag != tag {
+            return Err(CommError::TagMismatch { src, dst, expected: tag, got: msg.tag });
+        }
+        if msg.payload.len() as u64 != msg.declared_len {
+            return Err(CommError::Truncated {
+                src,
+                dst,
+                tag,
+                declared: msg.declared_len as usize,
+                got: msg.payload.len(),
+            });
+        }
+        if crc32(&msg.payload) != msg.crc {
+            return Err(CommError::ChecksumMismatch { src, dst, tag });
+        }
+        Ok(msg.payload.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    /// Blocking receive that treats any comm fault as fatal for the rank
+    /// (collectives and legacy callers; the supervised exchange path uses
+    /// [`RankCtx::try_recv`]).
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+        self.try_recv(src, tag)
+            .unwrap_or_else(|e| panic!("rank {}: unrecoverable comm fault: {e}", self.rank))
     }
 
     /// Barrier across all ranks.
@@ -263,9 +396,8 @@ mod tests {
     fn alltoallv_exchanges_personalized_data() {
         let p = 3;
         let (out, _) = World::run(p, |ctx| {
-            let sends: Vec<Vec<f64>> = (0..p)
-                .map(|dst| vec![(ctx.rank() * 10 + dst) as f64; ctx.rank() + 1])
-                .collect();
+            let sends: Vec<Vec<f64>> =
+                (0..p).map(|dst| vec![(ctx.rank() * 10 + dst) as f64; ctx.rank() + 1]).collect();
             ctx.alltoallv(&sends)
         });
         for (rank, recvs) in out.iter().enumerate() {
@@ -308,5 +440,78 @@ mod tests {
             // After the barrier every rank's increment is visible.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
         });
+    }
+
+    #[test]
+    fn dropped_message_times_out() {
+        let cfg = WorldConfig {
+            faults: Some(CommFaultPlan::new(11).with_drop_rate(1.0)),
+            recv_timeout: Duration::from_millis(50),
+        };
+        let (out, _) = World::run_cfg(2, cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 3, &[1.0, 2.0]);
+                Ok(Vec::new())
+            } else {
+                ctx.try_recv(0, 3)
+            }
+        });
+        assert_eq!(out[1], Err(CommError::Timeout { src: 0, dst: 1, tag: 3 }));
+    }
+
+    #[test]
+    fn truncated_message_detected() {
+        let cfg = WorldConfig {
+            faults: Some(CommFaultPlan::new(11).with_truncate_rate(1.0)),
+            recv_timeout: Duration::from_millis(200),
+        };
+        let (out, _) = World::run_cfg(2, cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 3, &[1.0, 2.0, 3.0, 4.0]);
+                Ok(Vec::new())
+            } else {
+                ctx.try_recv(0, 3)
+            }
+        });
+        assert_eq!(
+            out[1],
+            Err(CommError::Truncated { src: 0, dst: 1, tag: 3, declared: 32, got: 16 })
+        );
+    }
+
+    #[test]
+    fn max_faults_bounds_injection() {
+        // drop_rate 1.0 but max_faults 1: only the first message dies.
+        let cfg = WorldConfig {
+            faults: Some(CommFaultPlan::new(5).with_drop_rate(1.0).with_max_faults(1)),
+            recv_timeout: Duration::from_millis(100),
+        };
+        let (out, _) = World::run_cfg(2, cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, &[1.0]);
+                ctx.send(1, 1, &[2.0]);
+                Ok(Vec::new())
+            } else {
+                // Channels are FIFO: the first arrival carrying tag 1
+                // proves message 0 was dropped and message 1 delivered.
+                ctx.try_recv(0, 0)
+            }
+        });
+        assert_eq!(out[1], Err(CommError::TagMismatch { src: 0, dst: 1, expected: 0, got: 1 }));
+    }
+
+    #[test]
+    fn fault_free_path_unchanged_with_plan_installed() {
+        // A zero-rate plan must not perturb results or traffic.
+        let cfg = WorldConfig { faults: Some(CommFaultPlan::new(9)), ..WorldConfig::default() };
+        let (out, traffic) = World::run_cfg(3, cfg, |ctx| {
+            let s = ctx.allreduce_sum(ctx.rank() as f64);
+            ctx.allgatherv(&[ctx.rank() as f64]).iter().map(|v| v[0]).sum::<f64>() + s
+        });
+        for v in out {
+            assert_eq!(v, 6.0);
+        }
+        let total: u64 = traffic.iter().map(|t| t.0).sum();
+        assert!(total > 0);
     }
 }

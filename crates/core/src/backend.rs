@@ -93,6 +93,7 @@ fn on_masked_face(mask: u8, i: usize, j: usize, k: usize) -> bool {
 
 /// Apply the Sommerfeld override to an octant's freshly computed RHS
 /// blocks. Reuses the derivative workspace filled by `bssn_rhs_patch`.
+#[allow(clippy::too_many_arguments)]
 fn sommerfeld_fix(
     mesh: &Mesh,
     oct: usize,
@@ -202,8 +203,7 @@ impl CpuBackend {
         };
         for e in 0..mesh.n_octants() {
             let h = mesh.octants[e].h;
-            let patch_refs: Vec<&[f64]> =
-                (0..NUM_VARS).map(|v| self.patches.patch(v, e)).collect();
+            let patch_refs: Vec<&[f64]> = (0..NUM_VARS).map(|v| self.patches.patch(v, e)).collect();
             // Gather mutable output block views.
             let mut out_blocks: Vec<&mut [f64]> = Vec::with_capacity(NUM_VARS);
             // Safety: blocks (v, e) are disjoint slices of the field.
@@ -211,8 +211,7 @@ impl CpuBackend {
                 let base = out.as_mut_slice().as_mut_ptr();
                 for v in 0..NUM_VARS {
                     let off = (v * mesh.n_octants() + e) * BLOCK_VOLUME;
-                    out_blocks
-                        .push(std::slice::from_raw_parts_mut(base.add(off), BLOCK_VOLUME));
+                    out_blocks.push(std::slice::from_raw_parts_mut(base.add(off), BLOCK_VOLUME));
                 }
             }
             let (df, af) =
@@ -333,13 +332,10 @@ impl GpuBackend {
                 ctx.global_store(BLOCK_VOLUME);
             }
             let ops = mesh.scatter_of(e);
-            let needs_prolong =
-                ops.iter().any(|op| op.kind == gw_mesh::ScatterKind::Prolong);
+            let needs_prolong = ops.iter().any(|op| op.kind == gw_mesh::ScatterKind::Prolong);
             let mut fine13 = Vec::new();
             if needs_prolong {
-                fine13 = ctx.shared_alloc(
-                    gw_stencil::interp::FINE_SIDE.pow(3),
-                );
+                fine13 = ctx.shared_alloc(gw_stencil::interp::FINE_SIDE.pow(3));
                 let fl = prolong.prolong3d(&shared, &mut fine13);
                 ctx.flops(fl);
             }
@@ -355,32 +351,29 @@ impl GpuBackend {
         // Boundary padding fill (host-trivial: a tiny clamped-copy kernel).
         let patches2 = self.device.kernel_view_mut(&mut self.patches);
         let regions = &mesh.boundary_regions;
-        self.device.launch(
-            LaunchConfig::grid2(regions.len(), NUM_VARS, "boundary-fill"),
-            |ctx| {
-                let (oct, delta) = regions[ctx.bx];
-                let var = ctx.by;
-                let off = (var * n + oct as usize) * PATCH_VOLUME;
-                // Safety: each (region, var) block writes its own padding
-                // region of one patch.
-                let patch = unsafe { patches2.slice_mut(off, PATCH_VOLUME) };
-                let p = PatchLayout::padded();
-                let mut cnt = 0usize;
-                for pz in gw_mesh::scatter::region_range(delta[2]) {
-                    for py in gw_mesh::scatter::region_range(delta[1]) {
-                        for px in gw_mesh::scatter::region_range(delta[0]) {
-                            let cx = px.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
-                            let cy = py.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
-                            let cz = pz.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
-                            patch[p.idx(px, py, pz)] = patch[p.idx(cx, cy, cz)];
-                            cnt += 1;
-                        }
+        self.device.launch(LaunchConfig::grid2(regions.len(), NUM_VARS, "boundary-fill"), |ctx| {
+            let (oct, delta) = regions[ctx.bx];
+            let var = ctx.by;
+            let off = (var * n + oct as usize) * PATCH_VOLUME;
+            // Safety: each (region, var) block writes its own padding
+            // region of one patch.
+            let patch = unsafe { patches2.slice_mut(off, PATCH_VOLUME) };
+            let p = PatchLayout::padded();
+            let mut cnt = 0usize;
+            for pz in gw_mesh::scatter::region_range(delta[2]) {
+                for py in gw_mesh::scatter::region_range(delta[1]) {
+                    for px in gw_mesh::scatter::region_range(delta[0]) {
+                        let cx = px.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        let cy = py.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        let cz = pz.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        patch[p.idx(px, py, pz)] = patch[p.idx(cx, cy, cz)];
+                        cnt += 1;
                     }
                 }
-                ctx.global_load(cnt);
-                ctx.global_store(cnt);
-            },
-        );
+            }
+            ctx.global_load(cnt);
+            ctx.global_store(cnt);
+        });
     }
 
     /// Fused RHS kernel: grid `(|E|)`, one block per octant patch.
@@ -422,8 +415,7 @@ impl GpuBackend {
                         unsafe { out.slice_mut(off, BLOCK_VOLUME) }
                     })
                     .collect();
-                let (df, af) =
-                    bssn_rhs_patch(&patch_refs, h, &params, &mode, ws, &mut out_blocks);
+                let (df, af) = bssn_rhs_patch(&patch_refs, h, &params, &mode, ws, &mut out_blocks);
                 ctx.flops(df + af);
                 // Derivative staging traffic (thread-local stores+loads of
                 // the 210 blocks, the paper's register-pressure source).
@@ -651,8 +643,8 @@ mod tests {
             let l = PatchLayout::octant();
             for (i, j, k) in l.iter() {
                 w.evaluate(mesh.point_coords(oct, i, j, k), &mut vals);
-                for v in 0..NUM_VARS {
-                    f.block_mut(v, oct)[l.idx(i, j, k)] = vals[v];
+                for (v, &val) in vals.iter().enumerate() {
+                    f.block_mut(v, oct)[l.idx(i, j, k)] = val;
                 }
             }
         }
@@ -665,8 +657,7 @@ mod tests {
             let u = wavey_state(&mesh);
             let params = BssnParams::default();
             let mut cpu = CpuBackend::new(&mesh, params, RhsKind::Pointwise);
-            let mut gpu =
-                GpuBackend::new(&mesh, params, RhsKind::Pointwise, Device::a100());
+            let mut gpu = GpuBackend::new(&mesh, params, RhsKind::Pointwise, Device::a100());
             cpu.upload(&u);
             gpu.upload(&u);
             cpu.eval_rhs(&mesh, Buf::U, Buf::K);
@@ -690,11 +681,8 @@ mod tests {
         let u = wavey_state(&mesh);
         let params = BssnParams::default();
         let mut a = CpuBackend::new(&mesh, params, RhsKind::Pointwise);
-        let mut b = CpuBackend::new(
-            &mesh,
-            params,
-            RhsKind::Generated(ScheduleStrategy::BinaryReduce),
-        );
+        let mut b =
+            CpuBackend::new(&mesh, params, RhsKind::Generated(ScheduleStrategy::BinaryReduce));
         a.upload(&u);
         b.upload(&u);
         a.eval_rhs(&mesh, Buf::U, Buf::K);

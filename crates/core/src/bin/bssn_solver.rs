@@ -13,6 +13,7 @@
 use gw_bssn::init::PunctureData;
 use gw_core::params::RunParams;
 use gw_core::solver::GwSolver;
+use gw_core::supervisor::{Supervisor, SupervisorEvent};
 use gw_expr::symbols::var;
 use gw_octree::{Puncture, PunctureRefiner};
 use gw_waveform::{lebedev::product_rule, ExtractionSphere, ModeExtractor};
@@ -63,17 +64,57 @@ fn main() {
     }
 
     println!("evolving {} steps, dt = {:.5} ...", params.steps, solver.dt());
-    for s in 0..params.steps {
-        solver.step();
-        if (s + 1) % 4 == 0 || s + 1 == params.steps {
-            let u = solver.state();
-            println!(
-                "  step {:4}: t = {:.4}  max|K| = {:.3e}  max|At| = {:.3e}",
-                s + 1,
-                solver.time,
-                u.linf(var::K),
-                u.linf(var::at(0, 1))
-            );
+    if params.supervised {
+        let mut sup = Supervisor::new(params.supervisor.clone());
+        match sup.run(&mut solver, params.steps as u64) {
+            Ok(summary) => {
+                println!(
+                    "supervised run complete: {} steps, {} retries, {} fault(s) recovered",
+                    summary.steps_completed,
+                    summary.retries,
+                    summary.failures.len()
+                );
+                for ev in &summary.events {
+                    match ev {
+                        SupervisorEvent::CheckpointWritten { step, path } => {
+                            println!("  [ckpt]  step {step}: {path}");
+                        }
+                        SupervisorEvent::FaultDetected { step, report } => {
+                            for issue in &report.issues {
+                                println!("  [fault] step {step}: {issue}");
+                            }
+                        }
+                        SupervisorEvent::RolledBack { from_step, to_step } => {
+                            println!("  [roll]  step {from_step} -> {to_step}");
+                        }
+                        SupervisorEvent::RetryStarted { attempt, courant, ko_sigma } => {
+                            println!(
+                                "  [retry] attempt {attempt}: courant = {courant}, \
+                                 ko_sigma = {ko_sigma}"
+                            );
+                        }
+                        SupervisorEvent::Completed { .. } => {}
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("supervised run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        for s in 0..params.steps {
+            solver.step();
+            if (s + 1) % 4 == 0 || s + 1 == params.steps {
+                let u = solver.state();
+                println!(
+                    "  step {:4}: t = {:.4}  max|K| = {:.3e}  max|At| = {:.3e}",
+                    s + 1,
+                    solver.time,
+                    u.linf(var::K),
+                    u.linf(var::at(0, 1))
+                );
+            }
         }
     }
     if let Some(e) = solver.extractors.first() {

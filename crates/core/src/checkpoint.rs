@@ -5,15 +5,23 @@
 //! keys), the solver time/step counters and the full state vector in a
 //! self-describing little-endian binary format built on the `bytes`
 //! crate.
+//!
+//! Format v2 appends a CRC-32 of the entire body so bit rot and
+//! truncated writes are detected at load time; v1 checkpoints (no
+//! trailer) remain readable. [`save_to_file`] writes atomically
+//! (temp file + fsync + rename), so a crash mid-write never clobbers
+//! the previous good checkpoint.
 
 use crate::solver::{GwSolver, SolverConfig};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gw_comm::crc::crc32;
 use gw_expr::symbols::NUM_VARS;
 use gw_mesh::{Field, Mesh};
 use gw_octree::{Domain, MortonKey};
 
 const MAGIC: u32 = 0x6777_6370; // "gwcp"
-const VERSION: u32 = 1;
+/// Current write version. v2 = v1 body + trailing CRC-32 of the body.
+const VERSION: u32 = 2;
 
 /// A deserialized checkpoint.
 pub struct Checkpoint {
@@ -24,11 +32,11 @@ pub struct Checkpoint {
     pub state: Field,
 }
 
-/// Serialize the solver's restartable state.
+/// Serialize the solver's restartable state (format v2: body + CRC-32).
 pub fn save(solver: &GwSolver) -> Bytes {
     let u = solver.state();
     let n = solver.mesh.n_octants();
-    let mut buf = BytesMut::with_capacity(64 + n * 16 + u.as_slice().len() * 8);
+    let mut buf = BytesMut::with_capacity(64 + n * 16 + u.as_slice().len() * 8 + 4);
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
     for a in 0..3 {
@@ -50,11 +58,15 @@ pub fn save(solver: &GwSolver) -> Bytes {
     for &v in u.as_slice() {
         buf.put_f64_le(v);
     }
-    buf.freeze()
+    let body = buf.freeze();
+    let mut out = BytesMut::with_capacity(body.len() + 4);
+    out.put_slice(body.as_slice());
+    out.put_u32_le(crc32(body.as_slice()));
+    out.freeze()
 }
 
-/// Deserialize a checkpoint.
-pub fn load(mut data: Bytes) -> Result<Checkpoint, String> {
+/// Deserialize a checkpoint (v1 or v2).
+pub fn load(data: Bytes) -> Result<Checkpoint, String> {
     let need = |data: &Bytes, n: usize| -> Result<(), String> {
         if data.remaining() < n {
             Err("truncated checkpoint".into())
@@ -63,11 +75,30 @@ pub fn load(mut data: Bytes) -> Result<Checkpoint, String> {
         }
     };
     need(&data, 8)?;
+    // Peek the version from the raw prefix to know whether a CRC
+    // trailer is present before consuming anything.
+    let version = u32::from_le_bytes(data.as_slice()[4..8].try_into().unwrap());
+    let mut data = data;
+    if version >= 2 {
+        need(&data, 12)?; // header + trailer at minimum
+        let body_len = data.remaining() - 4;
+        let stored =
+            u32::from_le_bytes(data.as_slice()[body_len..body_len + 4].try_into().unwrap());
+        let actual = crc32(&data.as_slice()[..body_len]);
+        if stored != actual {
+            return Err(format!(
+                "checkpoint checksum mismatch (stored {stored:#010x}, computed {actual:#010x}) \
+                 — file is corrupt or truncated"
+            ));
+        }
+        data = data.slice(..body_len);
+    }
     if data.get_u32_le() != MAGIC {
         return Err("not a gw-amr checkpoint (bad magic)".into());
     }
-    if data.get_u32_le() != VERSION {
-        return Err("unsupported checkpoint version".into());
+    let v = data.get_u32_le();
+    if v != 1 && v != 2 {
+        return Err(format!("unsupported checkpoint version {v} (supported: 1, 2)"));
     }
     need(&data, 6 * 8 + 8 + 8 + 8)?;
     let mut min = [0.0; 3];
@@ -116,9 +147,23 @@ pub fn restore(config: SolverConfig, cp: Checkpoint) -> GwSolver {
     solver
 }
 
-/// Save to a file.
+/// Save to a file atomically: write a sibling temp file, fsync it, then
+/// rename over the target. A crash at any point leaves either the old
+/// checkpoint or the new one — never a half-written file.
 pub fn save_to_file(solver: &GwSolver, path: &str) -> std::io::Result<()> {
-    std::fs::write(path, save(solver))
+    use std::io::Write;
+    let bytes = save(solver);
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes.as_slice())?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
 }
 
 /// Load from a file.
@@ -140,11 +185,9 @@ mod tests {
         }
         leaves.sort();
         let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
-        GwSolver::new(
-            SolverConfig::default(),
-            Mesh::build(domain, &leaves),
-            move |p, out| wave.evaluate(p, out),
-        )
+        GwSolver::new(SolverConfig::default(), Mesh::build(domain, &leaves), move |p, out| {
+            wave.evaluate(p, out)
+        })
     }
 
     #[test]
@@ -193,6 +236,36 @@ mod tests {
     }
 
     #[test]
+    fn detects_bit_rot() {
+        let mut s = demo_solver();
+        s.step();
+        let good = save(&s);
+        // Flip one bit in the middle of the state vector.
+        let mut corrupt = good.as_slice().to_vec();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        let err = match load(Bytes::from(corrupt)) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt checkpoint must not load"),
+        };
+        assert!(err.contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn loads_v1_checkpoints() {
+        // A v1 file is the v2 body minus the CRC trailer, with the
+        // version field rewritten to 1.
+        let mut s = demo_solver();
+        s.step();
+        let v2 = save(&s);
+        let mut v1 = v2.as_slice()[..v2.len() - 4].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let cp = load(Bytes::from(v1)).expect("v1 checkpoint must load");
+        assert_eq!(cp.steps_taken, 1);
+        assert_eq!(cp.state.as_slice(), s.state().as_slice());
+    }
+
+    #[test]
     fn file_roundtrip() {
         let s = demo_solver();
         let path = std::env::temp_dir().join("gw_amr_test.ckpt");
@@ -200,6 +273,8 @@ mod tests {
         save_to_file(&s, path).unwrap();
         let cp = load_from_file(path).unwrap();
         assert_eq!(cp.state.as_slice(), s.state().as_slice());
+        // No temp file left behind.
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
         let _ = std::fs::remove_file(path);
     }
 }

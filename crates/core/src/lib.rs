@@ -27,6 +27,10 @@
 //!   reference standing in for LAZEV in Fig. 19; see DESIGN.md).
 //! * [`multi`] — multi-rank (simulated multi-GPU) evolution with ghost
 //!   exchange over `gw-comm`, feeding the scaling studies.
+//! * [`checkpoint`] — atomic, CRC-protected checkpoint/restart.
+//! * [`supervisor`] — supervised evolution: health monitoring (NaN /
+//!   positivity / constraint checks), automatic checkpoint rotation,
+//!   and rollback-based fault recovery with a degradation policy.
 
 pub mod backend;
 pub mod checkpoint;
@@ -35,8 +39,13 @@ pub mod params;
 pub mod regrid;
 pub mod rk4;
 pub mod solver;
+pub mod supervisor;
 pub mod unigrid;
 
 pub use backend::{Backend, CpuBackend, GpuBackend};
 pub use rk4::Rk4;
 pub use solver::{GwSolver, SolverConfig};
+pub use supervisor::{
+    DegradationPolicy, HealthMonitor, HealthReport, HealthThresholds, RunSummary, Supervisor,
+    SupervisorConfig, SupervisorError, SupervisorEvent,
+};

@@ -10,7 +10,8 @@
 
 use gw_bssn::rhs::{bssn_rhs_patch, RhsMode, RhsWorkspace};
 use gw_bssn::BssnParams;
-use gw_comm::{GhostPlan, GhostSchedule, RankCtx, World};
+use gw_comm::world::WorldConfig;
+use gw_comm::{CommError, GhostPlan, GhostSchedule, RankCtx, World};
 use gw_expr::symbols::{NUM_INPUTS, NUM_VARS};
 use gw_mesh::gather::fill_patches_gather;
 use gw_mesh::{Field, Mesh, PatchField};
@@ -38,14 +39,16 @@ pub fn dependencies(mesh: &Mesh) -> Vec<(u32, u32)> {
 }
 
 /// Exchange ghost blocks of `field` according to the plan (all 24 vars of
-/// each listed octant).
+/// each listed octant). Receives are checked: a dropped, truncated, or
+/// corrupted message surfaces as a [`CommError`] — the field is never
+/// partially updated from a bad payload.
 fn exchange(
     ctx: &RankCtx<'_>,
     plan: &GhostPlan,
     part: &PartitionMap,
     field: &mut Field,
     tag: u64,
-) {
+) -> Result<(), CommError> {
     let r = ctx.rank();
     let n = field.n_oct;
     // Post sends.
@@ -68,19 +71,28 @@ fn exchange(
         if list.is_empty() {
             continue;
         }
-        let payload = ctx.recv(q, tag);
-        assert_eq!(payload.len(), list.len() * NUM_VARS * BLOCK_VOLUME);
+        let payload = ctx.try_recv(q, tag)?;
+        // The CRC header guarantees integrity; this checks the *schedule*
+        // agreed with the sender.
+        if payload.len() != list.len() * NUM_VARS * BLOCK_VOLUME {
+            return Err(CommError::Truncated {
+                src: q,
+                dst: r,
+                tag,
+                declared: list.len() * NUM_VARS * BLOCK_VOLUME * 8,
+                got: payload.len() * 8,
+            });
+        }
         let mut off = 0;
         for &oct in list {
             for v in 0..NUM_VARS {
-                field
-                    .block_mut(v, oct as usize)
-                    .copy_from_slice(&payload[off..off + BLOCK_VOLUME]);
+                field.block_mut(v, oct as usize).copy_from_slice(&payload[off..off + BLOCK_VOLUME]);
                 off += BLOCK_VOLUME;
             }
         }
     }
     let _ = (n, part);
+    Ok(())
 }
 
 /// Local RHS evaluation over owned octants (gather-based padding so only
@@ -160,7 +172,10 @@ fn fill_patches_gather_range(
     let _ = fill_patches_gather; // same algorithm, range-restricted
 }
 
-/// Evolve `steps` RK4 steps on `ranks` simulated ranks.
+/// Evolve `steps` RK4 steps on `ranks` simulated ranks. Panics on a
+/// communication fault — with the default fault-free [`WorldConfig`] the
+/// in-process channels cannot fault, so this is the convenient entry
+/// point; supervised runs use [`evolve_distributed_cfg`].
 pub fn evolve_distributed(
     mesh: &Mesh,
     u0: &Field,
@@ -169,6 +184,23 @@ pub fn evolve_distributed(
     courant: f64,
     params: BssnParams,
 ) -> DistributedResult {
+    evolve_distributed_cfg(mesh, u0, ranks, steps, courant, params, WorldConfig::default())
+        .unwrap_or_else(|e| panic!("fault-free distributed run failed: {e}"))
+}
+
+/// [`evolve_distributed`] with an explicit world configuration (fault
+/// plan, receive timeout). Any rank detecting a communication fault
+/// aborts its evolution and the first error (by rank order) is returned —
+/// a faulted exchange never silently yields a wrong state.
+pub fn evolve_distributed_cfg(
+    mesh: &Mesh,
+    u0: &Field,
+    ranks: usize,
+    steps: usize,
+    courant: f64,
+    params: BssnParams,
+    world_cfg: WorldConfig,
+) -> Result<DistributedResult, CommError> {
     let n = mesh.n_octants();
     let part = partition_uniform(n, ranks);
     let plan = GhostSchedule::build(&part, dependencies(mesh).into_iter());
@@ -179,7 +211,7 @@ pub fn evolve_distributed(
     let plan_ref = &plan;
     let part_ref = &part;
     let masks_ref = &masks;
-    let (mut results, traffic) = World::run(ranks, move |ctx| {
+    let (mut results, traffic) = World::run_cfg(ranks, world_cfg, move |ctx| {
         let r = ctx.rank();
         let owned = part_ref.range(r);
         let mut u = u0.clone();
@@ -192,60 +224,91 @@ pub fn evolve_distributed(
         let mut tag = 0u64;
         for _ in 0..steps {
             // k1.
-            exchange(&ctx, plan_ref, part_ref, &mut u, tag);
+            exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
             tag += 1;
-            eval_rhs_local(mesh, owned.clone(), &params, &u, &mut patches, &mut ws, masks_ref, &mut k);
+            eval_rhs_local(
+                mesh,
+                owned.clone(),
+                &params,
+                &u,
+                &mut patches,
+                &mut ws,
+                masks_ref,
+                &mut k,
+            );
             for e in owned.clone() {
                 for v in 0..NUM_VARS {
-                    for (a, (b, kk)) in acc.block_mut(v, e).iter_mut().zip(
-                        u.block(v, e).iter().zip(k.block(v, e).iter()),
-                    ) {
+                    for (a, (b, kk)) in acc
+                        .block_mut(v, e)
+                        .iter_mut()
+                        .zip(u.block(v, e).iter().zip(k.block(v, e).iter()))
+                    {
                         *a = b + dt / 6.0 * kk;
                     }
-                    for (s, (b, kk)) in stage.block_mut(v, e).iter_mut().zip(
-                        u.block(v, e).iter().zip(k.block(v, e).iter()),
-                    ) {
+                    for (s, (b, kk)) in stage
+                        .block_mut(v, e)
+                        .iter_mut()
+                        .zip(u.block(v, e).iter().zip(k.block(v, e).iter()))
+                    {
                         *s = b + dt / 2.0 * kk;
                     }
                 }
             }
             // k2, k3.
             for (w_acc, w_stage) in [(dt / 3.0, dt / 2.0), (dt / 3.0, dt)] {
-                exchange(&ctx, plan_ref, part_ref, &mut stage, tag);
+                exchange(&ctx, plan_ref, part_ref, &mut stage, tag)?;
                 tag += 1;
                 eval_rhs_local(
-                    mesh, owned.clone(), &params, &stage, &mut patches, &mut ws, masks_ref, &mut k,
+                    mesh,
+                    owned.clone(),
+                    &params,
+                    &stage,
+                    &mut patches,
+                    &mut ws,
+                    masks_ref,
+                    &mut k,
                 );
                 for e in owned.clone() {
                     for v in 0..NUM_VARS {
                         for (a, kk) in acc.block_mut(v, e).iter_mut().zip(k.block(v, e).iter()) {
                             *a += w_acc * kk;
                         }
-                        for (s, (b, kk)) in stage.block_mut(v, e).iter_mut().zip(
-                            u.block(v, e).iter().zip(k.block(v, e).iter()),
-                        ) {
+                        for (s, (b, kk)) in stage
+                            .block_mut(v, e)
+                            .iter_mut()
+                            .zip(u.block(v, e).iter().zip(k.block(v, e).iter()))
+                        {
                             *s = b + w_stage * kk;
                         }
                     }
                 }
             }
             // k4.
-            exchange(&ctx, plan_ref, part_ref, &mut stage, tag);
+            exchange(&ctx, plan_ref, part_ref, &mut stage, tag)?;
             tag += 1;
             eval_rhs_local(
-                mesh, owned.clone(), &params, &stage, &mut patches, &mut ws, masks_ref, &mut k,
+                mesh,
+                owned.clone(),
+                &params,
+                &stage,
+                &mut patches,
+                &mut ws,
+                masks_ref,
+                &mut k,
             );
             for e in owned.clone() {
                 for v in 0..NUM_VARS {
-                    for (uu, (a, kk)) in u.block_mut(v, e).iter_mut().zip(
-                        acc.block(v, e).iter().zip(k.block(v, e).iter()),
-                    ) {
+                    for (uu, (a, kk)) in u
+                        .block_mut(v, e)
+                        .iter_mut()
+                        .zip(acc.block(v, e).iter().zip(k.block(v, e).iter()))
+                    {
                         *uu = a + dt / 6.0 * kk;
                     }
                 }
             }
             // Interface sync needs updated ghosts.
-            exchange(&ctx, plan_ref, part_ref, &mut u, tag);
+            exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
             tag += 1;
             for c in &mesh.syncs {
                 if !owned.contains(&(c.dst_oct as usize)) {
@@ -265,13 +328,16 @@ pub fn evolve_distributed(
                 owned_data.extend_from_slice(u.block(v, e));
             }
         }
-        (owned_data, work)
+        Ok((owned_data, work))
     });
 
-    // Reassemble the global state from per-rank owned blocks.
+    // Reassemble the global state from per-rank owned blocks. If any
+    // rank hit a fault, surface the first error instead of a state
+    // missing that rank's contribution.
     let mut state = Field::zeros(NUM_VARS, n);
     let mut work = Vec::with_capacity(ranks);
-    for (r, (data, w)) in results.drain(..).enumerate() {
+    for (r, res) in results.drain(..).enumerate() {
+        let (data, w) = res?;
         work.push(w);
         let mut off = 0;
         for e in part.range(r) {
@@ -281,7 +347,7 @@ pub fn evolve_distributed(
             }
         }
     }
-    DistributedResult { state, traffic, work, plan }
+    Ok(DistributedResult { state, traffic, work, plan })
 }
 
 #[cfg(test)]

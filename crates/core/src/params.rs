@@ -8,6 +8,7 @@
 
 use crate::backend::RhsKind;
 use crate::solver::SolverConfig;
+use crate::supervisor::SupervisorConfig;
 use gw_bssn::BssnParams;
 use gw_expr::schedule::ScheduleStrategy;
 use std::collections::HashMap;
@@ -31,9 +32,8 @@ pub fn parse_flat_json(text: &str) -> Result<HashMap<String, JsonValue>, String>
     let mut rest = inner.trim();
     while !rest.is_empty() {
         // Key.
-        rest = rest
-            .strip_prefix('"')
-            .ok_or_else(|| format!("expected quoted key at: {rest:.20}"))?;
+        rest =
+            rest.strip_prefix('"').ok_or_else(|| format!("expected quoted key at: {rest:.20}"))?;
         let kq = rest.find('"').ok_or("unterminated key")?;
         let key = rest[..kq].to_string();
         rest = rest[kq + 1..].trim_start();
@@ -50,9 +50,8 @@ pub fn parse_flat_json(text: &str) -> Result<HashMap<String, JsonValue>, String>
             let end = rest
                 .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
                 .unwrap_or(rest.len());
-            let num: f64 = rest[..end]
-                .parse()
-                .map_err(|e| format!("bad number '{}': {e}", &rest[..end]))?;
+            let num: f64 =
+                rest[..end].parse().map_err(|e| format!("bad number '{}': {e}", &rest[..end]))?;
             (JsonValue::Number(num), end)
         };
         out.insert(key, value);
@@ -81,6 +80,10 @@ pub struct RunParams {
     pub extract_every: usize,
     pub extract_radius: f64,
     pub config: SolverConfig,
+    /// Run under the fault-tolerant supervisor (`"supervised": true`).
+    pub supervised: bool,
+    /// Supervisor settings (health cadence, checkpoints, degradation).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for RunParams {
@@ -95,6 +98,8 @@ impl Default for RunParams {
             extract_every: 2,
             extract_radius: 8.0,
             config: SolverConfig::default(),
+            supervised: false,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -138,7 +143,92 @@ impl RunParams {
                 other => return Err(format!("unknown rhs kind '{other}'")),
             };
         }
+        if let Some(JsonValue::Bool(s)) = map.get("supervised") {
+            p.supervised = *s;
+        }
+        let sup = &mut p.supervisor;
+        sup.check_every = num(&map, "check_every", sup.check_every as f64)? as u64;
+        sup.checkpoint_every = num(&map, "checkpoint_every", sup.checkpoint_every as f64)? as u64;
+        sup.keep_checkpoints = num(&map, "keep_checkpoints", sup.keep_checkpoints as f64)? as usize;
+        if let Some(JsonValue::Str(d)) = map.get("checkpoint_dir") {
+            sup.checkpoint_dir = Some(d.clone());
+        }
+        sup.thresholds.hamiltonian_max =
+            num(&map, "hamiltonian_max", sup.thresholds.hamiltonian_max)?;
+        // Puncture runs legitimately let chi dip slightly negative (the
+        // RHS applies chi_floor pointwise); par files can widen the band.
+        sup.thresholds.chi_min = num(&map, "chi_min", sup.thresholds.chi_min)?;
+        sup.thresholds.alpha_min = num(&map, "alpha_min", sup.thresholds.alpha_min)?;
+        sup.degradation.max_retries =
+            num(&map, "max_retries", sup.degradation.max_retries as f64)? as u32;
+        sup.degradation.courant_factor =
+            num(&map, "retry_courant_factor", sup.degradation.courant_factor)?;
+        sup.degradation.ko_boost = num(&map, "retry_ko_boost", sup.degradation.ko_boost)?;
+        p.validate()?;
         Ok(p)
+    }
+
+    /// Reject parameter combinations that cannot run: levels out of
+    /// range, non-positive geometry, extraction sphere outside the
+    /// domain, or an invalid [`SolverConfig`].
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.q > 0.0 && self.q.is_finite()) {
+            return Err(format!("mass ratio q must be positive and finite, got {}", self.q));
+        }
+        if !(self.separation > 0.0 && self.separation.is_finite()) {
+            return Err(format!("separation must be positive, got {}", self.separation));
+        }
+        if !(self.domain_half > 0.0 && self.domain_half.is_finite()) {
+            return Err(format!("domain_half must be positive, got {}", self.domain_half));
+        }
+        if self.base_level > self.finest_level {
+            return Err(format!(
+                "base_level ({}) must not exceed finest_level ({})",
+                self.base_level, self.finest_level
+            ));
+        }
+        if self.finest_level as u32 > gw_octree::MAX_LEVEL as u32 {
+            return Err(format!(
+                "finest_level ({}) exceeds the octree MAX_LEVEL ({})",
+                self.finest_level,
+                gw_octree::MAX_LEVEL
+            ));
+        }
+        if !(self.extract_radius > 0.0 && self.extract_radius < self.domain_half) {
+            return Err(format!(
+                "extract_radius ({}) must lie strictly inside the domain (half-width {})",
+                self.extract_radius, self.domain_half
+            ));
+        }
+        if self.supervisor.check_every == 0 {
+            return Err("check_every must be >= 1 (steps between health checks)".into());
+        }
+        let d = &self.supervisor.degradation;
+        if !(d.courant_factor > 0.0 && d.courant_factor <= 1.0) {
+            return Err(format!(
+                "retry_courant_factor must be in (0, 1], got {}",
+                d.courant_factor
+            ));
+        }
+        if !d.ko_boost.is_finite() || d.ko_boost < 0.0 {
+            return Err(format!("retry_ko_boost must be finite and >= 0, got {}", d.ko_boost));
+        }
+        let t = &self.supervisor.thresholds;
+        if !t.chi_min.is_finite() || !t.alpha_min.is_finite() {
+            return Err(format!(
+                "chi_min / alpha_min must be finite, got {} / {}",
+                t.chi_min, t.alpha_min
+            ));
+        }
+        if self.supervisor.thresholds.hamiltonian_max <= 0.0
+            || self.supervisor.thresholds.hamiltonian_max.is_nan()
+        {
+            return Err(format!(
+                "hamiltonian_max must be positive, got {}",
+                self.supervisor.thresholds.hamiltonian_max
+            ));
+        }
+        self.config.validate()
     }
 
     /// Load from a file path.
@@ -154,10 +244,8 @@ mod tests {
 
     #[test]
     fn parses_flat_json() {
-        let m = parse_flat_json(
-            r#"{ "q": 2.0, "use_gpu": true, "rhs": "staged", "steps": 16 }"#,
-        )
-        .unwrap();
+        let m = parse_flat_json(r#"{ "q": 2.0, "use_gpu": true, "rhs": "staged", "steps": 16 }"#)
+            .unwrap();
         assert_eq!(m["q"], JsonValue::Number(2.0));
         assert_eq!(m["use_gpu"], JsonValue::Bool(true));
         assert_eq!(m["rhs"], JsonValue::Str("staged".into()));
@@ -187,10 +275,7 @@ mod tests {
         assert!(p.config.use_gpu);
         assert_eq!(p.config.courant, 0.2);
         assert_eq!(p.config.params.eta, 1.5);
-        assert!(matches!(
-            p.config.rhs_kind,
-            RhsKind::Generated(ScheduleStrategy::BinaryReduce)
-        ));
+        assert!(matches!(p.config.rhs_kind, RhsKind::Generated(ScheduleStrategy::BinaryReduce)));
     }
 
     #[test]
@@ -206,5 +291,25 @@ mod tests {
         assert!(RunParams::from_json("not json").is_err());
         assert!(RunParams::from_json(r#"{ "rhs": "quantum" }"#).is_err());
         assert!(RunParams::from_json(r#"{ "q": "abc" }"#).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        // Each error message must name the offending parameter.
+        let cases = [
+            (r#"{ "courant": 0.0 }"#, "courant"),
+            (r#"{ "courant": 1.5 }"#, "courant"),
+            (r#"{ "q": -1.0 }"#, "q"),
+            (r#"{ "ko_sigma": -0.1 }"#, "ko_sigma"),
+            (r#"{ "chi_floor": 0.0 }"#, "chi_floor"),
+            (r#"{ "base_level": 7, "finest_level": 3 }"#, "base_level"),
+            (r#"{ "extract_radius": 99.0 }"#, "extract_radius"),
+        ];
+        for (json, needle) in cases {
+            match RunParams::from_json(json) {
+                Err(e) => assert!(e.contains(needle), "{json}: error '{e}' lacks '{needle}'"),
+                Ok(_) => panic!("{json}: expected validation error"),
+            }
+        }
     }
 }

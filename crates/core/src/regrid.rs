@@ -7,21 +7,59 @@
 //! injection(s) where it is coarser.
 
 use gw_mesh::{Field, Mesh};
+use gw_octree::MortonKey;
 use gw_stencil::interp::{ProlongWorkspace, Prolongation, FINE_SIDE};
 use gw_stencil::patch::{PatchLayout, BLOCK_VOLUME, POINTS_PER_SIDE};
+
+/// State transfer failed: the new mesh asks for data the old mesh does
+/// not cover. Carries the offending key so the error message can say
+/// exactly which octant broke the invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransferError {
+    /// An octant of the new mesh has neither a matching old octant, an
+    /// old ancestor, nor old descendants — the old grid has a hole.
+    Uncovered { new_key: MortonKey },
+    /// An ancestor key was identified but then vanished from the sorted
+    /// old-key list (internal inconsistency in the old mesh ordering).
+    AncestorLookup { anc_key: MortonKey, new_key: MortonKey },
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::Uncovered { new_key } => write!(
+                f,
+                "state transfer: new octant {new_key:?} is not covered by the old grid \
+                 (no matching octant, ancestor, or descendants)"
+            ),
+            TransferError::AncestorLookup { anc_key, new_key } => write!(
+                f,
+                "state transfer: ancestor {anc_key:?} of new octant {new_key:?} \
+                 not found in old key list (old mesh keys unsorted or inconsistent?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
 
 /// Transfer `old_state` on `old_mesh` to a new field on `new_mesh`.
 ///
 /// Requires the two meshes to share the domain; refinement may differ by
 /// any number of levels (multi-level prolongation is applied recursively).
-pub fn transfer_state(old_mesh: &Mesh, old_state: &Field, new_mesh: &Mesh) -> Field {
+/// Fails with [`TransferError`] (naming the offending octant key) if the
+/// old grid does not cover part of the new grid.
+pub fn transfer_state(
+    old_mesh: &Mesh,
+    old_state: &Field,
+    new_mesh: &Mesh,
+) -> Result<Field, TransferError> {
     assert_eq!(old_mesh.domain, new_mesh.domain);
     let dof = old_state.dof;
     let mut out = Field::zeros(dof, new_mesh.n_octants());
     let prolong = Prolongation::new();
     let mut ws = ProlongWorkspace::new();
-    let old_keys: Vec<gw_octree::MortonKey> =
-        old_mesh.octants.iter().map(|o| o.key).collect();
+    let old_keys: Vec<MortonKey> = old_mesh.octants.iter().map(|o| o.key).collect();
 
     for (ni, ninfo) in new_mesh.octants.iter().enumerate() {
         let nk = ninfo.key;
@@ -36,12 +74,11 @@ pub fn transfer_state(old_mesh: &Mesh, old_state: &Field, new_mesh: &Mesh) -> Fi
             Err(pos) => {
                 // Either an old ancestor (coarser old grid here) or old
                 // descendants (finer old grid here).
-                let anc = pos
-                    .checked_sub(1)
-                    .map(|i| old_keys[i])
-                    .filter(|c| c.is_ancestor_of(&nk));
+                let anc = pos.checked_sub(1).map(|i| old_keys[i]).filter(|c| c.is_ancestor_of(&nk));
                 if let Some(anc_key) = anc {
-                    let oi = old_keys.binary_search(&anc_key).unwrap();
+                    let oi = old_keys
+                        .binary_search(&anc_key)
+                        .map_err(|_| TransferError::AncestorLookup { anc_key, new_key: nk })?;
                     // Prolong the ancestor down to nk (possibly several
                     // levels).
                     for v in 0..dof {
@@ -62,14 +99,12 @@ pub fn transfer_state(old_mesh: &Mesh, old_state: &Field, new_mesh: &Mesh) -> Fi
                     // With a 2:1-limited regrid the descendants are the 8
                     // children; handle deeper nesting recursively via the
                     // coincident-point map.
-                    inject_descendants(
-                        old_mesh, old_state, &old_keys, new_mesh, ni, &mut out,
-                    );
+                    inject_descendants(old_mesh, old_state, &old_keys, new_mesh, ni, &mut out)?;
                 }
             }
         }
     }
-    out
+    Ok(out)
 }
 
 fn prolong_to_child_ws(
@@ -92,15 +127,16 @@ fn prolong_to_child_ws(
 }
 
 /// Fill a new (coarser) octant by sampling coincident points of old
-/// descendants at any depth.
+/// descendants at any depth. Fails if any point of the new octant lies
+/// outside every old leaf (a hole in the old grid).
 fn inject_descendants(
     old_mesh: &Mesh,
     old_state: &Field,
-    old_keys: &[gw_octree::MortonKey],
+    old_keys: &[MortonKey],
     new_mesh: &Mesh,
     ni: usize,
     out: &mut Field,
-) {
+) -> Result<(), TransferError> {
     let dof = old_state.dof;
     let ninfo = &new_mesh.octants[ni];
     let l = PatchLayout::octant();
@@ -110,11 +146,11 @@ fn inject_descendants(
         let probe = old_mesh.domain.locate(p, gw_octree::MAX_LEVEL);
         let oi = match old_keys.binary_search(&probe) {
             Ok(x) => x,
-            Err(0) => continue,
+            Err(0) => return Err(TransferError::Uncovered { new_key: ninfo.key }),
             Err(x) => x - 1,
         };
         if !old_keys[oi].contains(&probe) {
-            continue;
+            return Err(TransferError::Uncovered { new_key: ninfo.key });
         }
         let oinfo = &old_mesh.octants[oi];
         // Coincident (or nearest) old grid point.
@@ -128,7 +164,7 @@ fn inject_descendants(
             out.block_mut(v, ni)[l.idx(i, j, k)] = old_state.block(v, oi)[pt];
         }
     }
-    let _ = ninfo;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -185,7 +221,7 @@ mod tests {
     fn identity_transfer() {
         let mesh = adaptive_mesh();
         let fld = poly_field(&mesh);
-        let out = transfer_state(&mesh, &fld, &mesh);
+        let out = transfer_state(&mesh, &fld, &mesh).unwrap();
         assert_eq!(fld.as_slice(), out.as_slice());
     }
 
@@ -194,7 +230,7 @@ mod tests {
         let coarse = uniform_mesh(1);
         let fine = uniform_mesh(2);
         let fld = poly_field(&coarse);
-        let out = transfer_state(&coarse, &fld, &fine);
+        let out = transfer_state(&coarse, &fld, &fine).unwrap();
         check_poly(&fine, &out, 1e-10);
     }
 
@@ -203,7 +239,7 @@ mod tests {
         let fine = uniform_mesh(2);
         let coarse = uniform_mesh(1);
         let fld = poly_field(&fine);
-        let out = transfer_state(&fine, &fld, &coarse);
+        let out = transfer_state(&fine, &fld, &coarse).unwrap();
         check_poly(&coarse, &out, 1e-10);
     }
 
@@ -212,10 +248,29 @@ mod tests {
         let uni = uniform_mesh(2);
         let ada = adaptive_mesh();
         let fld = poly_field(&uni);
-        let there = transfer_state(&uni, &fld, &ada);
+        let there = transfer_state(&uni, &fld, &ada).unwrap();
         check_poly(&ada, &there, 1e-9);
-        let back = transfer_state(&ada, &there, &uni);
+        let back = transfer_state(&ada, &there, &uni).unwrap();
         check_poly(&uni, &back, 1e-9);
+    }
+
+    #[test]
+    fn hole_in_old_grid_is_an_error_naming_the_key() {
+        // Simulate an old grid with a hole by hiding its first leaf from
+        // the key list: injecting the root from such descendants must
+        // fail loudly (naming the new octant), not silently leave zeros.
+        let old = uniform_mesh(1);
+        let new = uniform_mesh(0);
+        let fld = poly_field(&old);
+        let full_keys: Vec<MortonKey> = old.octants.iter().map(|o| o.key).collect();
+        let holey = &full_keys[1..];
+        let mut out = Field::zeros(fld.dof, new.n_octants());
+        match inject_descendants(&old, &fld, holey, &new, 0, &mut out) {
+            Err(TransferError::Uncovered { new_key }) => {
+                assert_eq!(new_key, MortonKey::root());
+            }
+            other => panic!("expected Uncovered error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -223,7 +278,7 @@ mod tests {
         let coarse = uniform_mesh(0);
         let fine = uniform_mesh(2);
         let fld = poly_field(&coarse);
-        let out = transfer_state(&coarse, &fld, &fine);
+        let out = transfer_state(&coarse, &fld, &fine).unwrap();
         check_poly(&fine, &out, 1e-9);
     }
 }

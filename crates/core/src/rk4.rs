@@ -23,11 +23,7 @@ impl Default for Rk4 {
 impl Rk4 {
     /// Global timestep for a mesh: `λ · h_min`.
     pub fn timestep(&self, mesh: &Mesh) -> f64 {
-        let h_min = mesh
-            .octants
-            .iter()
-            .map(|o| o.h)
-            .fold(f64::INFINITY, f64::min);
+        let h_min = mesh.octants.iter().map(|o| o.h).fold(f64::INFINITY, f64::min);
         self.courant * h_min
     }
 
@@ -131,8 +127,7 @@ mod tests {
             for (i, j, k) in l.iter() {
                 let p = mesh.point_coords(oct, i, j, k);
                 let r2 = p[0] * p[0] + p[1] * p[1] + p[2] * p[2];
-                u0.block_mut(var::ALPHA, oct)[l.idx(i, j, k)] =
-                    1.0 + 1e-3 * (-r2 / 4.0).exp();
+                u0.block_mut(var::ALPHA, oct)[l.idx(i, j, k)] = 1.0 + 1e-3 * (-r2 / 4.0).exp();
             }
         }
         let mut backend =
@@ -170,8 +165,11 @@ mod tests {
             f
         };
         let run = |dt: f64, steps: usize| -> f64 {
-            let mut backend =
-                Backend::Cpu(CpuBackend::new(&mesh, BssnParams { eta: 2.0, ko_sigma: 0.0, chi_floor: 1e-4 }, RhsKind::Pointwise));
+            let mut backend = Backend::Cpu(CpuBackend::new(
+                &mesh,
+                BssnParams { eta: 2.0, ko_sigma: 0.0, chi_floor: 1e-4 },
+                RhsKind::Pointwise,
+            ));
             backend.upload(&make(0.1));
             let rk = Rk4::default();
             for _ in 0..steps {

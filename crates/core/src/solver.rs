@@ -40,6 +40,41 @@ impl Default for SolverConfig {
     }
 }
 
+impl SolverConfig {
+    /// Check the configuration for values that would produce an unstable
+    /// or nonsensical run. Called by [`GwSolver::try_new`] and the
+    /// parameter-file loader, so a typo in a par file fails loudly at
+    /// construction instead of as NaNs a thousand steps in.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.courant > 0.0 && self.courant <= 1.0) {
+            return Err(format!(
+                "courant factor must be in (0, 1], got {} (RK4 with 6th-order stencils \
+                 is unstable beyond 1)",
+                self.courant
+            ));
+        }
+        if !self.params.ko_sigma.is_finite() || self.params.ko_sigma < 0.0 {
+            return Err(format!(
+                "ko_sigma (Kreiss–Oliger dissipation) must be finite and >= 0, got {}",
+                self.params.ko_sigma
+            ));
+        }
+        if !self.params.chi_floor.is_finite() || self.params.chi_floor <= 0.0 {
+            return Err(format!(
+                "chi_floor must be finite and > 0 (it guards 1/chi terms), got {}",
+                self.params.chi_floor
+            ));
+        }
+        if !self.params.eta.is_finite() || self.params.eta < 0.0 {
+            return Err(format!(
+                "eta (gamma-driver damping) must be finite and >= 0, got {}",
+                self.params.eta
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The GPU-accelerated AMR BSSN solver (Algorithm 1).
 pub struct GwSolver {
     pub config: SolverConfig,
@@ -59,12 +94,21 @@ pub struct GwSolver {
 
 impl GwSolver {
     /// Create a solver from a mesh and a pointwise initial-data function
-    /// filling all 24 variables.
-    pub fn new(
+    /// filling all 24 variables. Panics on an invalid configuration; use
+    /// [`GwSolver::try_new`] to handle that as an error.
+    pub fn new(config: SolverConfig, mesh: Mesh, init: impl Fn([f64; 3], &mut [f64])) -> Self {
+        Self::try_new(config, mesh, init)
+            .unwrap_or_else(|e| panic!("invalid solver configuration: {e}"))
+    }
+
+    /// Fallible constructor: validates `config` before building any
+    /// backend state.
+    pub fn try_new(
         config: SolverConfig,
         mesh: Mesh,
         init: impl Fn([f64; 3], &mut [f64]),
-    ) -> Self {
+    ) -> Result<Self, String> {
+        config.validate()?;
         let u0 = fill_field(&mesh, &init);
         let backend = make_backend(&config, &mesh);
         let mut s = Self {
@@ -79,7 +123,7 @@ impl GwSolver {
             regrids: 0,
         };
         s.backend.upload(&u0);
-        s
+        Ok(s)
     }
 
     /// Build a complete, balanced mesh for a domain with a refiner.
@@ -111,7 +155,7 @@ impl GwSolver {
         self.time += dt;
         self.steps_taken += 1;
         if self.config.extract_every > 0
-            && self.steps_taken % self.config.extract_every as u64 == 0
+            && self.steps_taken.is_multiple_of(self.config.extract_every as u64)
             && (!self.extractors.is_empty() || !self.psi4_extractors.is_empty())
         {
             self.extract_now();
@@ -149,19 +193,15 @@ impl GwSolver {
     /// movement, as in Algorithm 1).
     pub fn regrid(&mut self, refiner: &dyn Refiner) {
         let old_keys: Vec<MortonKey> = self.mesh.octants.iter().map(|o| o.key).collect();
-        let new_leaves = refine_loop(
-            old_keys.clone(),
-            &self.mesh.domain,
-            refiner,
-            BalanceMode::Full,
-            8,
-        );
+        let new_leaves =
+            refine_loop(old_keys.clone(), &self.mesh.domain, refiner, BalanceMode::Full, 8);
         if new_leaves == old_keys {
             return; // grid unchanged
         }
         let u = self.backend.download();
         let new_mesh = Mesh::build(self.mesh.domain, &new_leaves);
-        let new_u = transfer_state(&self.mesh, &u, &new_mesh);
+        let new_u =
+            transfer_state(&self.mesh, &u, &new_mesh).unwrap_or_else(|e| panic!("regrid: {e}"));
         self.mesh = new_mesh;
         self.backend = make_backend(&self.config, &self.mesh);
         self.backend.upload(&new_u);
@@ -195,7 +235,8 @@ impl GwSolver {
             return;
         }
         let new_mesh = Mesh::build(self.mesh.domain, &new_leaves);
-        let new_u = transfer_state(&self.mesh, &u, &new_mesh);
+        let new_u =
+            transfer_state(&self.mesh, &u, &new_mesh).unwrap_or_else(|e| panic!("regrid: {e}"));
         self.mesh = new_mesh;
         self.backend = make_backend(&self.config, &self.mesh);
         self.backend.upload(&new_u);
@@ -211,8 +252,8 @@ impl GwSolver {
         // One interior point per octant is enough for a monitor.
         for oct in 0..self.mesh.n_octants() {
             let mut inputs = vec![0.0; gw_expr::symbols::NUM_INPUTS];
-            for v in 0..NUM_VARS {
-                inputs[v] = u.block(v, oct)[l.idx(3, 3, 3)];
+            for (v, slot) in inputs.iter_mut().enumerate().take(NUM_VARS) {
+                *slot = u.block(v, oct)[l.idx(3, 3, 3)];
             }
             // Derivative slots left zero — this monitors only the
             // algebraic part; the examples do the full job.
@@ -238,8 +279,8 @@ pub fn fill_field(mesh: &Mesh, init: &impl Fn([f64; 3], &mut [f64])) -> Field {
     for oct in 0..mesh.n_octants() {
         for (i, j, k) in l.iter() {
             init(mesh.point_coords(oct, i, j, k), &mut vals);
-            for v in 0..NUM_VARS {
-                f.block_mut(v, oct)[l.idx(i, j, k)] = vals[v];
+            for (v, &val) in vals.iter().enumerate() {
+                f.block_mut(v, oct)[l.idx(i, j, k)] = val;
             }
         }
     }
@@ -266,12 +307,10 @@ mod tests {
         let mesh = Mesh::build(domain, &uniform_leaves(2));
         let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
         let init = |p: [f64; 3], out: &mut [f64]| wave.evaluate(p, out);
-        let mut cpu = GwSolver::new(SolverConfig::default(), Mesh::build(domain, &uniform_leaves(2)), init);
-        let mut gpu = GwSolver::new(
-            SolverConfig { use_gpu: true, ..Default::default() },
-            mesh,
-            init,
-        );
+        let mut cpu =
+            GwSolver::new(SolverConfig::default(), Mesh::build(domain, &uniform_leaves(2)), init);
+        let mut gpu =
+            GwSolver::new(SolverConfig { use_gpu: true, ..Default::default() }, mesh, init);
         for _ in 0..2 {
             cpu.step();
             gpu.step();
@@ -291,11 +330,8 @@ mod tests {
         // Long-wavelength packet: well resolved by the level-2 grid
         // (h ≈ 0.67, ~13 points per carrier wavelength).
         let wave = LinearWaveData::new(amp, 0.0, 3.0, 0.7);
-        let mut solver = GwSolver::new(
-            SolverConfig::default(),
-            mesh,
-            |p, out| wave.evaluate(p, out),
-        );
+        let mut solver =
+            GwSolver::new(SolverConfig::default(), mesh, |p, out| wave.evaluate(p, out));
         let steps = 6;
         for _ in 0..steps {
             solver.step();
@@ -339,10 +375,8 @@ mod tests {
             mesh,
             |p, out| wave.evaluate(p, out),
         );
-        let sphere = gw_waveform::ExtractionSphere::new(
-            4.0,
-            gw_waveform::lebedev::product_rule(6, 12),
-        );
+        let sphere =
+            gw_waveform::ExtractionSphere::new(4.0, gw_waveform::lebedev::product_rule(6, 12));
         solver.add_extractor(ModeExtractor::new(sphere, vec![(2, 2), (2, 0)]));
         for _ in 0..3 {
             solver.step();
@@ -361,19 +395,12 @@ mod tests {
         let domain = Domain::centered_cube(8.0);
         let mesh = Mesh::build(domain, &uniform_leaves(1));
         let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
-        let mut solver = GwSolver::new(
-            SolverConfig::default(),
-            mesh,
-            |p, out| wave.evaluate(p, out),
-        );
+        let mut solver =
+            GwSolver::new(SolverConfig::default(), mesh, |p, out| wave.evaluate(p, out));
         // Refine everything one level.
         struct OneDeeper;
         impl Refiner for OneDeeper {
-            fn decide(
-                &self,
-                _d: &Domain,
-                leaf: &MortonKey,
-            ) -> gw_octree::RefineDecision {
+            fn decide(&self, _d: &Domain, leaf: &MortonKey) -> gw_octree::RefineDecision {
                 if leaf.level() < 2 {
                     gw_octree::RefineDecision::Refine
                 } else {
@@ -406,9 +433,8 @@ mod tests {
             3,
         );
         let mesh = GwSolver::build_mesh(domain, &refiner, 8);
-        let mut solver = GwSolver::new(SolverConfig::default(), mesh, |p, out| {
-            wave.evaluate(p, out)
-        });
+        let mut solver =
+            GwSolver::new(SolverConfig::default(), mesh, |p, out| wave.evaluate(p, out));
         let fine_center_z = |s: &GwSolver| -> f64 {
             let mut acc = 0.0;
             let mut cnt = 0.0;
@@ -432,10 +458,7 @@ mod tests {
         solver.regrid_on_state(gw_expr::symbols::var::at(0, 0), 2e-5, 2, 3);
         assert_eq!(solver.regrids, 1);
         let z1 = fine_center_z(&solver);
-        assert!(
-            z1 > z0 + 0.5,
-            "refined region must follow the packet: {z0:.2} -> {z1:.2}"
-        );
+        assert!(z1 > z0 + 0.5, "refined region must follow the packet: {z0:.2} -> {z1:.2}");
         // And evolution continues stably on the new grid.
         solver.step();
         assert!(solver.state().linf_all() < 2.0);

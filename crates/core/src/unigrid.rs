@@ -47,12 +47,10 @@ mod tests {
     #[test]
     fn unigrid_solver_runs() {
         let wave = gw_bssn::init::LinearWaveData::new(1e-4, 0.0, 1.5, 1.0);
-        let mut s = unigrid_solver(
-            SolverConfig::default(),
-            Domain::centered_cube(6.0),
-            2,
-            |p, out| wave.evaluate(p, out),
-        );
+        let mut s =
+            unigrid_solver(SolverConfig::default(), Domain::centered_cube(6.0), 2, |p, out| {
+                wave.evaluate(p, out)
+            });
         s.step();
         assert!(s.state().linf_all() < 2.0);
     }

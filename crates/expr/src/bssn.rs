@@ -14,6 +14,10 @@
 //! tensorial loops over free indices with implicit sums expanded, leaning
 //! on hash-consing to discover the shared subexpressions.
 
+// Tensor-index loops (`for k in 0..3`) mirror the written math;
+// enumerate() forms would obscure the index symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use crate::graph::{ExprGraph, NodeId};
 use crate::symbols::{var, SymbolTable as S, NUM_OUTPUTS};
 use crate::tensor::{contract2, inv_sym3, Sym3, Vec3};
@@ -54,11 +58,8 @@ pub fn build_bssn_rhs(params: BssnParams) -> BssnRhs {
 
     // ---- Field symbols -------------------------------------------------
     let alpha = S::value(gr, var::ALPHA);
-    let beta = Vec3([
-        S::value(gr, var::beta(0)),
-        S::value(gr, var::beta(1)),
-        S::value(gr, var::beta(2)),
-    ]);
+    let beta =
+        Vec3([S::value(gr, var::beta(0)), S::value(gr, var::beta(1)), S::value(gr, var::beta(2))]);
     let bvec = Vec3([
         S::value(gr, var::b_var(0)),
         S::value(gr, var::b_var(1)),
@@ -68,21 +69,14 @@ pub fn build_bssn_rhs(params: BssnParams) -> BssnRhs {
     let kk = S::value(gr, var::K);
     let gt = Sym3::from_fn(|i, j| S::value(gr, var::gt(i, j)));
     let at = Sym3::from_fn(|i, j| S::value(gr, var::at(i, j)));
-    let gamt = Vec3([
-        S::value(gr, var::gamt(0)),
-        S::value(gr, var::gamt(1)),
-        S::value(gr, var::gamt(2)),
-    ]);
+    let gamt =
+        Vec3([S::value(gr, var::gamt(0)), S::value(gr, var::gamt(1)), S::value(gr, var::gamt(2))]);
 
     // ---- Derivative symbols --------------------------------------------
-    let d_alpha = Vec3([
-        S::d1(gr, var::ALPHA, 0),
-        S::d1(gr, var::ALPHA, 1),
-        S::d1(gr, var::ALPHA, 2),
-    ]);
+    let d_alpha =
+        Vec3([S::d1(gr, var::ALPHA, 0), S::d1(gr, var::ALPHA, 1), S::d1(gr, var::ALPHA, 2)]);
     let dd_alpha = Sym3::from_fn(|i, j| S::d2(gr, var::ALPHA, i, j));
-    let d_chi =
-        Vec3([S::d1(gr, var::CHI, 0), S::d1(gr, var::CHI, 1), S::d1(gr, var::CHI, 2)]);
+    let d_chi = Vec3([S::d1(gr, var::CHI, 0), S::d1(gr, var::CHI, 1), S::d1(gr, var::CHI, 2)]);
     let dd_chi = Sym3::from_fn(|i, j| S::d2(gr, var::CHI, i, j));
     let d_k = Vec3([S::d1(gr, var::K, 0), S::d1(gr, var::K, 1), S::d1(gr, var::K, 2)]);
     // ∂_j β^i
@@ -92,15 +86,12 @@ pub fn build_bssn_rhs(params: BssnParams) -> BssnRhs {
     // ∂_j B^i
     let d_bv = |gr: &mut ExprGraph, i: usize, j: usize| S::d1(gr, var::b_var(i), j);
     // ∂_k γ̃_ij
-    let d_gt =
-        |gr: &mut ExprGraph, k: usize, i: usize, j: usize| S::d1(gr, var::gt(i, j), k);
+    let d_gt = |gr: &mut ExprGraph, k: usize, i: usize, j: usize| S::d1(gr, var::gt(i, j), k);
     // ∂_k ∂_l γ̃_ij
-    let dd_gt = |gr: &mut ExprGraph, k: usize, l: usize, i: usize, j: usize| {
-        S::d2(gr, var::gt(i, j), k, l)
-    };
+    let dd_gt =
+        |gr: &mut ExprGraph, k: usize, l: usize, i: usize, j: usize| S::d2(gr, var::gt(i, j), k, l);
     // ∂_k Ã_ij
-    let d_at =
-        |gr: &mut ExprGraph, k: usize, i: usize, j: usize| S::d1(gr, var::at(i, j), k);
+    let d_at = |gr: &mut ExprGraph, k: usize, i: usize, j: usize| S::d1(gr, var::at(i, j), k);
     // ∂_j Γ̃^i
     let d_gamt = |gr: &mut ExprGraph, i: usize, j: usize| S::d1(gr, var::gamt(i), j);
 
@@ -661,10 +652,6 @@ mod tests {
         let mut u = flat_inputs();
         u[crate::symbols::input_d2(var::gt(0, 1), 0, 0)] = 0.08;
         let out = rhs.graph.eval(&rhs.outputs, &u);
-        assert!(
-            (out[var::at(0, 1)] + 0.04).abs() < 1e-13,
-            "At12 rhs {}",
-            out[var::at(0, 1)]
-        );
+        assert!((out[var::at(0, 1)] + 0.04).abs() < 1e-13, "At12 rhs {}", out[var::at(0, 1)]);
     }
 }

@@ -270,11 +270,7 @@ impl ExprGraph {
     /// would materialize (SymPyGR reports ~900).
     pub fn interior_count(&self, roots: &[NodeId]) -> usize {
         let mask = self.reachable(roots);
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, op)| mask[*i] && !op.is_leaf())
-            .count()
+        self.nodes.iter().enumerate().filter(|(i, op)| mask[*i] && !op.is_leaf()).count()
     }
 
     /// Number of *multiply-used* interior nodes — the temporaries a
@@ -298,12 +294,7 @@ impl ExprGraph {
     /// node counted once — the CSE operation count).
     pub fn flop_count(&self, roots: &[NodeId]) -> u64 {
         let mask = self.reachable(roots);
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask[*i])
-            .map(|(_, op)| op.flops())
-            .sum()
+        self.nodes.iter().enumerate().filter(|(i, _)| mask[*i]).map(|(_, op)| op.flops()).sum()
     }
 }
 

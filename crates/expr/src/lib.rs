@@ -40,6 +40,6 @@ pub mod tensor;
 
 pub use graph::{ExprGraph, NodeId, Op};
 pub use regalloc::{simulate_spills, SpillStats};
-pub use schedule::{schedule, ScheduleStrategy, Schedule};
+pub use schedule::{schedule, Schedule, ScheduleStrategy};
 pub use symbols::{SymbolTable, NUM_INPUTS, NUM_OUTPUTS};
 pub use tape::{Tape, TapeInstr};

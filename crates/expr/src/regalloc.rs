@@ -59,12 +59,8 @@ pub fn simulate_spills(g: &ExprGraph, schedule: &Schedule, registers: usize) -> 
     let mut remaining: HashMap<NodeId, usize> =
         use_positions.iter().map(|(k, v)| (*k, v.len())).collect();
 
-    let mut stats = SpillStats {
-        spill_store_bytes: 0,
-        spill_load_bytes: 0,
-        max_live: 0,
-        ops: order.len(),
-    };
+    let mut stats =
+        SpillStats { spill_store_bytes: 0, spill_load_bytes: 0, max_live: 0, ops: order.len() };
     let mut live_now = 0usize;
 
     // Next-use position of a node strictly after `pos`.
@@ -77,8 +73,7 @@ pub fn simulate_spills(g: &ExprGraph, schedule: &Schedule, registers: usize) -> 
 
     for (pos, &n) in order.iter().enumerate() {
         // 1. Bring spilled operands back.
-        let operands: Vec<NodeId> =
-            g.op(n).operands().filter(|c| !g.op(*c).is_leaf()).collect();
+        let operands: Vec<NodeId> = g.op(n).operands().filter(|c| !g.op(*c).is_leaf()).collect();
         for &c in &operands {
             if !in_reg.contains_key(&c) {
                 // Must have been spilled earlier (or this is a bug).

@@ -20,6 +20,10 @@
 //! node appears exactly once (shared subexpressions are still shared — the
 //! strategies change order, not work).
 
+// Tensor-index loops (`for k in 0..3`) mirror the written math;
+// enumerate() forms would obscure the index symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use crate::graph::{ExprGraph, NodeId};
 use std::collections::HashMap;
 
@@ -243,11 +247,8 @@ fn binary_reduce(g: &ExprGraph, outputs: &[NodeId]) -> Vec<NodeId> {
         pending_ops.insert(id, pend);
     }
     // Ready set: interior nodes with all interior operands computed.
-    let mut ready: Vec<NodeId> = interior
-        .iter()
-        .copied()
-        .filter(|id| pending_ops[id] == 0)
-        .collect();
+    let mut ready: Vec<NodeId> =
+        interior.iter().copied().filter(|id| pending_ops[id] == 0).collect();
     let mut order = Vec::with_capacity(interior.len());
     let mut remaining: HashMap<NodeId, u32> = uses.clone();
     let mut computed = vec![false; g.len()];
@@ -286,9 +287,8 @@ fn binary_reduce(g: &ExprGraph, outputs: &[NodeId]) -> Vec<NodeId> {
 /// Every interior reachable node appears exactly once, after its operands.
 fn validate_order(g: &ExprGraph, outputs: &[NodeId], order: &[NodeId]) -> bool {
     let mask = g.reachable(outputs);
-    let interior_count = (0..g.len())
-        .filter(|&i| mask[i] && !g.op(NodeId(i as u32)).is_leaf())
-        .count();
+    let interior_count =
+        (0..g.len()).filter(|&i| mask[i] && !g.op(NodeId(i as u32)).is_leaf()).count();
     if order.len() != interior_count {
         return false;
     }
@@ -366,14 +366,8 @@ mod tests {
         let live_br = br.max_live(&rhs.graph);
         let live_st = st.max_live(&rhs.graph);
         // The whole point of the paper's Algorithm 3: shorter live ranges.
-        assert!(
-            live_br < live_cse,
-            "binary-reduce live {live_br} must beat CSE live {live_cse}"
-        );
-        assert!(
-            live_st < live_cse,
-            "staged live {live_st} must beat CSE live {live_st}"
-        );
+        assert!(live_br < live_cse, "binary-reduce live {live_br} must beat CSE live {live_cse}");
+        assert!(live_st < live_cse, "staged live {live_st} must beat CSE live {live_st}");
         // Paper scale: hundreds of live temporaries for the baseline.
         assert!(live_cse > 100, "CSE peak live = {live_cse}");
     }

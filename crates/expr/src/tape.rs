@@ -21,17 +21,49 @@ use std::collections::HashMap;
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TapeInstr {
     /// `slots[dst] = constants[c]`
-    Const { dst: u16, c: u16 },
+    Const {
+        dst: u16,
+        c: u16,
+    },
     /// `slots[dst] = inputs[i]`
-    Input { dst: u16, i: u16 },
-    Add { dst: u16, a: u16, b: u16 },
-    Sub { dst: u16, a: u16, b: u16 },
-    Mul { dst: u16, a: u16, b: u16 },
-    Div { dst: u16, a: u16, b: u16 },
-    Neg { dst: u16, a: u16 },
-    Powi { dst: u16, a: u16, n: i16 },
+    Input {
+        dst: u16,
+        i: u16,
+    },
+    Add {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Sub {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Mul {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Div {
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    Neg {
+        dst: u16,
+        a: u16,
+    },
+    Powi {
+        dst: u16,
+        a: u16,
+        n: i16,
+    },
     /// `outputs[o] = slots[a]`
-    Output { o: u16, a: u16 },
+    Output {
+        o: u16,
+        a: u16,
+    },
 }
 
 /// A compiled, executable evaluation tape.
@@ -312,10 +344,7 @@ mod tests {
             let tape = Tape::compile(&rhs.graph, &sch, 56);
             let got = tape.eval(&inputs);
             for (i, (a, b)) in got.iter().zip(expect.iter()).enumerate() {
-                assert!(
-                    (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
-                    "{s:?} output {i}: {a} vs {b}"
-                );
+                assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "{s:?} output {i}: {a} vs {b}");
             }
         }
     }

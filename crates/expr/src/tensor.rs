@@ -192,11 +192,7 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (got[i * 3 + j] - expect).abs() < 1e-12,
-                    "({i},{j}) = {}",
-                    got[i * 3 + j]
-                );
+                assert!((got[i * 3 + j] - expect).abs() < 1e-12, "({i},{j}) = {}", got[i * 3 + j]);
             }
         }
     }

@@ -131,9 +131,7 @@ impl Device {
 
     /// Copy host data to a new device buffer (metered).
     pub fn htod<T: Copy>(&self, src: &[T]) -> DeviceBuffer<T> {
-        self.counters
-            .h2d_bytes
-            .fetch_add((src.len() * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
+        self.counters.h2d_bytes.fetch_add(std::mem::size_of_val(src) as u64, Ordering::Relaxed);
         DeviceBuffer { data: src.to_vec(), device_id: self.id }
     }
 
@@ -141,9 +139,7 @@ impl Device {
     pub fn htod_into<T: Copy>(&self, src: &[T], dst: &mut DeviceBuffer<T>) {
         assert_eq!(dst.device_id, self.id, "buffer belongs to another device");
         assert_eq!(src.len(), dst.data.len(), "size mismatch");
-        self.counters
-            .h2d_bytes
-            .fetch_add((src.len() * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
+        self.counters.h2d_bytes.fetch_add(std::mem::size_of_val(src) as u64, Ordering::Relaxed);
         dst.data.copy_from_slice(src);
     }
 
@@ -154,6 +150,15 @@ impl Device {
             .d2h_bytes
             .fetch_add((buf.data.len() * std::mem::size_of::<T>()) as u64, Ordering::Relaxed);
         buf.data.clone()
+    }
+
+    /// Fault-injection backdoor: mutate a buffer's contents in place
+    /// without any transfer metering — simulating in-memory corruption
+    /// (see [`crate::fault`]). Not for normal data movement; host code
+    /// that wants data must still go through [`Device::dtoh`].
+    pub fn corrupt<T>(&self, buf: &mut DeviceBuffer<T>, f: impl FnOnce(&mut [T])) {
+        assert_eq!(buf.device_id, self.id, "buffer belongs to another device");
+        f(buf.as_mut_slice());
     }
 
     /// Device-to-device copy within this device (unmetered on h2d/d2h;

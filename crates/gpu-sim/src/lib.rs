@@ -23,9 +23,16 @@
 //! * **Streams** ([`Stream`]): ordered asynchronous queues used for the
 //!   wave-extraction overlap in the evolution loop.
 
+//! * **Fault injection** ([`fault`]): seeded, reproducible corruption of
+//!   device buffers (NaN poisoning, single-bit upsets) and forced stream
+//!   failures — the harness the `gw-core` supervisor's recovery paths
+//!   are tested against. Disabled by default: nothing in the transfer or
+//!   launch paths consults it.
+
 pub mod buffer;
 pub mod counters;
 pub mod device;
+pub mod fault;
 pub mod machine;
 pub mod slice;
 pub mod stream;
@@ -33,6 +40,7 @@ pub mod stream;
 pub use buffer::DeviceBuffer;
 pub use counters::{CounterSnapshot, Counters};
 pub use device::{BlockCtx, Device, LaunchConfig};
+pub use fault::FaultInjector;
 pub use machine::MachineSpec;
 pub use slice::UnsafeSlice;
-pub use stream::Stream;
+pub use stream::{Stream, StreamError};

@@ -142,6 +142,6 @@ mod tests {
     fn host_workers_bounded() {
         let m = MachineSpec::a100();
         let w = m.host_workers();
-        assert!(w >= 1 && w <= 108);
+        assert!((1..=108).contains(&w));
     }
 }

@@ -8,16 +8,31 @@
 //! until the queue drains.
 
 use crossbeam::channel::{unbounded, Sender};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The stream has entered a failed state (an injected fault, standing in
+/// for `cudaErrorIllegalAddress` and friends); queued and future work no
+/// longer executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamError;
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream is in a failed state; subsequent work was not executed")
+    }
+}
+
+impl std::error::Error for StreamError {}
+
 /// An ordered asynchronous work queue (one per stream, CUDA-style).
 pub struct Stream {
     tx: Option<Sender<Job>>,
     pending: Arc<AtomicUsize>,
+    failed: Arc<AtomicBool>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -31,25 +46,27 @@ impl Stream {
     pub fn new() -> Self {
         let (tx, rx) = unbounded::<Job>();
         let pending = Arc::new(AtomicUsize::new(0));
+        let failed = Arc::new(AtomicBool::new(false));
         let p = Arc::clone(&pending);
+        let f = Arc::clone(&failed);
         let worker = std::thread::spawn(move || {
             for job in rx {
-                job();
+                // CUDA semantics: once a stream errors, queued work is
+                // discarded (but still accounted, so synchronize returns).
+                if !f.load(Ordering::Acquire) {
+                    job();
+                }
                 p.fetch_sub(1, Ordering::Release);
             }
         });
-        Self { tx: Some(tx), pending, worker: Some(worker) }
+        Self { tx: Some(tx), pending, failed, worker: Some(worker) }
     }
 
     /// Enqueue work; returns immediately. Items on one stream execute in
     /// submission order.
     pub fn enqueue<F: FnOnce() + Send + 'static>(&self, f: F) {
         self.pending.fetch_add(1, Ordering::Acquire);
-        self.tx
-            .as_ref()
-            .expect("stream is live")
-            .send(Box::new(f))
-            .expect("stream worker alive");
+        self.tx.as_ref().expect("stream is live").send(Box::new(f)).expect("stream worker alive");
     }
 
     /// Number of not-yet-finished items.
@@ -62,6 +79,30 @@ impl Stream {
         while self.pending() > 0 {
             std::thread::yield_now();
         }
+    }
+
+    /// Like [`Stream::synchronize`], but reports whether the stream is
+    /// in a failed state — the checked variant a supervisor uses.
+    pub fn try_synchronize(&self) -> Result<(), StreamError> {
+        self.synchronize();
+        if self.failed.load(Ordering::Acquire) {
+            Err(StreamError)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whether an injected failure has fired.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Fault-injection hook: enqueue a poison item that moves the stream
+    /// to the failed state. Work queued *after* this point is discarded,
+    /// exactly like a real stream after an asynchronous error.
+    pub fn inject_failure(&self) {
+        let f = Arc::clone(&self.failed);
+        self.enqueue(move || f.store(true, Ordering::Release));
     }
 }
 
@@ -122,6 +163,33 @@ mod tests {
             }
         }
         assert_eq!(done.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn injected_failure_discards_later_work() {
+        let s = Stream::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        s.enqueue(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        s.inject_failure();
+        let d = Arc::clone(&done);
+        s.enqueue(move || {
+            d.fetch_add(100, Ordering::SeqCst);
+        });
+        assert_eq!(s.try_synchronize(), Err(StreamError));
+        assert!(s.is_failed());
+        // Pre-failure work ran; post-failure work was discarded.
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn healthy_stream_try_synchronize_ok() {
+        let s = Stream::new();
+        s.enqueue(|| {});
+        assert_eq!(s.try_synchronize(), Ok(()));
+        assert!(!s.is_failed());
     }
 
     #[test]

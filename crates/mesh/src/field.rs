@@ -69,9 +69,7 @@ impl Field {
     /// Max-norm over one variable.
     pub fn linf(&self, var: usize) -> f64 {
         let s = var * self.n_oct * BLOCK_VOLUME;
-        self.data[s..s + self.n_oct * BLOCK_VOLUME]
-            .iter()
-            .fold(0.0f64, |m, v| m.max(v.abs()))
+        self.data[s..s + self.n_oct * BLOCK_VOLUME].iter().fold(0.0f64, |m, v| m.max(v.abs()))
     }
 
     /// Max-norm over everything.
@@ -183,6 +181,6 @@ mod tests {
         p.patch_mut(1, 2)[100] = 9.0;
         assert_eq!(p.patch(1, 2)[100], 9.0);
         assert_eq!(p.patch(0, 2)[100], 0.0);
-        assert_eq!(p.patch_offset(1, 2), (1 * 3 + 2) * 2197);
+        assert_eq!(p.patch_offset(1, 2), (3 + 2) * 2197);
     }
 }

@@ -137,11 +137,7 @@ impl Mesh {
                             // Same-level: index math uses only delta; off
                             // recorded for completeness ((dst−src) in src
                             // point units: −6δ).
-                            off: [
-                                -6 * delta[0] as i32,
-                                -6 * delta[1] as i32,
-                                -6 * delta[2] as i32,
-                            ],
+                            off: [-6 * delta[0] as i32, -6 * delta[1] as i32, -6 * delta[2] as i32],
                             inc6: [true; 3],
                         });
                     }
@@ -310,8 +306,7 @@ impl Mesh {
         if self.scatter.is_empty() {
             return 0.0;
         }
-        let nonuniform =
-            self.scatter.iter().filter(|o| o.kind != ScatterKind::Same).count();
+        let nonuniform = self.scatter.iter().filter(|o| o.kind != ScatterKind::Same).count();
         nonuniform as f64 / self.scatter.len() as f64
     }
 
@@ -359,8 +354,8 @@ mod tests {
         assert_eq!(m.adaptivity_ratio(), 0.0);
         // Interior octant has 26 incoming ops; corner octant has 7.
         let counts: Vec<usize> = (0..64).map(|b| m.gather_of(b).len()).collect();
-        assert!(counts.iter().any(|&c| c == 26));
-        assert!(counts.iter().any(|&c| c == 7));
+        assert!(counts.contains(&26));
+        assert!(counts.contains(&7));
     }
 
     #[test]

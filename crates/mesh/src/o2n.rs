@@ -52,11 +52,7 @@ pub struct O2NMap {
 /// the same key exactly because level spacings are related by powers of
 /// two... up to f64 rounding, hence the explicit rounding to i64.
 fn point_key(p: [f64; 3], inv_q: f64) -> [i64; 3] {
-    [
-        (p[0] * inv_q).round() as i64,
-        (p[1] * inv_q).round() as i64,
-        (p[2] * inv_q).round() as i64,
-    ]
+    [(p[0] * inv_q).round() as i64, (p[1] * inv_q).round() as i64, (p[2] * inv_q).round() as i64]
 }
 
 impl O2NMap {
@@ -110,8 +106,7 @@ impl O2NMap {
                 });
                 // Hanging iff on such an interface and off the coarse
                 // (2h) lattice — no coincident coarse grid point exists.
-                let hanging =
-                    on_coarse_iface && !on_lattice(p, mesh.domain.min, 2.0 * h);
+                let hanging = on_coarse_iface && !on_lattice(p, mesh.domain.min, 2.0 * h);
                 if hanging {
                     ids.push(HANGING);
                     own.push(false);
@@ -147,8 +142,7 @@ impl O2NMap {
         let mut g = vec![0.0f64; self.n_global];
         for oct in 0..mesh.n_octants() {
             let block = field.block(var, oct);
-            for (li, (&id, &own)) in self.o2n[oct].iter().zip(self.owner[oct].iter()).enumerate()
-            {
+            for (li, (&id, &own)) in self.o2n[oct].iter().zip(self.owner[oct].iter()).enumerate() {
                 if own {
                     g[id as usize] = block[li];
                 }
@@ -179,9 +173,8 @@ impl O2NMap {
             let (i, j, k) = l.coords(li);
             let p = mesh.point_coords(oct, i, j, k);
             // Find a containing octant that is coarser than us.
-            let cov = self
-                .coarse_cover(mesh, oct, p)
-                .expect("hanging point must have a coarse cover");
+            let cov =
+                self.coarse_cover(mesh, oct, p).expect("hanging point must have a coarse cover");
             out[li] = self.interp_in_octant(mesh, global, cov, p);
         }
     }
@@ -300,7 +293,7 @@ mod tests {
         // Every hanging point belongs to a fine octant with a coarser
         // neighbor.
         for (oct, ids) in map.o2n.iter().enumerate() {
-            if ids.iter().any(|&id| id == HANGING) {
+            if ids.contains(&HANGING) {
                 let has_coarser = mesh
                     .gather_of(oct)
                     .iter()
@@ -334,9 +327,8 @@ mod tests {
         // so zip → unzip reproduces the duplicated field everywhere.
         let mesh = adaptive_mesh();
         let map = O2NMap::build(&mesh);
-        let f = |p: [f64; 3]| {
-            1.0 + p[0] - 2.0 * p[1] * p[2] + p[0] * p[0] * p[1] - 0.3 * p[2].powi(3)
-        };
+        let f =
+            |p: [f64; 3]| 1.0 + p[0] - 2.0 * p[1] * p[2] + p[0] * p[0] * p[1] - 0.3 * p[2].powi(3);
         let mut field = Field::zeros(1, mesh.n_octants());
         let l = PatchLayout::octant();
         for oct in 0..mesh.n_octants() {

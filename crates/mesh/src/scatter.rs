@@ -98,8 +98,7 @@ pub fn apply_scatter_op(
                         if !(0..f).contains(&jx) {
                             continue;
                         }
-                        dst_patch[p.idx(px, py, pz)] = fine13
-                            [((jz * f + jy) * f + jx) as usize];
+                        dst_patch[p.idx(px, py, pz)] = fine13[((jz * f + jy) * f + jx) as usize];
                         written += 1;
                     }
                 }

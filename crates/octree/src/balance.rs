@@ -59,8 +59,7 @@ pub fn balance_octree(leaves: &[MortonKey], mode: BalanceMode) -> Vec<MortonKey>
         // regions exist at level ≥ l−1; inserting those keys (keep-finest)
         // splits any coarser leaf covering them.
         let mut requests: Vec<MortonKey> = Vec::with_capacity(active.len() * 4);
-        let mut parents: Vec<MortonKey> =
-            active.iter().filter_map(|k| k.parent()).collect();
+        let mut parents: Vec<MortonKey> = active.iter().filter_map(|k| k.parent()).collect();
         parents.sort_unstable();
         parents.dedup();
         for p in &parents {
@@ -73,11 +72,9 @@ pub fn balance_octree(leaves: &[MortonKey], mode: BalanceMode) -> Vec<MortonKey>
         requests.dedup();
         // Keep only requests that actually split an existing coarser leaf
         // (a request already covered at an equal-or-finer level is a no-op).
-        requests.retain(|r| {
-            match find_covering_leaf_sorted(&tree, r) {
-                Some(cov) => cov.level() < r.level(),
-                None => false,
-            }
+        requests.retain(|r| match find_covering_leaf_sorted(&tree, r) {
+            Some(cov) => cov.level() < r.level(),
+            None => false,
         });
         if requests.is_empty() {
             break;
@@ -292,8 +289,9 @@ mod tests {
     #[test]
     fn point_cloud_tree_balances() {
         // Diagonal line of points => adaptive tree along the diagonal.
-        let pts: Vec<[u32; 3]> =
-            (0..64u32).map(|i| [i * (LATTICE / 64), i * (LATTICE / 64), i * (LATTICE / 64)]).collect();
+        let pts: Vec<[u32; 3]> = (0..64u32)
+            .map(|i| [i * (LATTICE / 64), i * (LATTICE / 64), i * (LATTICE / 64)])
+            .collect();
         let t = octree_from_points(&pts, 1, 8);
         let b = balance_octree(&t, BalanceMode::Full);
         assert!(is_complete_linear(&b));

@@ -205,7 +205,7 @@ pub fn octree_from_points(points: &[[u32; 3]], max_points: usize, max_level: u8)
                 .expect("point must be in one child");
             buckets[c].push(i);
         }
-        for (c, b) in ch.into_iter().zip(buckets.into_iter()) {
+        for (c, b) in ch.into_iter().zip(buckets) {
             stack.push((c, b));
         }
     }
@@ -237,7 +237,7 @@ pub fn is_complete_linear(keys: &[MortonKey]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::key::{MAX_LEVEL, LATTICE};
+    use crate::key::{LATTICE, MAX_LEVEL};
 
     #[test]
     fn linearize_keeps_finest() {
@@ -410,8 +410,12 @@ mod fuzz_region {
         let mut seed = 7u64;
         for trial in 0..500 {
             let (mut a, mut b) = (rand_key(&mut seed), rand_key(&mut seed));
-            if a.overlaps(&b) || a == b { continue; }
-            if b < a { std::mem::swap(&mut a, &mut b); }
+            if a.overlaps(&b) || a == b {
+                continue;
+            }
+            if b < a {
+                std::mem::swap(&mut a, &mut b);
+            }
             let gap = complete_region(a, b);
             // Check: sorted, disjoint, covers exactly [a_end+1, b_start-1].
             let mut all = vec![a];
@@ -419,11 +423,22 @@ mod fuzz_region {
             all.push(b);
             let mut vol: u128 = 0;
             for w in all.windows(2) {
-                assert!(w[0] < w[1], "trial {trial}: order {:?} {:?} gap={gap:?} a={a:?} b={b:?}", w[0], w[1]);
-                assert!(w[0].deepest_last_descendant().morton() + 1 == w[1].morton(),
-                    "trial {trial}: not adjacent {:?} -> {:?}\n a={a:?} b={b:?}\n gap={gap:?}", w[0], w[1]);
+                assert!(
+                    w[0] < w[1],
+                    "trial {trial}: order {:?} {:?} gap={gap:?} a={a:?} b={b:?}",
+                    w[0],
+                    w[1]
+                );
+                assert!(
+                    w[0].deepest_last_descendant().morton() + 1 == w[1].morton(),
+                    "trial {trial}: not adjacent {:?} -> {:?}\n a={a:?} b={b:?}\n gap={gap:?}",
+                    w[0],
+                    w[1]
+                );
             }
-            for k in &all { vol += (k.side() as u128).pow(3); }
+            for k in &all {
+                vol += (k.side() as u128).pow(3);
+            }
             let expect = (b.deepest_last_descendant().morton() - a.morton() + 1) as u128;
             assert_eq!(vol, expect, "trial {trial} a={a:?} b={b:?}");
         }

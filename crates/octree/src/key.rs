@@ -69,7 +69,7 @@ impl MortonKey {
         debug_assert!(level <= MAX_LEVEL, "level {level} > MAX_LEVEL");
         let side = 1u32 << (MAX_LEVEL - level);
         debug_assert!(
-            x % side == 0 && y % side == 0 && z % side == 0,
+            x.is_multiple_of(side) && y.is_multiple_of(side) && z.is_multiple_of(side),
             "anchor ({x},{y},{z}) not aligned to level {level} (side {side})"
         );
         debug_assert!(x < LATTICE && y < LATTICE && z < LATTICE);

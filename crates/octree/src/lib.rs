@@ -41,4 +41,7 @@ pub use domain::Domain;
 pub use key::{MortonKey, MAX_LEVEL};
 pub use neighbors::{NeighborDirection, NeighborLevel, NeighborQuery};
 pub use partition::{partition_weighted, PartitionMap};
-pub use refine::{refine_loop, refine_step, InterpErrorRefiner, Puncture, PunctureRefiner, RefineDecision, Refiner};
+pub use refine::{
+    refine_loop, refine_step, InterpErrorRefiner, Puncture, PunctureRefiner, RefineDecision,
+    Refiner,
+};

@@ -299,9 +299,8 @@ mod tests {
                 // The parent region is covered only if the parent itself is
                 // a leaf; otherwise covering_leaf must return None.
                 let p = k.parent().unwrap();
-                match q.covering_leaf(&p) {
-                    Some(c) => assert_eq!(c, p),
-                    None => {}
+                if let Some(c) = q.covering_leaf(&p) {
+                    assert_eq!(c, p);
                 }
             }
         }

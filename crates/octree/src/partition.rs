@@ -103,8 +103,8 @@ pub fn partition_uniform(n: usize, parts: usize) -> PartitionMap {
 pub fn imbalance(weights: &[f64], map: &PartitionMap) -> f64 {
     let parts = map.parts();
     let mut sums = vec![0.0f64; parts];
-    for r in 0..parts {
-        sums[r] = map.range(r).map(|i| weights[i]).sum();
+    for (r, s) in sums.iter_mut().enumerate() {
+        *s = map.range(r).map(|i| weights[i]).sum();
     }
     let total: f64 = sums.iter().sum();
     if total == 0.0 {

@@ -82,9 +82,9 @@ pub fn refine_step(
                 let all_here = k == sibs[0]
                     && i + 8 <= leaves.len()
                     && leaves[i..i + 8] == sibs
-                    && sibs.iter().all(|s| {
-                        decide_clamped(refiner, domain, s) == RefineDecision::Coarsen
-                    });
+                    && sibs
+                        .iter()
+                        .all(|s| decide_clamped(refiner, domain, s) == RefineDecision::Coarsen);
                 if all_here {
                     next.push(p);
                     i += 8;
@@ -324,7 +324,8 @@ mod tests {
             .expect("puncture covered");
         assert_eq!(leaf.level(), 7);
         // Far corners stay coarse.
-        let far = t.iter().find(|k| domain.distance_to_octant(k, [-15.0, -15.0, -15.0]) == 0.0).unwrap();
+        let far =
+            t.iter().find(|k| domain.distance_to_octant(k, [-15.0, -15.0, -15.0]) == 0.0).unwrap();
         assert!(far.level() <= 4);
     }
 
@@ -368,8 +369,10 @@ mod tests {
         let r = InterpErrorRefiner::new(field, 3e-2, 2, 6);
         let t = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 8);
         assert!(is_complete_linear(&t));
-        let center = t.iter().find(|k| domain.distance_to_octant(k, [0.05, 0.05, 0.05]) == 0.0).unwrap();
-        let corner = t.iter().find(|k| domain.distance_to_octant(k, [-1.9, -1.9, -1.9]) == 0.0).unwrap();
+        let center =
+            t.iter().find(|k| domain.distance_to_octant(k, [0.05, 0.05, 0.05]) == 0.0).unwrap();
+        let corner =
+            t.iter().find(|k| domain.distance_to_octant(k, [-1.9, -1.9, -1.9]) == 0.0).unwrap();
         assert!(
             center.level() > corner.level(),
             "center {} should be finer than corner {}",

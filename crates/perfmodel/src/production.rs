@@ -21,10 +21,42 @@ pub struct ProductionRun {
 
 /// Paper Table IV.
 pub const PAPER_TABLE_IV: [ProductionRun; 4] = [
-    ProductionRun { q: 1.0, dx_small: 1.62e-2, dx_large: 1.62e-2, gpus: 4, horizon: 748.0, timesteps: 183e3, wall_hours: 87.0 },
-    ProductionRun { q: 2.0, dx_small: 8.13e-3, dx_large: 3.25e-2, gpus: 4, horizon: 600.0, timesteps: 252e3, wall_hours: 96.0 },
-    ProductionRun { q: 4.0, dx_small: 4.06e-3, dx_large: 3.25e-2, gpus: 4, horizon: 602.0, timesteps: 506e3, wall_hours: 129.0 },
-    ProductionRun { q: 8.0, dx_small: 2.03e-3, dx_large: 3.25e-2, gpus: 8, horizon: 1400.0, timesteps: 4e6, wall_hours: 388.0 },
+    ProductionRun {
+        q: 1.0,
+        dx_small: 1.62e-2,
+        dx_large: 1.62e-2,
+        gpus: 4,
+        horizon: 748.0,
+        timesteps: 183e3,
+        wall_hours: 87.0,
+    },
+    ProductionRun {
+        q: 2.0,
+        dx_small: 8.13e-3,
+        dx_large: 3.25e-2,
+        gpus: 4,
+        horizon: 600.0,
+        timesteps: 252e3,
+        wall_hours: 96.0,
+    },
+    ProductionRun {
+        q: 4.0,
+        dx_small: 4.06e-3,
+        dx_large: 3.25e-2,
+        gpus: 4,
+        horizon: 602.0,
+        timesteps: 506e3,
+        wall_hours: 129.0,
+    },
+    ProductionRun {
+        q: 8.0,
+        dx_small: 2.03e-3,
+        dx_large: 3.25e-2,
+        gpus: 8,
+        horizon: 1400.0,
+        timesteps: 4e6,
+        wall_hours: 388.0,
+    },
 ];
 
 /// Model wall-clock hours for a run: `steps × unknowns/GPU ×

@@ -103,10 +103,7 @@ mod tests {
         assert!(t_fin > 5.0 * t_inf);
         // Small working sets: the models agree.
         let small = 100_000;
-        assert!(
-            (m.time_finite_cache(0, small) - m.time_infinite_cache(0, small)).abs()
-                < 1e-12
-        );
+        assert!((m.time_finite_cache(0, small) - m.time_infinite_cache(0, small)).abs() < 1e-12);
     }
 
     #[test]

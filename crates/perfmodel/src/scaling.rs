@@ -67,10 +67,11 @@ pub fn project_step(
     let p = work_per_rank.len();
     assert_eq!(plan.parts(), p);
     let mut worst = StepCost::default();
-    for r in 0..p {
-        let comm = net.exchange_time(plan.messages_aggregated(r), plan.send_bytes(r, dof, block_points))
+    for (r, &compute) in work_per_rank.iter().enumerate() {
+        let comm = net
+            .exchange_time(plan.messages_aggregated(r), plan.send_bytes(r, dof, block_points))
             * exchanges_per_step as f64;
-        let c = StepCost { compute: work_per_rank[r], comm };
+        let c = StepCost { compute, comm };
         if c.total() > worst.total() {
             worst = c;
         }

@@ -45,9 +45,9 @@ pub fn lagrange_weights_d2(nodes: &[f64], x: f64) -> (Vec<f64>, Vec<f64>, Vec<f6
         // product analytically via sums over excluded factors.
         let denom: f64 = (0..n).filter(|&m| m != j).map(|m| nodes[j] - nodes[m]).product();
         let mut p0 = 1.0; // Π (x − x_m)
-        for m in 0..n {
+        for (m, &xm) in nodes.iter().enumerate() {
             if m != j {
-                p0 *= x - nodes[m];
+                p0 *= x - xm;
             }
         }
         // First derivative: Σ_k Π_{m≠j,k} (x − x_m).
@@ -58,9 +58,9 @@ pub fn lagrange_weights_d2(nodes: &[f64], x: f64) -> (Vec<f64>, Vec<f64>, Vec<f6
                 continue;
             }
             let mut prod_k = 1.0;
-            for m in 0..n {
+            for (m, &xm) in nodes.iter().enumerate() {
                 if m != j && m != k {
-                    prod_k *= x - nodes[m];
+                    prod_k *= x - xm;
                 }
             }
             p1 += prod_k;
@@ -70,9 +70,9 @@ pub fn lagrange_weights_d2(nodes: &[f64], x: f64) -> (Vec<f64>, Vec<f64>, Vec<f6
                     continue;
                 }
                 let mut prod_kl = 1.0;
-                for m in 0..n {
+                for (m, &xm) in nodes.iter().enumerate() {
                     if m != j && m != k && m != l {
-                        prod_kl *= x - nodes[m];
+                        prod_kl *= x - xm;
                     }
                 }
                 p2 += prod_kl;
@@ -163,12 +163,7 @@ impl Prolongation {
     }
 
     /// Allocation-free variant of [`Prolongation::prolong3d`].
-    pub fn prolong3d_ws(
-        &self,
-        coarse: &[f64],
-        fine: &mut [f64],
-        ws: &mut ProlongWorkspace,
-    ) -> u64 {
+    pub fn prolong3d_ws(&self, coarse: &[f64], fine: &mut [f64], ws: &mut ProlongWorkspace) -> u64 {
         let r = POINTS_PER_SIDE;
         let f = FINE_SIDE;
         debug_assert_eq!(coarse.len(), r * r * r);

@@ -88,8 +88,7 @@ pub fn patch_interior_to_octant(patch: &[f64], octant: &mut [f64]) {
         for j in 0..POINTS_PER_SIDE {
             let src = p.idx(PADDING, j + PADDING, k + PADDING);
             let dst = o.idx(0, j, k);
-            octant[dst..dst + POINTS_PER_SIDE]
-                .copy_from_slice(&patch[src..src + POINTS_PER_SIDE]);
+            octant[dst..dst + POINTS_PER_SIDE].copy_from_slice(&patch[src..src + POINTS_PER_SIDE]);
         }
     }
 }
@@ -104,8 +103,7 @@ pub fn octant_to_patch_interior(octant: &[f64], patch: &mut [f64]) {
         for j in 0..POINTS_PER_SIDE {
             let dst = p.idx(PADDING, j + PADDING, k + PADDING);
             let src = o.idx(0, j, k);
-            patch[dst..dst + POINTS_PER_SIDE]
-                .copy_from_slice(&octant[src..src + POINTS_PER_SIDE]);
+            patch[dst..dst + POINTS_PER_SIDE].copy_from_slice(&octant[src..src + POINTS_PER_SIDE]);
         }
     }
 }

@@ -72,7 +72,9 @@ impl ChirpModel {
             let omega_gw = 2.0 * self.orbital_omega(d);
             // GW phase = ∫ ω dt; closed form for d(t) ∝ (1−t/tm)^{1/4}:
             // Φ(t) = 2·(8 tm/5) d0^{-3/2} [1 − (1−t/tm)^{5/8}].
-            let phase = 2.0 * (8.0 * tm / 5.0) * self.d0.powf(-1.5)
+            let phase = 2.0
+                * (8.0 * tm / 5.0)
+                * self.d0.powf(-1.5)
                 * (1.0 - (1.0 - t / tm).powf(5.0 / 8.0));
             let amp = 4.0 * mu / (self.r_extract * d);
             let _ = omega_gw;
@@ -81,7 +83,9 @@ impl ChirpModel {
             // Ringdown matched in amplitude and phase at t_cut.
             let d = d_cut;
             let omega_gw = 2.0 * self.orbital_omega(d);
-            let phase_cut = 2.0 * (8.0 * tm / 5.0) * self.d0.powf(-1.5)
+            let phase_cut = 2.0
+                * (8.0 * tm / 5.0)
+                * self.d0.powf(-1.5)
                 * (1.0 - (1.0 - t_cut / tm).powf(5.0 / 8.0));
             let amp_cut = 4.0 * mu / (self.r_extract * d);
             let w_ring = 2.0 * std::f64::consts::PI * self.f_ring;
@@ -148,12 +152,8 @@ mod tests {
         let m = ChirpModel::new(2.0, 10.0);
         let s = m.waveform(0.5, 0.005);
         let amp = s.amplitude();
-        let peak_idx = amp
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak_idx =
+            amp.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(amp[peak_idx] > 2.0 * amp[10], "inspiral must grow");
         // Exponential decay after the peak.
         let last = *amp.last().unwrap();

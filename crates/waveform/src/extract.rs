@@ -38,11 +38,7 @@ impl ModeExtractor {
         let basis = modes
             .iter()
             .map(|&(l, m)| {
-                sphere
-                    .nodes
-                    .iter()
-                    .map(|n| swsh(-2, l, m, n.theta, n.phi).conj())
-                    .collect()
+                sphere.nodes.iter().map(|n| swsh(-2, l, m, n.theta, n.phi).conj()).collect()
             })
             .collect();
         let series = modes.iter().map(|_| WaveformSeries::new()).collect();

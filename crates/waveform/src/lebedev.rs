@@ -24,12 +24,7 @@ pub struct QuadNode {
 fn node_from_dir(d: [f64; 3], weight: f64) -> QuadNode {
     let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
     let dir = [d[0] / r, d[1] / r, d[2] / r];
-    QuadNode {
-        theta: dir[2].clamp(-1.0, 1.0).acos(),
-        phi: dir[1].atan2(dir[0]),
-        dir,
-        weight,
-    }
+    QuadNode { theta: dir[2].clamp(-1.0, 1.0).acos(), phi: dir[1].atan2(dir[0]), dir, weight }
 }
 
 /// The 6 octahedron vertices.
@@ -81,19 +76,16 @@ pub fn lebedev_rule(degree: usize) -> Vec<QuadNode> {
         0..=3 => octahedron().into_iter().map(|d| node_from_dir(d, four_pi / 6.0)).collect(),
         4..=5 => {
             // 14 points: vertices w = 1/15, corners w = 3/40.
-            let mut nodes: Vec<QuadNode> = octahedron()
-                .into_iter()
-                .map(|d| node_from_dir(d, four_pi / 15.0))
-                .collect();
-            nodes.extend(cube_corners().into_iter().map(|d| node_from_dir(d, four_pi * 3.0 / 40.0)));
+            let mut nodes: Vec<QuadNode> =
+                octahedron().into_iter().map(|d| node_from_dir(d, four_pi / 15.0)).collect();
+            nodes
+                .extend(cube_corners().into_iter().map(|d| node_from_dir(d, four_pi * 3.0 / 40.0)));
             nodes
         }
         6..=7 => {
             // 26 points: vertices 1/21, edge midpoints 4/105, corners 27/840.
-            let mut nodes: Vec<QuadNode> = octahedron()
-                .into_iter()
-                .map(|d| node_from_dir(d, four_pi / 21.0))
-                .collect();
+            let mut nodes: Vec<QuadNode> =
+                octahedron().into_iter().map(|d| node_from_dir(d, four_pi / 21.0)).collect();
             nodes.extend(
                 edge_midpoints().into_iter().map(|d| node_from_dir(d, four_pi * 4.0 / 105.0)),
             );
@@ -196,10 +188,7 @@ mod tests {
                         4.0 * PI * dfact(a as i64 - 1) * dfact(b as i64 - 1) * dfact(c as i64 - 1)
                             / dfact((a + b + c) as i64 + 1)
                     };
-                    assert!(
-                        (got - expect).abs() < 1e-12,
-                        "x^{a} y^{b} z^{c}: {got} vs {expect}"
-                    );
+                    assert!((got - expect).abs() < 1e-12, "x^{a} y^{b} z^{c}: {got} vs {expect}");
                 }
             }
         }
@@ -255,13 +244,9 @@ mod tests {
     #[test]
     fn node_angles_consistent_with_directions() {
         for n in lebedev_rule(7) {
-            let d = [
-                n.theta.sin() * n.phi.cos(),
-                n.theta.sin() * n.phi.sin(),
-                n.theta.cos(),
-            ];
-            for i in 0..3 {
-                assert!((d[i] - n.dir[i]).abs() < 1e-12);
+            let d = [n.theta.sin() * n.phi.cos(), n.theta.sin() * n.phi.sin(), n.theta.cos()];
+            for (a, b) in d.iter().zip(&n.dir) {
+                assert!((a - b).abs() < 1e-12);
             }
         }
     }

@@ -71,7 +71,8 @@ impl WaveformSeries {
             let a = 2.0 / (dt1 * (dt1 + dt2));
             let b = -2.0 / (dt1 * dt2);
             let c = 2.0 / (dt2 * (dt1 + dt2));
-            let v = self.values[i - 1].scale(a) + self.values[i].scale(b) + self.values[i + 1].scale(c);
+            let v =
+                self.values[i - 1].scale(a) + self.values[i].scale(b) + self.values[i + 1].scale(c);
             out.push(self.times[i], v);
         }
         out

@@ -38,9 +38,7 @@ impl ExtractionSphere {
 ///
 /// Panics if the point is outside the mesh domain.
 pub fn interpolate(mesh: &Mesh, field: &Field, var: usize, p: [f64; 3]) -> f64 {
-    let oct = mesh
-        .locate(p)
-        .unwrap_or_else(|| panic!("point {p:?} outside mesh domain"));
+    let oct = mesh.locate(p).unwrap_or_else(|| panic!("point {p:?} outside mesh domain"));
     let info = &mesh.octants[oct];
     let nodes: Vec<f64> = (0..POINTS_PER_SIDE).map(|i| i as f64).collect();
     let mut w = [[0.0f64; POINTS_PER_SIDE]; 3];
@@ -100,17 +98,15 @@ mod tests {
     fn interpolation_exact_on_degree6_polynomials() {
         let mesh = adaptive_mesh();
         let f = |p: [f64; 3]| {
-            0.3 + p[0] - 2.0 * p[1] * p[2] + 0.05 * p[0].powi(3) * p[1].powi(2)
+            0.3 + p[0] - 2.0 * p[1] * p[2]
+                + 0.05 * p[0].powi(3) * p[1].powi(2)
                 + 0.001 * p[2].powi(6)
         };
         let fld = poly_field(&mesh, f);
         for p in [[0.3, -4.0, 2.2], [7.7, 7.7, 7.7], [-9.0, 3.0, -1.0], [0.01, 0.01, 0.01]] {
             let got = interpolate(&mesh, &fld, 0, p);
             let expect = f(p);
-            assert!(
-                (got - expect).abs() < 1e-8 * (1.0 + expect.abs()),
-                "{p:?}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-8 * (1.0 + expect.abs()), "{p:?}: {got} vs {expect}");
         }
     }
 
@@ -155,19 +151,10 @@ mod tests {
         });
         let sph = ExtractionSphere::new(6.0, crate::lebedev::product_rule(8, 16));
         let vals = sph.sample(&mesh, &fld, 0);
-        let mean: f64 = sph
-            .nodes
-            .iter()
-            .zip(vals.iter())
-            .map(|(n, v)| n.weight * v)
-            .sum::<f64>();
+        let mean: f64 = sph.nodes.iter().zip(vals.iter()).map(|(n, v)| n.weight * v).sum::<f64>();
         assert!(mean.abs() < 1e-8, "monopole of quadrupole pattern: {mean}");
-        let power: f64 = sph
-            .nodes
-            .iter()
-            .zip(vals.iter())
-            .map(|(n, v)| n.weight * v * v)
-            .sum::<f64>();
+        let power: f64 =
+            sph.nodes.iter().zip(vals.iter()).map(|(n, v)| n.weight * v * v).sum::<f64>();
         assert!(power > 0.1);
     }
 }

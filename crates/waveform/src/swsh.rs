@@ -29,13 +29,13 @@ pub fn wigner_d(l: i64, m: i64, k: i64, theta: f64) -> f64 {
     assert!(m.abs() <= l && k.abs() <= l);
     let c = (theta / 2.0).cos();
     let s = (theta / 2.0).sin();
-    let pref =
-        (factorial(l + m) * factorial(l - m) * factorial(l + k) * factorial(l - k)).sqrt();
+    let pref = (factorial(l + m) * factorial(l - m) * factorial(l + k) * factorial(l - k)).sqrt();
     let t_min = 0.max(m - k);
     let t_max = (l + m).min(l - k);
     let mut sum = 0.0;
     for t in t_min..=t_max {
-        let denom = factorial(t) * factorial(l + m - t) * factorial(l - k - t) * factorial(k - m + t);
+        let denom =
+            factorial(t) * factorial(l + m - t) * factorial(l - k - t) * factorial(k - m + t);
         let sign = if t % 2 == 0 { 1.0 } else { -1.0 };
         let cp = 2 * l + m - k - 2 * t;
         let sp = k - m + 2 * t;

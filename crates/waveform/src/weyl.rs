@@ -16,6 +16,10 @@
 //! the tests verify against the closed form — and which justifies the
 //! strain-based extractor as its wave-zone limit.
 
+// Tensor-index loops (`for k in 0..3`) mirror the written math;
+// enumerate() forms would obscure the index symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use crate::complex::Complex;
 use crate::series::WaveformSeries;
 use crate::sphere::ExtractionSphere;
@@ -39,11 +43,8 @@ pub fn psi4_point(u: &[f64], theta: f64, phi: f64) -> Complex {
             at[i][j] = u[input_value(var::at(i, j))];
         }
     }
-    let gamt = [
-        u[input_value(var::gamt(0))],
-        u[input_value(var::gamt(1))],
-        u[input_value(var::gamt(2))],
-    ];
+    let gamt =
+        [u[input_value(var::gamt(0))], u[input_value(var::gamt(1))], u[input_value(var::gamt(2))]];
     let d = |v: usize, a: usize| u[input_d1(v, a)];
     let dd = |v: usize, a: usize, b: usize| u[input_d2(v, a, b)];
     let dchi = [d(var::CHI, 0), d(var::CHI, 1), d(var::CHI, 2)];
@@ -133,8 +134,7 @@ pub fn psi4_point(u: &[f64], theta: f64, phi: f64) -> Complex {
                 }
             }
             for k in 0..3 {
-                rt += 0.5
-                    * (gt[k][i] * d(var::gamt(k), j) + gt[k][j] * d(var::gamt(k), i));
+                rt += 0.5 * (gt[k][i] * d(var::gamt(k), j) + gt[k][j] * d(var::gamt(k), i));
                 rt += 0.5 * gamt[k] * (c1[i][j][k] + c1[j][i][k]);
             }
             for l in 0..3 {
@@ -366,11 +366,7 @@ impl Psi4Extractor {
         let basis = modes
             .iter()
             .map(|&(l, m)| {
-                sphere
-                    .nodes
-                    .iter()
-                    .map(|n| swsh(-2, l, m, n.theta, n.phi).conj())
-                    .collect()
+                sphere.nodes.iter().map(|n| swsh(-2, l, m, n.theta, n.phi).conj()).collect()
             })
             .collect();
         let series = modes.iter().map(|_| WaveformSeries::new()).collect();

@@ -11,9 +11,7 @@ use gw_bssn::init::PunctureData;
 use gw_core::solver::{GwSolver, SolverConfig};
 use gw_expr::symbols::{input_value, var, NUM_INPUTS, NUM_VARS};
 use gw_mesh::Mesh;
-use gw_octree::{
-    refine_loop, BalanceMode, Domain, MortonKey, Puncture, PunctureRefiner,
-};
+use gw_octree::{refine_loop, BalanceMode, Domain, MortonKey, Puncture, PunctureRefiner};
 use gw_stencil::patch::PatchLayout;
 
 fn puncture_refiner(data: &PunctureData, finest: u8) -> PunctureRefiner {
@@ -47,15 +45,17 @@ fn main() {
     let refiner = puncture_refiner(&data, finest);
     let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 16);
     let mesh = Mesh::build(domain, &leaves);
-    println!("\ngrid: {} octants, {} unknowns (finest level {finest})", mesh.n_octants(), mesh.unknowns(24));
+    println!(
+        "\ngrid: {} octants, {} unknowns (finest level {finest})",
+        mesh.n_octants(),
+        mesh.unknowns(24)
+    );
     gw_examples::print_level_histogram(&mesh);
 
     let data2 = data.clone();
-    let mut solver = GwSolver::new(
-        SolverConfig { ..Default::default() },
-        mesh,
-        move |p, out| data2.evaluate(p, out),
-    );
+    let mut solver = GwSolver::new(SolverConfig { ..Default::default() }, mesh, move |p, out| {
+        data2.evaluate(p, out)
+    });
 
     // Initial diagnostics: lapse profile along the axis and constraint
     // residual at sample points.

@@ -15,10 +15,7 @@ pub fn print_series(name: &str, s: &gw_waveform::WaveformSeries, stride: usize) 
     println!("\n{name} ({} samples):", s.len());
     println!("  {:>8}  {:>13}  {:>13}", "t", "Re", "Im");
     for i in (0..s.len()).step_by(stride.max(1)) {
-        println!(
-            "  {:8.3}  {:+.6e}  {:+.6e}",
-            s.times[i], s.values[i].re, s.values[i].im
-        );
+        println!("  {:8.3}  {:+.6e}  {:+.6e}", s.times[i], s.values[i].re, s.values[i].im);
     }
 }
 

@@ -63,9 +63,15 @@ fn main() {
         println!("  global traffic  : {:.1} MB", c.global_bytes() as f64 / 1e6);
         println!("  flops           : {:.2} G", c.flops as f64 / 1e9);
         println!("  arithmetic int. : {:.2} F/B", c.arithmetic_intensity());
-        println!("  h2d / d2h       : {:.1} / {:.1} MB",
-            c.h2d_bytes as f64 / 1e6, c.d2h_bytes as f64 / 1e6);
-        println!("  spills (gen'd)  : {:.1} MB", (c.spill_load_bytes + c.spill_store_bytes) as f64 / 1e6);
+        println!(
+            "  h2d / d2h       : {:.1} / {:.1} MB",
+            c.h2d_bytes as f64 / 1e6,
+            c.d2h_bytes as f64 / 1e6
+        );
+        println!(
+            "  spills (gen'd)  : {:.1} MB",
+            (c.spill_load_bytes + c.spill_store_bytes) as f64 / 1e6
+        );
     }
     println!("\nok: quickstart completed");
 }

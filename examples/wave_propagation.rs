@@ -41,9 +41,8 @@ fn main() {
     println!("== uniform-grid convergence (error vs analytic at t = {horizon}) ==");
     let mut prev_err: Option<f64> = None;
     for level in [2u8, 3] {
-        let mut s = unigrid_solver(SolverConfig::default(), domain, level, |p, out| {
-            wave.evaluate(p, out)
-        });
+        let mut s =
+            unigrid_solver(SolverConfig::default(), domain, level, |p, out| wave.evaluate(p, out));
         let dt = s.dt();
         let steps = (horizon / dt).round() as usize;
         for _ in 0..steps {
@@ -63,10 +62,8 @@ fn main() {
 
     println!("\n== AMR (ε-driven) vs analytic at t = {horizon} ==");
     for eps in [1e-3, 1e-4] {
-        let refiner =
-            InterpErrorRefiner::new(move |p: [f64; 3]| wave.h_plus(p[2], 0.0), eps, 2, 4);
-        let leaves =
-            refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+        let refiner = InterpErrorRefiner::new(move |p: [f64; 3]| wave.h_plus(p[2], 0.0), eps, 2, 4);
+        let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
         let mesh = Mesh::build(domain, &leaves);
         let n = mesh.n_octants();
         let mut s = GwSolver::new(SolverConfig::default(), mesh, |p, out| wave.evaluate(p, out));
@@ -76,8 +73,10 @@ fn main() {
             s.step();
         }
         let err = wave_error(&s, &wave);
-        println!("  eps = {eps:.0e}: {n} octants ({} unknowns), err = {err:.3e}",
-            s.mesh.unknowns(24));
+        println!(
+            "  eps = {eps:.0e}: {n} octants ({} unknowns), err = {err:.3e}",
+            s.mesh.unknowns(24)
+        );
     }
     println!("\nSmaller eps / finer grids track the analytic packet more closely —");
     println!("the content of the paper's Fig. 19 convergence demonstration.");

@@ -29,9 +29,7 @@ fn wave_on_amr_matches_wave_on_uniform_where_resolved() {
     let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
     let amr_mesh = Mesh::build(domain, &leaves);
     assert!(amr_mesh.n_octants() < uni.mesh.n_octants(), "AMR must be cheaper");
-    let mut amr = GwSolver::new(SolverConfig::default(), amr_mesh, |p, out| {
-        wave.evaluate(p, out)
-    });
+    let mut amr = GwSolver::new(SolverConfig::default(), amr_mesh, |p, out| wave.evaluate(p, out));
     for _ in 0..steps {
         uni.step();
     }
@@ -86,9 +84,9 @@ fn repeated_regrid_preserves_smooth_state() {
             *o = (0.3 * p[0] + 0.1 * v as f64).sin() * (0.2 * p[1]).cos() + 0.1 * p[2];
         }
     });
-    let up = transfer_state(&m_coarse, &f, &m_fine);
-    let down = transfer_state(&m_fine, &up, &m_coarse);
-    let up2 = transfer_state(&m_coarse, &down, &m_fine);
+    let up = transfer_state(&m_coarse, &f, &m_fine).unwrap();
+    let down = transfer_state(&m_fine, &up, &m_coarse).unwrap();
+    let up2 = transfer_state(&m_coarse, &down, &m_fine).unwrap();
     // up and up2 agree (projection is stable after the first cycle).
     for (a, b) in up.as_slice().iter().zip(up2.as_slice().iter()) {
         assert!((a - b).abs() < 1e-9, "{a} vs {b}");

@@ -43,10 +43,7 @@ fn all_codegen_strategies_agree_in_evolution() {
     for strat in ScheduleStrategy::all() {
         let got = evolve(|| uniform_mesh(domain, 2), false, RhsKind::Generated(strat), 2);
         for (x, y) in reference.as_slice().iter().zip(got.as_slice().iter()) {
-            assert!(
-                (x - y).abs() < 1e-9 * (1.0 + x.abs()),
-                "{strat:?} diverged: {x} vs {y}"
-            );
+            assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()), "{strat:?} diverged: {x} vs {y}");
         }
     }
 }

@@ -13,11 +13,10 @@ fn full_pipeline_produces_wave_signal() {
     let domain = Domain::centered_cube(8.0);
     let wave = LinearWaveData::new(1e-3, -2.0, 1.5, 1.2);
     let mesh = uniform_mesh(domain, 3);
-    let mut solver = GwSolver::new(
-        SolverConfig { extract_every: 1, ..Default::default() },
-        mesh,
-        |p, out| wave.evaluate(p, out),
-    );
+    let mut solver =
+        GwSolver::new(SolverConfig { extract_every: 1, ..Default::default() }, mesh, |p, out| {
+            wave.evaluate(p, out)
+        });
     let sphere = ExtractionSphere::new(4.0, product_rule(6, 12));
     solver.add_extractor(ModeExtractor::new(sphere, vec![(2, 2), (2, -2), (3, 3)]));
     for _ in 0..8 {
@@ -27,8 +26,7 @@ fn full_pipeline_produces_wave_signal() {
     assert_eq!(h22.len(), 8);
     // Wave content present in the (2, ±2) channels, negligible in (3,3).
     let p22: f64 = h22.values.iter().map(|v| v.norm()).sum();
-    let p33: f64 =
-        solver.extractors[0].mode(3, 3).unwrap().values.iter().map(|v| v.norm()).sum();
+    let p33: f64 = solver.extractors[0].mode(3, 3).unwrap().values.iter().map(|v| v.norm()).sum();
     assert!(p22 > 1e-6, "22 power {p22}");
     assert!(p22 > 20.0 * p33, "mode leakage: 22 {p22} vs 33 {p33}");
     // Ψ₄ from the strain series exists and is finite.
@@ -75,7 +73,8 @@ fn strong_field_puncture_short_evolution_is_stable() {
     let data = PunctureData::binary(1.0, 6.0);
     let mesh = uniform_mesh(domain, 3);
     let d2 = data.clone();
-    let mut solver = GwSolver::new(SolverConfig::default(), mesh, move |p, out| d2.evaluate(p, out));
+    let mut solver =
+        GwSolver::new(SolverConfig::default(), mesh, move |p, out| d2.evaluate(p, out));
     let u0 = solver.state();
     assert!(u0.linf(var::ALPHA) <= 1.0);
     for _ in 0..4 {
@@ -124,11 +123,10 @@ fn weyl_psi4_matches_strain_second_derivative() {
     let domain = Domain::centered_cube(8.0);
     let wave = LinearWaveData::new(1e-4, 0.0, 2.5, 0.9);
     let mesh = uniform_mesh(domain, 3);
-    let mut solver = GwSolver::new(
-        SolverConfig { extract_every: 1, ..Default::default() },
-        mesh,
-        |p, out| wave.evaluate(p, out),
-    );
+    let mut solver =
+        GwSolver::new(SolverConfig { extract_every: 1, ..Default::default() }, mesh, |p, out| {
+            wave.evaluate(p, out)
+        });
     let mk_sphere = || gw_waveform::ExtractionSphere::new(3.0, product_rule(6, 12));
     solver.add_extractor(ModeExtractor::new(mk_sphere(), vec![(2, 2)]));
     solver.add_psi4_extractor(gw_waveform::Psi4Extractor::new(mk_sphere(), vec![(2, 2)]));

@@ -1,0 +1,221 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! API-compatible implementations of the handful of external items it
+//! depends on (see `vendor/README.md`). Only `crossbeam::channel` is
+//! provided: an MPMC unbounded channel built on `Mutex` + `Condvar`.
+//! Semantics match the real crate for the operations used here: FIFO per
+//! sender, blocking `recv`, disconnect detection when all peers drop, and
+//! consuming iteration over a receiver.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when sending into a channel with no receivers.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when receiving from an empty, disconnected channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a value; fails only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.queue.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.ready.wait(st).unwrap();
+            }
+        }
+
+        /// Block until a value arrives, every sender is gone, or the
+        /// timeout elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self.shared.ready.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        }
+
+        /// Non-blocking pop.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().unwrap().items.pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Self { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    /// Consuming iteration: yields until the channel is empty and all
+    /// senders have disconnected.
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        h.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}
