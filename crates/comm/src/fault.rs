@@ -13,7 +13,7 @@
 //! run with the same plan faults exactly the same messages every time —
 //! the determinism the ISSUE's acceptance criteria require.
 
-/// What to do with one outgoing message.
+/// What to do with one outgoing message (or retransmission attempt).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultAction {
     /// Deliver untouched.
@@ -23,6 +23,8 @@ pub enum FaultAction {
     /// Deliver with the payload cut short (header still describes the
     /// full payload, so the receiver detects the mismatch).
     Truncate,
+    /// Deliver with payload bits flipped (length matches, CRC does not).
+    Corrupt,
 }
 
 /// A seeded schedule of message faults. Fully disabled by default
@@ -36,6 +38,8 @@ pub struct CommFaultPlan {
     pub drop_rate: f64,
     /// Probability a message is truncated, in [0, 1].
     pub truncate_rate: f64,
+    /// Probability a message payload is bit-corrupted, in [0, 1].
+    pub corrupt_rate: f64,
     /// Upper bound on total injected faults (the world enforces it).
     pub max_faults: usize,
 }
@@ -44,7 +48,7 @@ impl CommFaultPlan {
     /// A plan that never faults (rates zero) — compose with the
     /// builder methods.
     pub fn new(seed: u64) -> Self {
-        Self { seed, drop_rate: 0.0, truncate_rate: 0.0, max_faults: usize::MAX }
+        Self { seed, drop_rate: 0.0, truncate_rate: 0.0, corrupt_rate: 0.0, max_faults: usize::MAX }
     }
 
     pub fn with_drop_rate(mut self, rate: f64) -> Self {
@@ -57,6 +61,11 @@ impl CommFaultPlan {
         self
     }
 
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
     pub fn with_max_faults(mut self, n: usize) -> Self {
         self.max_faults = n;
         self
@@ -65,14 +74,24 @@ impl CommFaultPlan {
     /// Decide the fate of message number `seq` on the `src → dst` link.
     /// Pure and deterministic; no wall-clock or OS entropy.
     pub fn decide(&self, src: usize, dst: usize, seq: u64) -> FaultAction {
-        if self.drop_rate <= 0.0 && self.truncate_rate <= 0.0 {
+        self.decide_retry(src, dst, seq, 0)
+    }
+
+    /// [`CommFaultPlan::decide`] for retransmission attempt `attempt` of
+    /// the same message (attempt 0 = original transmission). Each attempt
+    /// gets an independent draw, so a retransmit of a faulted message can
+    /// succeed — the property the reliable-delivery layer recovers with.
+    pub fn decide_retry(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> FaultAction {
+        if self.drop_rate <= 0.0 && self.truncate_rate <= 0.0 && self.corrupt_rate <= 0.0 {
             return FaultAction::Deliver;
         }
-        let u = unit(mix(self.seed, src as u64, dst as u64, seq));
+        let u = unit(mix(self.seed, src as u64, dst as u64, seq, attempt as u64));
         if u < self.drop_rate {
             FaultAction::Drop
         } else if u < self.drop_rate + self.truncate_rate {
             FaultAction::Truncate
+        } else if u < self.drop_rate + self.truncate_rate + self.corrupt_rate {
+            FaultAction::Corrupt
         } else {
             FaultAction::Deliver
         }
@@ -80,11 +99,12 @@ impl CommFaultPlan {
 }
 
 /// splitmix64-style avalanche over the decision key.
-fn mix(seed: u64, src: u64, dst: u64, seq: u64) -> u64 {
+fn mix(seed: u64, src: u64, dst: u64, seq: u64, attempt: u64) -> u64 {
     let mut z = seed
         .wrapping_add(src.wrapping_mul(0x9e37_79b9_7f4a_7c15))
         .wrapping_add(dst.wrapping_mul(0xbf58_476d_1ce4_e5b9))
-        .wrapping_add(seq.wrapping_mul(0x94d0_49bb_1331_11eb));
+        .wrapping_add(seq.wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(attempt.wrapping_mul(0xd6e8_feb8_6659_fd93));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -127,6 +147,33 @@ mod tests {
         let drops = (0..n).filter(|&s| plan.decide(1, 2, s) == FaultAction::Drop).count();
         let frac = drops as f64 / n as f64;
         assert!((frac - 0.25).abs() < 0.03, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn retry_attempts_draw_independently() {
+        // A message dropped on attempt 0 must have a fresh chance on each
+        // retransmission — otherwise the reliable layer could never
+        // recover from a deterministic schedule.
+        let plan = CommFaultPlan::new(4).with_drop_rate(0.5);
+        let mut dropped_then_recovered = false;
+        for seq in 0..64 {
+            if plan.decide(0, 1, seq) == FaultAction::Drop {
+                dropped_then_recovered |=
+                    (1..=8).any(|a| plan.decide_retry(0, 1, seq, a) == FaultAction::Deliver);
+            }
+        }
+        assert!(dropped_then_recovered);
+        // Attempt 0 must agree with the plain decide().
+        for seq in 0..64 {
+            assert_eq!(plan.decide(2, 3, seq), plan.decide_retry(2, 3, seq, 0));
+        }
+    }
+
+    #[test]
+    fn corrupt_rate_produces_corruptions() {
+        let plan = CommFaultPlan::new(6).with_corrupt_rate(0.5);
+        let hits = (0..256).filter(|&s| plan.decide(0, 1, s) == FaultAction::Corrupt).count();
+        assert!(hits > 64, "corrupt rate 0.5 produced only {hits}/256");
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!
 //! * [`world`] — [`world::World::run`] spawns `p` ranks and gives each a
 //!   [`world::RankCtx`] with `send`/`recv`, barriers and collectives
-//!   (allreduce, gather, alltoallv, broadcast).
+//!   (allreduce, gather, alltoallv, broadcast). Point-to-point delivery
+//!   is reliable: per-link sequence numbers, receiver-driven acks, and
+//!   bounded retransmission with exponential backoff recover injected
+//!   drop/truncate/corrupt faults transparently. A per-rank liveness
+//!   view plus `try_`-collectives and a timeout-aware barrier mean a
+//!   dead rank is detected by name, never waited on forever.
 //! * [`ghost`] — the ghost/halo exchange schedule: given an octant
 //!   partition and the cross-partition scatter dependencies, build the
 //!   per-rank aggregated message plan (one message per neighbor rank per
@@ -26,4 +31,4 @@ pub mod world;
 
 pub use fault::{CommFaultPlan, FaultAction};
 pub use ghost::{GhostPlan, GhostSchedule};
-pub use world::{CommError, RankCtx, TrafficStats, World};
+pub use world::{CommError, RankCtx, RankTraffic, TrafficStats, World, WorldConfig};

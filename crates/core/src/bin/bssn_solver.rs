@@ -10,13 +10,22 @@
 //! puncture-refined grid, evolves on the chosen backend, extracts the
 //! (2,2) mode at the requested radius, and prints run diagnostics.
 
+//! Exit codes (so batch schedulers and CI distinguish failure modes):
+//! `0` success, `1` bad parameter file, `2` usage, `3` retries exhausted
+//! (supervised or distributed — the message names the dead rank if one
+//! died), `4` checkpoint I/O failure.
+
 use gw_bssn::init::PunctureData;
+use gw_core::multi::{evolve_distributed_resilient, DistributedError, ResilienceConfig};
 use gw_core::params::RunParams;
-use gw_core::solver::GwSolver;
-use gw_core::supervisor::{Supervisor, SupervisorEvent};
+use gw_core::solver::{fill_field, GwSolver};
+use gw_core::supervisor::{Supervisor, SupervisorError, SupervisorEvent};
 use gw_expr::symbols::var;
 use gw_octree::{Puncture, PunctureRefiner};
 use gw_waveform::{lebedev::product_rule, ExtractionSphere, ModeExtractor};
+
+const EXIT_RETRIES_EXHAUSTED: i32 = 3;
+const EXIT_CHECKPOINT_IO: i32 = 4;
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
@@ -55,6 +64,61 @@ fn main() {
     let refiner = PunctureRefiner::new(punctures, params.base_level);
     let mesh = GwSolver::build_mesh(domain, &refiner, 20);
     println!("grid: {} octants, {} unknowns", mesh.n_octants(), mesh.unknowns(24));
+
+    // Distributed mode: partition the grid over simulated ranks and run
+    // under the resilience layer (reliable halo delivery + coordinated
+    // snapshots + rollback/replay).
+    if params.ranks > 1 {
+        let u0 = fill_field(&mesh, &|p, out: &mut [f64]| data.evaluate(p, out));
+        let resilience = ResilienceConfig {
+            checkpoint_dir: if params.checkpoint_distributed {
+                params.supervisor.checkpoint_dir.clone()
+            } else {
+                None
+            },
+            checkpoint_every: params.supervisor.checkpoint_every.max(1),
+            degradation: params.supervisor.degradation,
+            kill_once: None,
+        };
+        println!(
+            "evolving {} steps on {} ranks (snapshots: {}) ...",
+            params.steps,
+            params.ranks,
+            resilience.checkpoint_dir.as_deref().unwrap_or("off")
+        );
+        match evolve_distributed_resilient(
+            &mesh,
+            &u0,
+            params.ranks,
+            params.steps,
+            params.config.courant,
+            params.config.params,
+            params.world_config(),
+            &resilience,
+        ) {
+            Ok(out) => {
+                for ev in &out.events {
+                    let gw_core::multi::RecoveryEvent::RolledBack { to_step, cause } = ev;
+                    println!("  [roll]  back to step {to_step} after: {cause}");
+                }
+                let (msgs, bytes) =
+                    out.result.traffic.iter().fold((0u64, 0u64), |a, t| (a.0 + t.0, a.1 + t.1));
+                println!(
+                    "distributed run complete: {} steps on {} ranks, {} retries, \
+                     {msgs} messages / {bytes} bytes exchanged",
+                    params.steps, params.ranks, out.retries
+                );
+            }
+            Err(e) => {
+                eprintln!("distributed run failed: {e}");
+                std::process::exit(match e {
+                    DistributedError::RetriesExhausted { .. } => EXIT_RETRIES_EXHAUSTED,
+                    DistributedError::Checkpoint(_) => EXIT_CHECKPOINT_IO,
+                });
+            }
+        }
+        return;
+    }
 
     let d2 = data.clone();
     let mut solver = GwSolver::new(params.config, mesh, move |p, out| d2.evaluate(p, out));
@@ -99,7 +163,10 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("supervised run failed: {e}");
-                std::process::exit(1);
+                std::process::exit(match e {
+                    SupervisorError::RetriesExhausted { .. } => EXIT_RETRIES_EXHAUSTED,
+                    SupervisorError::CheckpointIo { .. } => EXIT_CHECKPOINT_IO,
+                });
             }
         }
     } else {

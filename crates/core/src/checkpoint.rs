@@ -1,4 +1,5 @@
-//! Checkpoint / restart.
+//! Checkpoint / restart — single-rank files and coordinated
+//! multi-rank snapshots.
 //!
 //! Production NR runs last days (Table IV: up to 388 hours), so restart
 //! capability is table stakes. A checkpoint captures the grid (leaf
@@ -7,10 +8,23 @@
 //! crate.
 //!
 //! Format v2 appends a CRC-32 of the entire body so bit rot and
-//! truncated writes are detected at load time; v1 checkpoints (no
-//! trailer) remain readable. [`save_to_file`] writes atomically
+//! truncated writes are detected at load time; the CRC-less v1 format is
+//! rejected with a typed error (a trailer-less file cannot be
+//! distinguished from a torn write). [`save_to_file`] writes atomically
 //! (temp file + fsync + rename), so a crash mid-write never clobbers
 //! the previous good checkpoint.
+//!
+//! # Distributed snapshots
+//!
+//! A multi-rank world checkpoints with a two-phase commit: every rank
+//! first writes its own SFC-contiguous octant shard (same CRC-trailer
+//! discipline, [`encode_shard`]), then — only after all shards are
+//! durably on disk — the coordinator atomically renames a global
+//! *manifest* into place recording the step, the partition map and every
+//! shard's CRC ([`commit_manifest`]). The manifest is the commit point:
+//! a snapshot missing it is invisible, and [`load_distributed`] verifies
+//! each shard against the manifest CRCs, so a restart sees a globally
+//! consistent state or a typed error — never a mixed-step mosaic.
 
 use crate::solver::{GwSolver, SolverConfig};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -18,10 +32,70 @@ use gw_comm::crc::crc32;
 use gw_expr::symbols::NUM_VARS;
 use gw_mesh::{Field, Mesh};
 use gw_octree::{Domain, MortonKey};
+use gw_stencil::patch::BLOCK_VOLUME;
 
 const MAGIC: u32 = 0x6777_6370; // "gwcp"
 /// Current write version. v2 = v1 body + trailing CRC-32 of the body.
 const VERSION: u32 = 2;
+const SHARD_MAGIC: u32 = 0x6777_7368; // "gwsh"
+const SHARD_VERSION: u32 = 1;
+const MANIFEST_MAGIC: u32 = 0x6777_6d66; // "gwmf"
+const MANIFEST_VERSION: u32 = 1;
+
+/// A typed checkpoint failure. Loads fail atomically: on any error no
+/// partial state escapes (the decoder owns everything until it returns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// File ends before the structure it declares.
+    Truncated { what: &'static str },
+    /// Not a checkpoint of this kind.
+    BadMagic { expected: u32, got: u32 },
+    /// A format version this build cannot read (v1 lacks the CRC
+    /// trailer and is rejected: integrity cannot be verified).
+    UnsupportedVersion { got: u32, supported: u32 },
+    /// Body does not match the CRC-32 trailer (bit rot / torn write).
+    ChecksumMismatch { stored: u32, computed: u32 },
+    /// Structurally valid but self-inconsistent (e.g. state length vs
+    /// grid size, shard range vs partition map).
+    Inconsistent { what: String },
+    /// Filesystem error, with the path.
+    Io { path: String, error: String },
+    /// The distributed snapshot has no committed manifest.
+    ManifestMissing { dir: String },
+    /// A shard disagrees with the manifest that committed it.
+    ShardMismatch { rank: usize, what: String },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated { what } => write!(f, "truncated checkpoint ({what})"),
+            CheckpointError::BadMagic { expected, got } => {
+                write!(f, "bad magic {got:#010x} (expected {expected:#010x})")
+            }
+            CheckpointError::UnsupportedVersion { got, supported } => write!(
+                f,
+                "unsupported checkpoint version {got} (supported: {supported}; \
+                 v1 has no integrity trailer and cannot be verified)"
+            ),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch (stored {stored:#010x}, computed {computed:#010x}) \
+                 — file is corrupt or truncated"
+            ),
+            CheckpointError::Inconsistent { what } => write!(f, "inconsistent checkpoint: {what}"),
+            CheckpointError::Io { path, error } => write!(f, "{path}: {error}"),
+            CheckpointError::ManifestMissing { dir } => {
+                write!(f, "no committed snapshot manifest in {dir}")
+            }
+            CheckpointError::ShardMismatch { rank, what } => {
+                write!(f, "shard {rank} disagrees with manifest: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// A deserialized checkpoint.
 pub struct Checkpoint {
@@ -30,6 +104,34 @@ pub struct Checkpoint {
     pub time: f64,
     pub steps_taken: u64,
     pub state: Field,
+}
+
+fn need(data: &Bytes, n: usize, what: &'static str) -> Result<(), CheckpointError> {
+    if data.remaining() < n {
+        Err(CheckpointError::Truncated { what })
+    } else {
+        Ok(())
+    }
+}
+
+/// Append a CRC-32 trailer over `body`.
+fn seal(body: Bytes) -> Bytes {
+    let mut out = BytesMut::with_capacity(body.len() + 4);
+    out.put_slice(body.as_slice());
+    out.put_u32_le(crc32(body.as_slice()));
+    out.freeze()
+}
+
+/// Verify and strip a CRC-32 trailer.
+fn unseal(data: Bytes) -> Result<Bytes, CheckpointError> {
+    need(&data, 12, "header + CRC trailer")?;
+    let body_len = data.remaining() - 4;
+    let stored = u32::from_le_bytes(data.as_slice()[body_len..body_len + 4].try_into().unwrap());
+    let computed = crc32(&data.as_slice()[..body_len]);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    Ok(data.slice(..body_len))
 }
 
 /// Serialize the solver's restartable state (format v2: body + CRC-32).
@@ -58,49 +160,28 @@ pub fn save(solver: &GwSolver) -> Bytes {
     for &v in u.as_slice() {
         buf.put_f64_le(v);
     }
-    let body = buf.freeze();
-    let mut out = BytesMut::with_capacity(body.len() + 4);
-    out.put_slice(body.as_slice());
-    out.put_u32_le(crc32(body.as_slice()));
-    out.freeze()
+    seal(buf.freeze())
 }
 
-/// Deserialize a checkpoint (v1 or v2).
-pub fn load(data: Bytes) -> Result<Checkpoint, String> {
-    let need = |data: &Bytes, n: usize| -> Result<(), String> {
-        if data.remaining() < n {
-            Err("truncated checkpoint".into())
-        } else {
-            Ok(())
-        }
-    };
-    need(&data, 8)?;
-    // Peek the version from the raw prefix to know whether a CRC
-    // trailer is present before consuming anything.
+/// Deserialize a checkpoint (format v2 only; v1 is rejected as
+/// unverifiable). Fails atomically — an error never leaves partial
+/// state behind.
+pub fn load(data: Bytes) -> Result<Checkpoint, CheckpointError> {
+    need(&data, 8, "magic + version")?;
+    // Peek the version from the raw prefix: v1 files carry no CRC
+    // trailer, and verifying one over the whole file would mask the
+    // real (version) problem with a checksum error.
     let version = u32::from_le_bytes(data.as_slice()[4..8].try_into().unwrap());
-    let mut data = data;
-    if version >= 2 {
-        need(&data, 12)?; // header + trailer at minimum
-        let body_len = data.remaining() - 4;
-        let stored =
-            u32::from_le_bytes(data.as_slice()[body_len..body_len + 4].try_into().unwrap());
-        let actual = crc32(&data.as_slice()[..body_len]);
-        if stored != actual {
-            return Err(format!(
-                "checkpoint checksum mismatch (stored {stored:#010x}, computed {actual:#010x}) \
-                 — file is corrupt or truncated"
-            ));
-        }
-        data = data.slice(..body_len);
+    let magic = u32::from_le_bytes(data.as_slice()[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic { expected: MAGIC, got: magic });
     }
-    if data.get_u32_le() != MAGIC {
-        return Err("not a gw-amr checkpoint (bad magic)".into());
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion { got: version, supported: VERSION });
     }
-    let v = data.get_u32_le();
-    if v != 1 && v != 2 {
-        return Err(format!("unsupported checkpoint version {v} (supported: 1, 2)"));
-    }
-    need(&data, 6 * 8 + 8 + 8 + 8)?;
+    let mut data = unseal(data)?;
+    data.advance(8); // magic + version, already validated
+    need(&data, 6 * 8 + 8 + 8 + 8, "domain + counters")?;
     let mut min = [0.0; 3];
     let mut max = [0.0; 3];
     for m in min.iter_mut() {
@@ -112,7 +193,7 @@ pub fn load(data: Bytes) -> Result<Checkpoint, String> {
     let time = data.get_f64_le();
     let steps_taken = data.get_u64_le();
     let n = data.get_u64_le() as usize;
-    need(&data, n * 13)?;
+    need(&data, n * 13, "leaf keys")?;
     let mut leaves = Vec::with_capacity(n);
     for _ in 0..n {
         let x = data.get_u32_le();
@@ -121,15 +202,17 @@ pub fn load(data: Bytes) -> Result<Checkpoint, String> {
         let l = data.get_u8();
         leaves.push(MortonKey::new(x, y, z, l));
     }
-    need(&data, 8)?;
+    need(&data, 8, "state length")?;
     let len = data.get_u64_le() as usize;
-    need(&data, len * 8)?;
+    need(&data, len * 8, "state vector")?;
     let mut vals = Vec::with_capacity(len);
     for _ in 0..len {
         vals.push(data.get_f64_le());
     }
-    if len != n * NUM_VARS * gw_stencil::patch::BLOCK_VOLUME {
-        return Err("state length inconsistent with grid".into());
+    if len != n * NUM_VARS * BLOCK_VOLUME {
+        return Err(CheckpointError::Inconsistent {
+            what: format!("state length {len} does not match {n} octants"),
+        });
     }
     let state = Field::from_vec(NUM_VARS, n, vals);
     Ok(Checkpoint { domain: Domain { min, max }, leaves, time, steps_taken, state })
@@ -147,29 +230,376 @@ pub fn restore(config: SolverConfig, cp: Checkpoint) -> GwSolver {
     solver
 }
 
-/// Save to a file atomically: write a sibling temp file, fsync it, then
-/// rename over the target. A crash at any point leaves either the old
-/// checkpoint or the new one — never a half-written file.
-pub fn save_to_file(solver: &GwSolver, path: &str) -> std::io::Result<()> {
+/// Write `bytes` to `path` atomically: sibling temp file, fsync, rename.
+/// A crash at any point leaves either the old file or the new one —
+/// never a half-written hybrid.
+pub fn write_atomic(path: &str, bytes: &[u8]) -> Result<(), CheckpointError> {
     use std::io::Write;
-    let bytes = save(solver);
+    let io = |e: std::io::Error| CheckpointError::Io { path: path.into(), error: e.to_string() };
     let tmp = format!("{path}.tmp");
     {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes.as_slice())?;
-        f.sync_all()?;
+        let mut f = std::fs::File::create(&tmp).map_err(io)?;
+        f.write_all(bytes).map_err(io)?;
+        f.sync_all().map_err(io)?;
     }
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
-        return Err(e);
+        return Err(io(e));
     }
     Ok(())
 }
 
+/// Save to a file atomically (temp + fsync + rename).
+pub fn save_to_file(solver: &GwSolver, path: &str) -> std::io::Result<()> {
+    let bytes = save(solver);
+    write_atomic(path, bytes.as_slice()).map_err(|e| std::io::Error::other(e.to_string()))
+}
+
 /// Load from a file.
-pub fn load_from_file(path: &str) -> Result<Checkpoint, String> {
-    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+pub fn load_from_file(path: &str) -> Result<Checkpoint, CheckpointError> {
+    let data = std::fs::read(path)
+        .map_err(|e| CheckpointError::Io { path: path.into(), error: e.to_string() })?;
     load(Bytes::from(data))
+}
+
+// ---------------------------------------------------------------------
+// Distributed snapshots: per-rank shards + committed global manifest.
+// ---------------------------------------------------------------------
+
+/// One rank's slice of a distributed snapshot: its SFC-contiguous octant
+/// range with values in `[octant][var][point]` order (the halo-message
+/// layout).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shard {
+    pub rank: usize,
+    pub start_octant: usize,
+    pub n_octants: usize,
+    pub time: f64,
+    pub steps_taken: u64,
+    pub values: Vec<f64>,
+}
+
+/// Serialize a shard (CRC-sealed like the single-rank format).
+pub fn encode_shard(shard: &Shard) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + shard.values.len() * 8);
+    buf.put_u32_le(SHARD_MAGIC);
+    buf.put_u32_le(SHARD_VERSION);
+    buf.put_u64_le(shard.rank as u64);
+    buf.put_u64_le(shard.start_octant as u64);
+    buf.put_u64_le(shard.n_octants as u64);
+    buf.put_f64_le(shard.time);
+    buf.put_u64_le(shard.steps_taken);
+    buf.put_u64_le(shard.values.len() as u64);
+    for &v in &shard.values {
+        buf.put_f64_le(v);
+    }
+    seal(buf.freeze())
+}
+
+/// Deserialize and verify a shard.
+pub fn decode_shard(data: Bytes) -> Result<Shard, CheckpointError> {
+    need(&data, 8, "shard magic + version")?;
+    let magic = u32::from_le_bytes(data.as_slice()[0..4].try_into().unwrap());
+    if magic != SHARD_MAGIC {
+        return Err(CheckpointError::BadMagic { expected: SHARD_MAGIC, got: magic });
+    }
+    let version = u32::from_le_bytes(data.as_slice()[4..8].try_into().unwrap());
+    if version != SHARD_VERSION {
+        return Err(CheckpointError::UnsupportedVersion { got: version, supported: SHARD_VERSION });
+    }
+    let mut data = unseal(data)?;
+    data.advance(8);
+    need(&data, 8 * 5, "shard header")?;
+    let rank = data.get_u64_le() as usize;
+    let start_octant = data.get_u64_le() as usize;
+    let n_octants = data.get_u64_le() as usize;
+    let time = data.get_f64_le();
+    let steps_taken = data.get_u64_le();
+    let len = data.get_u64_le() as usize;
+    need(&data, len * 8, "shard values")?;
+    if len != n_octants * NUM_VARS * BLOCK_VOLUME {
+        return Err(CheckpointError::Inconsistent {
+            what: format!("shard value count {len} does not match {n_octants} octants"),
+        });
+    }
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(data.get_f64_le());
+    }
+    Ok(Shard { rank, start_octant, n_octants, time, steps_taken, values })
+}
+
+/// The global manifest of a distributed snapshot: grid, partition map,
+/// counters, and the CRC + length of every shard. Written last,
+/// atomically — its presence *is* the commit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistManifest {
+    pub domain: Domain,
+    pub leaves: Vec<MortonKey>,
+    /// Partition offsets: rank `r` owns octants `offsets[r]..offsets[r+1]`.
+    pub offsets: Vec<usize>,
+    pub time: f64,
+    pub steps_taken: u64,
+    /// CRC-32 of each rank's encoded shard file.
+    pub shard_crcs: Vec<u32>,
+    /// Byte length of each rank's encoded shard file.
+    pub shard_lens: Vec<u64>,
+}
+
+impl DistManifest {
+    pub fn ranks(&self) -> usize {
+        self.shard_crcs.len()
+    }
+}
+
+/// Serialize a manifest (CRC-sealed).
+pub fn encode_manifest(m: &DistManifest) -> Bytes {
+    assert_eq!(m.offsets.len(), m.ranks() + 1);
+    assert_eq!(m.shard_lens.len(), m.ranks());
+    let mut buf = BytesMut::with_capacity(128 + m.leaves.len() * 13 + m.ranks() * 12);
+    buf.put_u32_le(MANIFEST_MAGIC);
+    buf.put_u32_le(MANIFEST_VERSION);
+    for a in 0..3 {
+        buf.put_f64_le(m.domain.min[a]);
+    }
+    for a in 0..3 {
+        buf.put_f64_le(m.domain.max[a]);
+    }
+    buf.put_f64_le(m.time);
+    buf.put_u64_le(m.steps_taken);
+    buf.put_u64_le(m.leaves.len() as u64);
+    for k in &m.leaves {
+        buf.put_u32_le(k.x());
+        buf.put_u32_le(k.y());
+        buf.put_u32_le(k.z());
+        buf.put_u8(k.level());
+    }
+    buf.put_u64_le(m.ranks() as u64);
+    for &o in &m.offsets {
+        buf.put_u64_le(o as u64);
+    }
+    for r in 0..m.ranks() {
+        buf.put_u32_le(m.shard_crcs[r]);
+        buf.put_u64_le(m.shard_lens[r]);
+    }
+    seal(buf.freeze())
+}
+
+/// Deserialize and verify a manifest.
+pub fn decode_manifest(data: Bytes) -> Result<DistManifest, CheckpointError> {
+    need(&data, 8, "manifest magic + version")?;
+    let magic = u32::from_le_bytes(data.as_slice()[0..4].try_into().unwrap());
+    if magic != MANIFEST_MAGIC {
+        return Err(CheckpointError::BadMagic { expected: MANIFEST_MAGIC, got: magic });
+    }
+    let version = u32::from_le_bytes(data.as_slice()[4..8].try_into().unwrap());
+    if version != MANIFEST_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            got: version,
+            supported: MANIFEST_VERSION,
+        });
+    }
+    let mut data = unseal(data)?;
+    data.advance(8);
+    need(&data, 8 * 8 + 8, "manifest header")?;
+    let mut min = [0.0; 3];
+    let mut max = [0.0; 3];
+    for m in min.iter_mut() {
+        *m = data.get_f64_le();
+    }
+    for m in max.iter_mut() {
+        *m = data.get_f64_le();
+    }
+    let time = data.get_f64_le();
+    let steps_taken = data.get_u64_le();
+    let n_leaves = data.get_u64_le() as usize;
+    need(&data, n_leaves * 13, "manifest leaf keys")?;
+    let mut leaves = Vec::with_capacity(n_leaves);
+    for _ in 0..n_leaves {
+        let x = data.get_u32_le();
+        let y = data.get_u32_le();
+        let z = data.get_u32_le();
+        let l = data.get_u8();
+        leaves.push(MortonKey::new(x, y, z, l));
+    }
+    need(&data, 8, "rank count")?;
+    let ranks = data.get_u64_le() as usize;
+    need(&data, (ranks + 1) * 8 + ranks * 12, "partition map + shard table")?;
+    let offsets: Vec<usize> = (0..=ranks).map(|_| data.get_u64_le() as usize).collect();
+    let mut shard_crcs = Vec::with_capacity(ranks);
+    let mut shard_lens = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        shard_crcs.push(data.get_u32_le());
+        shard_lens.push(data.get_u64_le());
+    }
+    if offsets.last() != Some(&n_leaves) {
+        return Err(CheckpointError::Inconsistent {
+            what: format!(
+                "partition map covers {:?} octants but the grid has {n_leaves}",
+                offsets.last()
+            ),
+        });
+    }
+    Ok(DistManifest {
+        domain: Domain { min, max },
+        leaves,
+        offsets,
+        time,
+        steps_taken,
+        shard_crcs,
+        shard_lens,
+    })
+}
+
+/// Path of rank `r`'s shard inside a snapshot directory.
+pub fn shard_path(dir: &str, rank: usize) -> String {
+    format!("{dir}/shard_{rank:04}.gwsh")
+}
+
+/// Path of the snapshot manifest (the commit marker).
+pub fn manifest_path(dir: &str) -> String {
+    format!("{dir}/manifest.gwmf")
+}
+
+/// Phase 1 of the distributed commit: write one rank's shard atomically.
+/// Returns `(crc, byte length)` of the encoded shard for the manifest.
+pub fn write_shard(dir: &str, shard: &Shard) -> Result<(u32, u64), CheckpointError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CheckpointError::Io { path: dir.into(), error: e.to_string() })?;
+    let bytes = encode_shard(shard);
+    write_atomic(&shard_path(dir, shard.rank), bytes.as_slice())?;
+    Ok((crc32(bytes.as_slice()), bytes.len() as u64))
+}
+
+/// Phase 2 of the distributed commit: atomically rename the manifest
+/// into place. Call only after every shard of this snapshot is durable —
+/// the rename is the commit point.
+pub fn commit_manifest(dir: &str, m: &DistManifest) -> Result<(), CheckpointError> {
+    write_atomic(&manifest_path(dir), encode_manifest(m).as_slice())
+}
+
+/// Directory of the snapshot taken at `step`, under the snapshot root.
+pub fn snapshot_dir(root: &str, step: u64) -> String {
+    format!("{root}/step_{step:08}")
+}
+
+/// Find the newest *committed* snapshot under `root` (the one with the
+/// highest step whose manifest exists). Snapshots are per-step
+/// subdirectories, so a half-written newer snapshot never shadows or
+/// clobbers the last committed one. Returns `None` when nothing has been
+/// committed yet.
+pub fn latest_snapshot(root: &str) -> Result<Option<String>, CheckpointError> {
+    let rd = match std::fs::read_dir(root) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CheckpointError::Io { path: root.into(), error: e.to_string() }),
+    };
+    let mut best: Option<(u64, String)> = None;
+    for entry in rd.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(step) = name.strip_prefix("step_").and_then(|s| s.parse::<u64>().ok()) else {
+            continue;
+        };
+        let sub = format!("{root}/{name}");
+        if std::path::Path::new(&manifest_path(&sub)).exists()
+            && best.as_ref().is_none_or(|(b, _)| step > *b)
+        {
+            best = Some((step, sub));
+        }
+    }
+    Ok(best.map(|(_, p)| p))
+}
+
+/// A verified, reassembled distributed snapshot.
+pub struct DistCheckpoint {
+    pub manifest: DistManifest,
+    /// The global state vector, reassembled from all shards.
+    pub state: Field,
+}
+
+/// Load a distributed snapshot: read the manifest (absence ⇒ nothing was
+/// committed), then verify every shard byte-for-byte against the
+/// manifest's CRCs before reassembling the global state. Any error is
+/// returned before partial state can escape.
+pub fn load_distributed(dir: &str) -> Result<DistCheckpoint, CheckpointError> {
+    let mpath = manifest_path(dir);
+    let mbytes = match std::fs::read(&mpath) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(CheckpointError::ManifestMissing { dir: dir.into() })
+        }
+        Err(e) => return Err(CheckpointError::Io { path: mpath, error: e.to_string() }),
+    };
+    let manifest = decode_manifest(Bytes::from(mbytes))?;
+    let n = manifest.leaves.len();
+    let mut state = Field::zeros(NUM_VARS, n);
+    for rank in 0..manifest.ranks() {
+        let spath = shard_path(dir, rank);
+        let sbytes = std::fs::read(&spath)
+            .map_err(|e| CheckpointError::Io { path: spath.clone(), error: e.to_string() })?;
+        if sbytes.len() as u64 != manifest.shard_lens[rank] {
+            return Err(CheckpointError::ShardMismatch {
+                rank,
+                what: format!(
+                    "byte length {} (manifest says {})",
+                    sbytes.len(),
+                    manifest.shard_lens[rank]
+                ),
+            });
+        }
+        let actual_crc = crc32(&sbytes);
+        if actual_crc != manifest.shard_crcs[rank] {
+            return Err(CheckpointError::ShardMismatch {
+                rank,
+                what: format!(
+                    "CRC {actual_crc:#010x} (manifest says {:#010x})",
+                    manifest.shard_crcs[rank]
+                ),
+            });
+        }
+        let shard = decode_shard(Bytes::from(sbytes))?;
+        let (lo, hi) = (manifest.offsets[rank], manifest.offsets[rank + 1]);
+        if shard.rank != rank || shard.start_octant != lo || shard.n_octants != hi - lo {
+            return Err(CheckpointError::ShardMismatch {
+                rank,
+                what: format!(
+                    "owns octants {}..{} (manifest says {lo}..{hi})",
+                    shard.start_octant,
+                    shard.start_octant + shard.n_octants
+                ),
+            });
+        }
+        if shard.steps_taken != manifest.steps_taken {
+            return Err(CheckpointError::ShardMismatch {
+                rank,
+                what: format!(
+                    "step {} (manifest says {})",
+                    shard.steps_taken, manifest.steps_taken
+                ),
+            });
+        }
+        let mut it = shard.values.iter();
+        for oct in lo..hi {
+            for var in 0..NUM_VARS {
+                for p in state.block_mut(var, oct) {
+                    *p = *it.next().unwrap();
+                }
+            }
+        }
+    }
+    Ok(DistCheckpoint { manifest, state })
+}
+
+/// Extract rank `r`'s shard values (`[octant][var][point]` order) from a
+/// global field.
+pub fn shard_values(state: &Field, lo: usize, hi: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity((hi - lo) * NUM_VARS * BLOCK_VOLUME);
+    for oct in lo..hi {
+        for var in 0..NUM_VARS {
+            out.extend_from_slice(state.block(var, oct));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -228,11 +658,43 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(load(Bytes::from_static(b"nonsense")).is_err());
+        assert!(load(Bytes::from_static(b"xy")).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_a_typed_error() {
         let mut s = demo_solver();
         s.step();
         let good = save(&s);
+        // Cutting the file invalidates the CRC trailer (the last 4 bytes
+        // of the cut are mid-body garbage): a checksum error, never a
+        // partially-loaded checkpoint.
         let truncated = good.slice(..good.len() / 2);
-        assert!(load(truncated).is_err());
+        match load(truncated) {
+            Err(CheckpointError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}", other = other.err()),
+        }
+        // Cut so short not even the header survives.
+        match load(good.slice(..6)) {
+            Err(CheckpointError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn flipped_crc_trailer_is_a_typed_error() {
+        let mut s = demo_solver();
+        s.step();
+        let good = save(&s);
+        let mut bad = good.as_slice().to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        match load(Bytes::from(bad)) {
+            Err(CheckpointError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}", other = other.err()),
+        }
     }
 
     #[test]
@@ -244,25 +706,46 @@ mod tests {
         let mut corrupt = good.as_slice().to_vec();
         let mid = corrupt.len() / 2;
         corrupt[mid] ^= 0x10;
-        let err = match load(Bytes::from(corrupt)) {
-            Err(e) => e,
-            Ok(_) => panic!("corrupt checkpoint must not load"),
-        };
-        assert!(err.contains("checksum"), "got: {err}");
+        match load(Bytes::from(corrupt)) {
+            Err(CheckpointError::ChecksumMismatch { .. }) => {}
+            other => panic!("corrupt checkpoint must not load: {other:?}", other = other.err()),
+        }
     }
 
     #[test]
-    fn loads_v1_checkpoints() {
-        // A v1 file is the v2 body minus the CRC trailer, with the
-        // version field rewritten to 1.
+    fn bad_magic_is_a_typed_error() {
+        // Valid CRC over a body whose magic is wrong: the magic check
+        // must fire, not the checksum.
+        let mut s = demo_solver();
+        s.step();
+        let good = save(&s);
+        let mut bad = good.as_slice()[..good.len() - 4].to_vec();
+        bad[0] ^= 0x01;
+        let crc = crc32(&bad);
+        bad.extend_from_slice(&crc.to_le_bytes());
+        match load(Bytes::from(bad)) {
+            Err(CheckpointError::BadMagic { expected, got }) => {
+                assert_eq!(expected, MAGIC);
+                assert_ne!(got, MAGIC);
+            }
+            other => panic!("expected BadMagic, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn v1_format_is_rejected_with_typed_error() {
+        // A v1 file is the v2 body minus the CRC trailer, version field
+        // rewritten to 1. It carries no integrity trailer, so it is
+        // rejected — corruption in it would be undetectable.
         let mut s = demo_solver();
         s.step();
         let v2 = save(&s);
         let mut v1 = v2.as_slice()[..v2.len() - 4].to_vec();
         v1[4..8].copy_from_slice(&1u32.to_le_bytes());
-        let cp = load(Bytes::from(v1)).expect("v1 checkpoint must load");
-        assert_eq!(cp.steps_taken, 1);
-        assert_eq!(cp.state.as_slice(), s.state().as_slice());
+        match load(Bytes::from(v1)) {
+            Err(CheckpointError::UnsupportedVersion { got: 1, supported: 2 }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}", other = other.err()),
+        }
     }
 
     #[test]
@@ -276,5 +759,73 @@ mod tests {
         // No temp file left behind.
         assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn shard_roundtrip() {
+        let shard = Shard {
+            rank: 2,
+            start_octant: 10,
+            n_octants: 1,
+            time: 0.5,
+            steps_taken: 7,
+            values: (0..NUM_VARS * BLOCK_VOLUME).map(|i| i as f64 * 0.25).collect(),
+        };
+        let back = decode_shard(encode_shard(&shard)).unwrap();
+        assert_eq!(back, shard);
+    }
+
+    #[test]
+    fn distributed_snapshot_commit_and_reload() {
+        let mut s = demo_solver();
+        s.step();
+        let state = s.state();
+        let n = s.mesh.n_octants();
+        let dir = std::env::temp_dir().join("gw_amr_dist_ckpt_test");
+        let dir = dir.to_str().unwrap().to_string();
+        let _ = std::fs::remove_dir_all(&dir);
+        let offsets = vec![0, n / 2, n];
+        let mut crcs = Vec::new();
+        let mut lens = Vec::new();
+        for r in 0..2 {
+            let (lo, hi) = (offsets[r], offsets[r + 1]);
+            let shard = Shard {
+                rank: r,
+                start_octant: lo,
+                n_octants: hi - lo,
+                time: s.time,
+                steps_taken: s.steps_taken,
+                values: shard_values(&state, lo, hi),
+            };
+            let (crc, len) = write_shard(&dir, &shard).unwrap();
+            crcs.push(crc);
+            lens.push(len);
+        }
+        // Before the manifest exists the snapshot is invisible.
+        assert!(matches!(load_distributed(&dir), Err(CheckpointError::ManifestMissing { .. })));
+        let manifest = DistManifest {
+            domain: s.mesh.domain,
+            leaves: s.mesh.octants.iter().map(|o| o.key).collect(),
+            offsets: offsets.clone(),
+            time: s.time,
+            steps_taken: s.steps_taken,
+            shard_crcs: crcs,
+            shard_lens: lens,
+        };
+        commit_manifest(&dir, &manifest).unwrap();
+        let cp = load_distributed(&dir).unwrap();
+        assert_eq!(cp.manifest.steps_taken, 1);
+        assert_eq!(cp.state.as_slice(), state.as_slice());
+        // A corrupted shard is caught against the manifest CRC.
+        let spath = shard_path(&dir, 1);
+        let mut bytes = std::fs::read(&spath).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&spath, &bytes).unwrap();
+        assert!(matches!(
+            load_distributed(&dir),
+            Err(CheckpointError::ShardMismatch { rank: 1, .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -8,6 +8,7 @@
 //! tests assert; the value of this module for the paper's experiments is
 //! the *metered traffic* feeding the scaling models (Figs. 17/18/20).
 
+use crate::checkpoint::{self, CheckpointError, DistManifest, Shard};
 use gw_bssn::rhs::{bssn_rhs_patch, RhsMode, RhsWorkspace};
 use gw_bssn::BssnParams;
 use gw_comm::world::WorldConfig;
@@ -19,6 +20,7 @@ use gw_octree::partition::{partition_uniform, PartitionMap};
 use gw_stencil::patch::BLOCK_VOLUME;
 
 /// Result of a distributed run.
+#[derive(Debug)]
 pub struct DistributedResult {
     pub state: Field,
     /// Per-rank (messages, bytes) sent.
@@ -189,9 +191,12 @@ pub fn evolve_distributed(
 }
 
 /// [`evolve_distributed`] with an explicit world configuration (fault
-/// plan, receive timeout). Any rank detecting a communication fault
-/// aborts its evolution and the first error (by rank order) is returned —
-/// a faulted exchange never silently yields a wrong state.
+/// plan, receive timeout). Bounded message faults are recovered
+/// transparently by the reliable delivery layer; any rank detecting an
+/// *unrecoverable* fault aborts its evolution and the most telling error
+/// is returned (a dead rank is named in preference to the secondary
+/// timeouts it causes) — a faulted exchange never silently yields a
+/// wrong state.
 pub fn evolve_distributed_cfg(
     mesh: &Mesh,
     u0: &Field,
@@ -201,16 +206,68 @@ pub fn evolve_distributed_cfg(
     params: BssnParams,
     world_cfg: WorldConfig,
 ) -> Result<DistributedResult, CommError> {
+    let h_min = mesh.octants.iter().map(|o| o.h).fold(f64::INFINITY, f64::min);
+    let opts = SpanOpts { start_step: 0, steps, dt: courant * h_min, snapshot: None, kill: None };
+    evolve_span(mesh, u0, ranks, params, world_cfg, opts).map_err(|f| match f {
+        SpanFailure::Comm(e) => e,
+        SpanFailure::Ckpt(e) => unreachable!("no checkpointing configured: {e}"),
+    })
+}
+
+/// Why one span of distributed evolution stopped.
+#[derive(Clone, Debug)]
+enum SpanFailure {
+    Comm(CommError),
+    Ckpt(CheckpointError),
+}
+
+impl From<CommError> for SpanFailure {
+    fn from(e: CommError) -> Self {
+        SpanFailure::Comm(e)
+    }
+}
+
+impl From<CheckpointError> for SpanFailure {
+    fn from(e: CheckpointError) -> Self {
+        SpanFailure::Ckpt(e)
+    }
+}
+
+/// One contiguous stretch of distributed evolution: global steps
+/// `start_step..steps` from the state `u0` (authoritative at
+/// `start_step`), optionally taking coordinated snapshots and optionally
+/// fail-stopping one rank (fault injection).
+struct SpanOpts {
+    start_step: usize,
+    steps: usize,
+    dt: f64,
+    /// `(snapshot root, cadence in steps)`.
+    snapshot: Option<(String, u64)>,
+    kill: Option<KillSpec>,
+}
+
+fn evolve_span(
+    mesh: &Mesh,
+    u0: &Field,
+    ranks: usize,
+    params: BssnParams,
+    world_cfg: WorldConfig,
+    opts: SpanOpts,
+) -> Result<DistributedResult, SpanFailure> {
     let n = mesh.n_octants();
     let part = partition_uniform(n, ranks);
     let plan = GhostSchedule::build(&part, dependencies(mesh).into_iter());
-    let h_min = mesh.octants.iter().map(|o| o.h).fold(f64::INFINITY, f64::min);
-    let dt = courant * h_min;
+    let dt = opts.dt;
     let masks = crate::backend::boundary_face_masks_public(mesh);
 
     let plan_ref = &plan;
     let part_ref = &part;
     let masks_ref = &masks;
+    let start_step = opts.start_step;
+    let steps = opts.steps;
+    let snapshot = opts.snapshot;
+    let kill = opts.kill;
+    let snapshot_ref = &snapshot;
     let (mut results, traffic) = World::run_cfg(ranks, world_cfg, move |ctx| {
         let r = ctx.rank();
         let owned = part_ref.range(r);
@@ -222,7 +279,15 @@ pub fn evolve_distributed_cfg(
         let mut ws = RhsWorkspace::new(1);
         let mut work = 0u64;
         let mut tag = 0u64;
-        for _ in 0..steps {
+        for s in start_step..steps {
+            // Injected fail-stop: the rank dies here, visibly to the
+            // liveness view, exactly as if its process were killed.
+            if let Some(k) = kill {
+                if r == k.rank && s == k.at_step {
+                    ctx.declare_dead();
+                    return Err(SpanFailure::Comm(CommError::RankDead { rank: r, dst: r }));
+                }
+            }
             // k1.
             exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
             tag += 1;
@@ -320,6 +385,41 @@ pub fn evolve_distributed_cfg(
                 }
             }
             work += owned.len() as u64;
+            // Coordinated snapshot: two-phase commit. Every rank writes
+            // its shard atomically, the allgather proves all shards are
+            // durable, then rank 0 renames the manifest into place (the
+            // commit point) and the barrier keeps every rank behind it.
+            if let Some((root, every)) = snapshot_ref {
+                let s1 = (s + 1) as u64;
+                if s1.is_multiple_of(*every) {
+                    let sub = checkpoint::snapshot_dir(root, s1);
+                    let shard = Shard {
+                        rank: r,
+                        start_octant: owned.start,
+                        n_octants: owned.len(),
+                        time: s1 as f64 * dt,
+                        steps_taken: s1,
+                        values: checkpoint::shard_values(&u, owned.start, owned.end),
+                    };
+                    let (crc, len) = checkpoint::write_shard(&sub, &shard)?;
+                    let metas = ctx.try_allgatherv(&[crc as f64, len as f64])?;
+                    if r == 0 {
+                        let manifest = DistManifest {
+                            domain: mesh.domain,
+                            leaves: mesh.octants.iter().map(|o| o.key).collect(),
+                            offsets: (0..=ctx.size())
+                                .map(|q| if q == ctx.size() { n } else { part_ref.range(q).start })
+                                .collect(),
+                            time: s1 as f64 * dt,
+                            steps_taken: s1,
+                            shard_crcs: metas.iter().map(|m| m[0] as u32).collect(),
+                            shard_lens: metas.iter().map(|m| m[1] as u64).collect(),
+                        };
+                        checkpoint::commit_manifest(&sub, &manifest)?;
+                    }
+                    ctx.try_barrier()?;
+                }
+            }
         }
         // Return owned blocks.
         let mut owned_data = Vec::with_capacity(owned.len() * NUM_VARS * BLOCK_VOLUME);
@@ -331,13 +431,23 @@ pub fn evolve_distributed_cfg(
         Ok((owned_data, work))
     });
 
-    // Reassemble the global state from per-rank owned blocks. If any
-    // rank hit a fault, surface the first error instead of a state
-    // missing that rank's contribution.
+    // If any rank failed, surface the most telling error instead of a
+    // state missing that rank's contribution: a checkpoint-commit
+    // failure beats a dead rank beats the secondary timeouts a death
+    // cascades into on its peers.
+    let severity = |f: &SpanFailure| match f {
+        SpanFailure::Ckpt(_) => 0u8,
+        SpanFailure::Comm(CommError::RankDead { .. }) => 1,
+        SpanFailure::Comm(_) => 2,
+    };
+    if let Some(err) = results.iter().filter_map(|r| r.as_ref().err()).min_by_key(|f| severity(f)) {
+        return Err(err.clone());
+    }
+    // Reassemble the global state from per-rank owned blocks.
     let mut state = Field::zeros(NUM_VARS, n);
     let mut work = Vec::with_capacity(ranks);
     for (r, res) in results.drain(..).enumerate() {
-        let (data, w) = res?;
+        let (data, w) = res.expect("error case handled above");
         work.push(w);
         let mut off = 0;
         for e in part.range(r) {
@@ -348,6 +458,167 @@ pub fn evolve_distributed_cfg(
         }
     }
     Ok(DistributedResult { state, traffic, work, plan })
+}
+
+/// Fail-stop fault injection: `rank` dies at the top of global step
+/// `at_step` on the first attempt of a resilient run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    pub rank: usize,
+    pub at_step: usize,
+}
+
+/// How a resilient distributed run checkpoints and recovers.
+#[derive(Clone, Debug)]
+pub struct ResilienceConfig {
+    /// Snapshot root directory; `None` disables coordinated
+    /// checkpointing (a failure then rolls back to the initial state).
+    pub checkpoint_dir: Option<String>,
+    /// Steps between coordinated snapshots (≥ 1).
+    pub checkpoint_every: u64,
+    /// Degradation applied on each rollback + replay, and the retry
+    /// budget (`max_retries`). `courant_factor: 1.0, ko_boost: 0.0`
+    /// replays bit-identically.
+    pub degradation: crate::supervisor::DegradationPolicy,
+    /// Injected fail-stop for chaos tests (first attempt only).
+    pub kill_once: Option<KillSpec>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            degradation: crate::supervisor::DegradationPolicy::default(),
+            kill_once: None,
+        }
+    }
+}
+
+/// One entry of the resilient driver's decision log.
+#[derive(Clone, Debug)]
+pub enum RecoveryEvent {
+    /// All survivors were rolled back to the last committed manifest
+    /// (`to_step` 0 = initial state) after `cause`.
+    RolledBack { to_step: u64, cause: CommError },
+}
+
+/// A completed resilient run: the result plus how it got there.
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    pub result: DistributedResult,
+    /// World restarts performed (0 = clean first attempt).
+    pub retries: u32,
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// Terminal failure of a resilient distributed run.
+#[derive(Clone, Debug)]
+pub enum DistributedError {
+    /// Every allowed rollback + replay also failed; `last` is the final
+    /// communication error (it names the dead rank if one died).
+    RetriesExhausted { attempts: u32, last: CommError },
+    /// The coordinated snapshot layer itself failed (cannot commit or
+    /// cannot reload) — retrying would lose data, so this is immediate.
+    Checkpoint(CheckpointError),
+}
+
+impl DistributedError {
+    /// The dead rank this failure names, if one died.
+    pub fn dead_rank(&self) -> Option<usize> {
+        match self {
+            DistributedError::RetriesExhausted { last, .. } => last.dead_rank(),
+            DistributedError::Checkpoint(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::RetriesExhausted { attempts, last } => {
+                write!(f, "distributed run failed after {attempts} rollbacks: {last}")
+            }
+            DistributedError::Checkpoint(e) => write!(f, "distributed checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+/// Resilient distributed evolution: run `steps` RK4 steps with
+/// coordinated snapshots; on an unrecoverable exchange or a dead peer,
+/// roll every survivor back to the last committed manifest, replay under
+/// the [`crate::supervisor::DegradationPolicy`], and escalate to a typed
+/// abort once `max_retries` world restarts are spent. The returned
+/// traffic/work meters describe the final (successful) attempt.
+#[allow(clippy::too_many_arguments)]
+pub fn evolve_distributed_resilient(
+    mesh: &Mesh,
+    u0: &Field,
+    ranks: usize,
+    steps: usize,
+    courant: f64,
+    params: BssnParams,
+    world_cfg: WorldConfig,
+    resilience: &ResilienceConfig,
+) -> Result<ResilientOutcome, DistributedError> {
+    let h_min = mesh.octants.iter().map(|o| o.h).fold(f64::INFINITY, f64::min);
+    let mut courant_now = courant;
+    let mut params_now = params;
+    let mut retries = 0u32;
+    let mut kill = resilience.kill_once;
+    let mut start_step = 0usize;
+    let mut state = u0.clone();
+    let mut events = Vec::new();
+    loop {
+        let opts = SpanOpts {
+            start_step,
+            steps,
+            dt: courant_now * h_min,
+            snapshot: resilience
+                .checkpoint_dir
+                .clone()
+                .map(|d| (d, resilience.checkpoint_every.max(1))),
+            kill,
+        };
+        let failure = match evolve_span(mesh, &state, ranks, params_now, world_cfg, opts) {
+            Ok(result) => return Ok(ResilientOutcome { result, retries, events }),
+            Err(f) => f,
+        };
+        let cause = match failure {
+            SpanFailure::Comm(e) => e,
+            SpanFailure::Ckpt(e) => return Err(DistributedError::Checkpoint(e)),
+        };
+        kill = None; // an injected fail-stop fires once
+        retries += 1;
+        if retries > resilience.degradation.max_retries {
+            return Err(DistributedError::RetriesExhausted { attempts: retries - 1, last: cause });
+        }
+        // Roll back: reload the last committed manifest (or the initial
+        // state when nothing was committed) and replay from there.
+        let committed = match &resilience.checkpoint_dir {
+            Some(root) => {
+                checkpoint::latest_snapshot(root).map_err(DistributedError::Checkpoint)?
+            }
+            None => None,
+        };
+        match committed {
+            Some(dir) => {
+                let cp =
+                    checkpoint::load_distributed(&dir).map_err(DistributedError::Checkpoint)?;
+                start_step = cp.manifest.steps_taken as usize;
+                state = cp.state;
+            }
+            None => {
+                start_step = 0;
+                state = u0.clone();
+            }
+        }
+        events.push(RecoveryEvent::RolledBack { to_step: start_step as u64, cause });
+        courant_now *= resilience.degradation.courant_factor;
+        params_now.ko_sigma += resilience.degradation.ko_boost;
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +677,69 @@ mod tests {
         let bytes2: u64 = t2.traffic.iter().map(|t| t.1).sum();
         let bytes4: u64 = t4.traffic.iter().map(|t| t.1).sum();
         assert!(bytes4 > bytes2, "more ranks ⇒ more cut surface ({bytes2} vs {bytes4})");
+    }
+
+    #[test]
+    fn resilient_fault_free_run_is_the_plain_run() {
+        let mesh = adaptive_mesh();
+        let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+        let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+        let params = BssnParams::default();
+        let reference = evolve_distributed(&mesh, &u0, 2, 2, 0.25, params);
+        let out = evolve_distributed_resilient(
+            &mesh,
+            &u0,
+            2,
+            2,
+            0.25,
+            params,
+            WorldConfig::default(),
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.retries, 0);
+        assert!(out.events.is_empty());
+        assert_eq!(out.result.state.as_slice(), reference.state.as_slice());
+    }
+
+    #[test]
+    fn killed_rank_rolls_back_to_manifest_and_replays_bit_exact() {
+        let mesh = adaptive_mesh();
+        let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+        let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+        let params = BssnParams::default();
+        let reference = evolve_distributed(&mesh, &u0, 3, 3, 0.25, params);
+        let dir = std::env::temp_dir().join("gw_amr_multi_resilient_test");
+        let dir = dir.to_str().unwrap().to_string();
+        let _ = std::fs::remove_dir_all(&dir);
+        let resilience = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            // Identity degradation: the replay is bit-reproducible.
+            degradation: crate::supervisor::DegradationPolicy {
+                courant_factor: 1.0,
+                ko_boost: 0.0,
+                max_retries: 2,
+            },
+            kill_once: Some(KillSpec { rank: 1, at_step: 2 }),
+        };
+        let cfg = WorldConfig {
+            heartbeat_interval: std::time::Duration::from_millis(5),
+            ..WorldConfig::default()
+        };
+        let out =
+            evolve_distributed_resilient(&mesh, &u0, 3, 3, 0.25, params, cfg, &resilience).unwrap();
+        assert_eq!(out.retries, 1, "one rollback must suffice");
+        match &out.events[..] {
+            [RecoveryEvent::RolledBack { to_step: 2, cause }] => {
+                assert_eq!(cause.dead_rank(), Some(1), "the dead rank is named");
+            }
+            other => panic!("expected one rollback to step 2, got {other:?}"),
+        }
+        for (a, b) in reference.state.as_slice().iter().zip(out.result.state.as_slice().iter()) {
+            assert_eq!(a, b, "resume from the manifest must be bit-exact");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -84,6 +84,17 @@ pub struct RunParams {
     pub supervised: bool,
     /// Supervisor settings (health cadence, checkpoints, degradation).
     pub supervisor: SupervisorConfig,
+    /// Simulated ranks for a distributed run (`"ranks"`; 1 = single-rank).
+    pub ranks: usize,
+    /// Reliable-delivery retransmit budget (`"comm.max_retransmits"`).
+    pub max_retransmits: u32,
+    /// Liveness-poll cadence in milliseconds (`"comm.heartbeat_interval"`).
+    pub heartbeat_interval_ms: f64,
+    /// Receive deadline in milliseconds (`"comm.recv_timeout"`).
+    pub recv_timeout_ms: f64,
+    /// Coordinated multi-rank snapshots (`"checkpoint.distributed"`);
+    /// shards + manifest go under the supervisor's `checkpoint_dir`.
+    pub checkpoint_distributed: bool,
 }
 
 impl Default for RunParams {
@@ -100,6 +111,11 @@ impl Default for RunParams {
             config: SolverConfig::default(),
             supervised: false,
             supervisor: SupervisorConfig::default(),
+            ranks: 1,
+            max_retransmits: 8,
+            heartbeat_interval_ms: 50.0,
+            recv_timeout_ms: 10_000.0,
+            checkpoint_distributed: false,
         }
     }
 }
@@ -164,8 +180,27 @@ impl RunParams {
         sup.degradation.courant_factor =
             num(&map, "retry_courant_factor", sup.degradation.courant_factor)?;
         sup.degradation.ko_boost = num(&map, "retry_ko_boost", sup.degradation.ko_boost)?;
+        p.ranks = num(&map, "ranks", p.ranks as f64)? as usize;
+        p.max_retransmits = num(&map, "comm.max_retransmits", p.max_retransmits as f64)? as u32;
+        p.heartbeat_interval_ms = num(&map, "comm.heartbeat_interval", p.heartbeat_interval_ms)?;
+        p.recv_timeout_ms = num(&map, "comm.recv_timeout", p.recv_timeout_ms)?;
+        if let Some(JsonValue::Bool(b)) = map.get("checkpoint.distributed") {
+            p.checkpoint_distributed = *b;
+        }
         p.validate()?;
         Ok(p)
+    }
+
+    /// The comm-layer configuration these parameters describe.
+    pub fn world_config(&self) -> gw_comm::world::WorldConfig {
+        gw_comm::world::WorldConfig {
+            max_retransmits: self.max_retransmits,
+            heartbeat_interval: std::time::Duration::from_secs_f64(
+                self.heartbeat_interval_ms / 1e3,
+            ),
+            recv_timeout: std::time::Duration::from_secs_f64(self.recv_timeout_ms / 1e3),
+            ..gw_comm::world::WorldConfig::default()
+        }
     }
 
     /// Reject parameter combinations that cannot run: levels out of
@@ -228,6 +263,24 @@ impl RunParams {
                 self.supervisor.thresholds.hamiltonian_max
             ));
         }
+        if self.ranks == 0 {
+            return Err("ranks must be >= 1".into());
+        }
+        if !(self.heartbeat_interval_ms > 0.0 && self.heartbeat_interval_ms.is_finite()) {
+            return Err(format!(
+                "comm.heartbeat_interval must be positive milliseconds, got {}",
+                self.heartbeat_interval_ms
+            ));
+        }
+        if !(self.recv_timeout_ms > 0.0 && self.recv_timeout_ms.is_finite()) {
+            return Err(format!(
+                "comm.recv_timeout must be positive milliseconds, got {}",
+                self.recv_timeout_ms
+            ));
+        }
+        if self.checkpoint_distributed && self.supervisor.checkpoint_dir.is_none() {
+            return Err("checkpoint.distributed requires checkpoint_dir (the snapshot root)".into());
+        }
         self.config.validate()
     }
 
@@ -284,6 +337,32 @@ mod tests {
         assert_eq!(p.q, 2.0);
         assert_eq!(p.domain_half, 16.0);
         assert!(!p.config.use_gpu);
+        assert_eq!(p.ranks, 1);
+        assert_eq!(p.max_retransmits, 8);
+        assert!(!p.checkpoint_distributed);
+    }
+
+    #[test]
+    fn distributed_comm_keys_parse() {
+        let p = RunParams::from_json(
+            r#"{
+                "ranks": 4,
+                "comm.max_retransmits": 5,
+                "comm.heartbeat_interval": 10.0,
+                "comm.recv_timeout": 2000.0,
+                "checkpoint.distributed": true,
+                "checkpoint_dir": "/tmp/gw_snapshots",
+                "checkpoint_every": 2
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(p.ranks, 4);
+        assert_eq!(p.max_retransmits, 5);
+        assert!(p.checkpoint_distributed);
+        let wc = p.world_config();
+        assert_eq!(wc.max_retransmits, 5);
+        assert_eq!(wc.heartbeat_interval, std::time::Duration::from_millis(10));
+        assert_eq!(wc.recv_timeout, std::time::Duration::from_secs(2));
     }
 
     #[test]
@@ -304,6 +383,10 @@ mod tests {
             (r#"{ "chi_floor": 0.0 }"#, "chi_floor"),
             (r#"{ "base_level": 7, "finest_level": 3 }"#, "base_level"),
             (r#"{ "extract_radius": 99.0 }"#, "extract_radius"),
+            (r#"{ "ranks": 0 }"#, "ranks"),
+            (r#"{ "comm.heartbeat_interval": 0.0 }"#, "comm.heartbeat_interval"),
+            (r#"{ "comm.recv_timeout": -1.0 }"#, "comm.recv_timeout"),
+            (r#"{ "checkpoint.distributed": true }"#, "checkpoint_dir"),
         ];
         for (json, needle) in cases {
             match RunParams::from_json(json) {
