@@ -45,7 +45,7 @@ fn bench_octree(c: &mut Criterion) {
         let domain = Domain::centered_cube(16.0);
         let p = Puncture { pos: [3.0, 0.0, 0.0], finest_level: 5, inner_radius: 0.5 };
         let r = PunctureRefiner::new(vec![p], 2);
-        b.iter(|| refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 12))
+        b.iter(|| refine_loop(&[MortonKey::root()], &domain, &r, BalanceMode::Full, 12))
     });
 
     group.bench_function("sfc-partition-weighted", |b| {

@@ -2,7 +2,8 @@
 //! axis for (a) a q = 8 binary during inspiral and (b) a post-merger
 //! grid with a radially outgoing wave shell.
 
-use gw_octree::{refine_loop, BalanceMode, Domain, MortonKey, Puncture, PunctureRefiner};
+use gw_bench::{fig12_inspiral_leaves, fig13_postmerger_leaves};
+use gw_octree::{Domain, MortonKey};
 
 fn profile_along_x(domain: &Domain, leaves: &[MortonKey], samples: usize) -> Vec<(f64, u8)> {
     let half = domain.max[0];
@@ -34,14 +35,10 @@ fn main() {
     let domain = Domain::centered_cube(16.0);
 
     // Fig. 12: q = 8 inspiral — unequal punctures, the smaller hole two
-    // levels deeper.
-    let m1 = 8.0 / 9.0;
-    let m2 = 1.0 / 9.0;
+    // levels deeper (grid shared with `pipeline_throughput`).
     let d = 6.0;
-    let big = Puncture { pos: [-d * m2, 0.0, 0.0], finest_level: 5, inner_radius: m1 };
-    let small = Puncture { pos: [d * m1, 0.0, 0.0], finest_level: 7, inner_radius: m2 };
-    let r = PunctureRefiner::new(vec![big, small], 2);
-    let leaves = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
+    let m1 = 8.0 / 9.0;
+    let leaves = fig12_inspiral_leaves(&domain);
     println!("inspiral grid: {} octants", leaves.len());
     let prof = profile_along_x(&domain, &leaves, 48);
     print_profile("Fig. 12 — level vs x, q = 8 inspiral (asymmetric wells)", &prof);
@@ -52,9 +49,7 @@ fn main() {
     assert!(small_region.contains(&lmax), "deepest refinement at the small hole");
 
     // Fig. 13: post-merger — single central remnant + outgoing wave shell.
-    let remnant = Puncture { pos: [0.0, 0.0, 0.0], finest_level: 6, inner_radius: 1.0 };
-    let r = PunctureRefiner::new(vec![remnant], 2).with_shell(8.0, 12.0, 4);
-    let leaves = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
+    let leaves = fig13_postmerger_leaves(&domain);
     println!("\npost-merger grid: {} octants", leaves.len());
     let prof = profile_along_x(&domain, &leaves, 48);
     print_profile("Fig. 13 — level vs x, post-merger (center + wave shell)", &prof);

@@ -25,7 +25,7 @@ fn run_amr(eps: f64, horizon: f64) -> (gw_waveform::WaveformSeries, usize) {
     // eps sweep 4e-4 → 1e-4 crosses two refinement transitions).
     let field = move |p: [f64; 3]| wave.h_plus(p[2], 0.0);
     let refiner = InterpErrorRefiner::new(field, eps, 2, 4);
-    let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+    let leaves = refine_loop(&[MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
     let mesh = Mesh::build(domain, &leaves);
     let n_oct = mesh.n_octants();
     let mut solver =

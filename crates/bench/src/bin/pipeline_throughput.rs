@@ -1,0 +1,189 @@
+//! Parallel patch-pipeline throughput sweep (threads = 1, 2, 4, 8).
+//!
+//! Runs the CPU backend's four parallel stages — octant→patch scatter,
+//! BSSN RHS, patch→octant copy-back and the RK4 AXPY updates — over the
+//! Fig. 12 (inspiral) and Fig. 13 (post-merger) grid profiles at several
+//! worker counts, and records both:
+//!
+//! * **wall** step time — meaningful only on multi-core hosts (the CI
+//!   container has a single core, where all thread counts tie), and
+//! * **model** step time under the substitution policy (DESIGN.md §2):
+//!   per-item costs are *measured* serially, then the pool's actual
+//!   dynamic-chunk claiming discipline is simulated to obtain the
+//!   makespan at each worker count. The model has no free parameters.
+//!
+//! Also re-checks the pipeline's core promise on every grid: final
+//! states are **bit-identical** across all swept thread counts.
+//!
+//! Output: a text table plus `results/BENCH_pipeline.json`.
+
+use gw_bench::{fig12_inspiral_leaves, fig13_postmerger_leaves};
+use gw_bssn::init::LinearWaveData;
+use gw_core::backend::Buf;
+use gw_core::checkpoint;
+use gw_core::solver::{GwSolver, SolverConfig};
+use gw_mesh::Mesh;
+use gw_octree::Domain;
+use gw_stencil::patch::BLOCK_VOLUME;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Field chunk size used by the AXPY stages (`gw_mesh::field`).
+const AXPY_CHUNK: usize = 4096;
+
+/// Makespan of `n_items` homogeneous items (each `per_item` seconds)
+/// under the pool's dynamic claiming: workers repeatedly grab the next
+/// `chunk` indices, so the load split is the greedy one.
+fn makespan(n_items: usize, threads: usize, per_item: f64, chunk: usize) -> f64 {
+    let chunk = chunk.max(1);
+    let n_chunks = n_items.div_ceil(chunk);
+    let mut loads = vec![0.0f64; threads];
+    for c in 0..n_chunks {
+        let items = chunk.min(n_items - c * chunk);
+        let w = (0..threads).min_by(|&a, &b| loads[a].total_cmp(&loads[b])).unwrap();
+        loads[w] += per_item * items as f64;
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+/// The claim-chunk size `ThreadPool::for_each` derives for `n` items.
+fn pool_chunk(n: usize, threads: usize) -> usize {
+    (n / (4 * threads.max(1))).clamp(1, 256)
+}
+
+struct Sweep {
+    name: &'static str,
+    octants: usize,
+    /// (threads, wall step seconds, model step seconds, state CRC).
+    rows: Vec<(usize, f64, f64, u32)>,
+}
+
+fn solver_for(domain: Domain, leaves: &[gw_octree::MortonKey], threads: usize) -> GwSolver {
+    let wave = LinearWaveData::new(1e-3, 0.0, 3.0, 0.8);
+    let config = SolverConfig { threads, ..Default::default() };
+    GwSolver::new(config, Mesh::build(domain, leaves), move |p, out| wave.evaluate(p, out))
+}
+
+fn sweep(name: &'static str, domain: Domain, leaves: &[gw_octree::MortonKey]) -> Sweep {
+    let n_oct = Mesh::build(domain, leaves).n_octants();
+    println!("\n== {name}: {n_oct} octants ==");
+
+    // Serial per-item costs: time the RHS region (scatter + padding +
+    // BSSN kernel, all octant-parallel) and a whole step; the remainder
+    // is the chunk-parallel AXPY/copy/sync traffic between RHS calls.
+    let mut probe = solver_for(domain, leaves, 1);
+    probe.step(); // warm up (tape compile, allocations)
+    let reps = 3;
+    let probe_mesh = Mesh::build(domain, leaves);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        probe.backend.eval_rhs(&probe_mesh, Buf::U, Buf::K);
+    }
+    let t_rhs = t0.elapsed().as_secs_f64() / reps as f64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        probe.step();
+    }
+    let t_step1 = t0.elapsed().as_secs_f64() / reps as f64;
+    let t_rest = (t_step1 - 4.0 * t_rhs).max(0.0);
+    let n_chunks = (gw_expr::symbols::NUM_VARS * n_oct * BLOCK_VOLUME).div_ceil(AXPY_CHUNK);
+    println!(
+        "  serial: step {:.1} ms (rhs region 4 × {:.1} ms, axpy/copy/sync {:.1} ms)",
+        t_step1 * 1e3,
+        t_rhs * 1e3,
+        t_rest * 1e3
+    );
+
+    let mut rows = Vec::new();
+    for t in THREADS {
+        // Wall time at this worker count (2 timed steps after warm-up).
+        let mut s = solver_for(domain, leaves, t);
+        s.step();
+        let t0 = Instant::now();
+        s.step();
+        s.step();
+        let wall = t0.elapsed().as_secs_f64() / 2.0;
+        // The checkpoint's embedded body CRC (trailing word). The whole
+        // stream's CRC is the CRC-32 residue constant for every valid
+        // checkpoint, so it would compare equal vacuously.
+        let crc = {
+            let b = checkpoint::save(&s);
+            let sl = b.as_slice();
+            u32::from_le_bytes(sl[sl.len() - 4..].try_into().unwrap())
+        };
+        // Model: four RHS regions over octants + the AXPY-class traffic
+        // over field chunks, each under the pool's claiming discipline.
+        let model = 4.0 * makespan(n_oct, t, t_rhs / n_oct as f64, pool_chunk(n_oct, t))
+            + makespan(n_chunks, t, t_rest / n_chunks as f64, 1);
+        rows.push((t, wall, model, crc));
+    }
+
+    let crc0 = rows[0].3;
+    for &(t, _, _, crc) in &rows {
+        assert_eq!(crc, crc0, "{name}: threads={t} diverged from the serial run");
+    }
+    println!("  determinism: checkpoint CRC 0x{crc0:08x} identical across threads {THREADS:?}");
+    println!("  {:>7}  {:>12}  {:>13}  {:>13}", "threads", "wall ms", "model ms", "model speedup");
+    for &(t, wall, model, _) in &rows {
+        println!(
+            "  {t:>7}  {:>12.1}  {:>13.1}  {:>12.2}x",
+            wall * 1e3,
+            model * 1e3,
+            rows[0].2 / model
+        );
+    }
+    Sweep { name, octants: n_oct, rows }
+}
+
+fn main() {
+    let domain = Domain::centered_cube(16.0);
+    let sweeps = [
+        sweep("fig12_inspiral", domain, &fig12_inspiral_leaves(&domain)),
+        sweep("fig13_postmerger", domain, &fig13_postmerger_leaves(&domain)),
+    ];
+
+    // Acceptance gate: >= 2x model speedup at 4 threads on the largest
+    // profile (the target the parallel pipeline was built for).
+    let largest = sweeps.iter().max_by_key(|s| s.octants).unwrap();
+    let at = |s: &Sweep, t: usize| {
+        let m = s.rows.iter().find(|r| r.0 == t).unwrap().2;
+        s.rows[0].2 / m
+    };
+    let sp4 = at(largest, 4);
+    println!(
+        "\nlargest profile {} ({} octants): {sp4:.2}x at 4 threads",
+        largest.name, largest.octants
+    );
+    assert!(sp4 >= 2.0, "expected >= 2x model speedup at 4 threads, got {sp4:.2}x");
+
+    // JSON record (flat, hand-serialized — same dependency policy as the
+    // par-file parser).
+    let mut json = String::from("{\n  \"bench\": \"pipeline_throughput\",\n");
+    json.push_str(
+        "  \"note\": \"wall times from a single-core CI host (all thread counts tie); \
+         model = measured serial per-item costs + simulated dynamic-chunk makespan \
+         (substitution policy, DESIGN.md)\",\n  \"grids\": [\n",
+    );
+    for (gi, s) in sweeps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"octants\": {}, \"rows\": [\n",
+            s.name, s.octants
+        ));
+        for (ri, &(t, wall, model, crc)) in s.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"threads\": {t}, \"wall_step_ms\": {:.3}, \"model_step_ms\": {:.3}, \
+                 \"model_speedup\": {:.3}, \"state_crc32\": {crc}}}{}\n",
+                wall * 1e3,
+                model * 1e3,
+                s.rows[0].2 / model,
+                if ri + 1 < s.rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!("    ]}}{}\n", if gi + 1 < sweeps.len() { "," } else { "" }));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/BENCH_pipeline.json", &json)
+        .expect("write results/BENCH_pipeline.json");
+    println!("\nwrote results/BENCH_pipeline.json");
+}

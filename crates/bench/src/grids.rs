@@ -26,7 +26,7 @@ pub fn bbh_grid(domain: Domain, d: f64, base: u8, finest: u8) -> Mesh {
     let p1 = Puncture { pos: [d / 2.0, 0.0, 0.0], finest_level: finest, inner_radius: d / 10.0 };
     let p2 = Puncture { pos: [-d / 2.0, 0.0, 0.0], finest_level: finest, inner_radius: d / 10.0 };
     let r = PunctureRefiner::new(vec![p1, p2], base);
-    let leaves = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
+    let leaves = refine_loop(&[MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
     Mesh::build(domain, &leaves)
 }
 
@@ -59,10 +59,31 @@ pub fn table3_grids(scale: f64) -> Vec<(String, Mesh)> {
             inner_radius: r_in * scale.max(0.25),
         };
         let rfn = PunctureRefiner::new(vec![p1, p2], base);
-        let leaves = refine_loop(vec![MortonKey::root()], &domain, &rfn, BalanceMode::Full, 16);
+        let leaves = refine_loop(&[MortonKey::root()], &domain, &rfn, BalanceMode::Full, 16);
         out.push((format!("m{}", i + 1), Mesh::build(domain, &leaves)));
     }
     out
+}
+
+/// The Fig. 12 grid: a q = 8 inspiral with unequal punctures, the
+/// smaller hole refined two levels deeper. Shared by the level-profile
+/// regenerator and the pipeline-throughput sweep.
+pub fn fig12_inspiral_leaves(domain: &Domain) -> Vec<MortonKey> {
+    let m1 = 8.0 / 9.0;
+    let m2 = 1.0 / 9.0;
+    let d = 6.0;
+    let big = Puncture { pos: [-d * m2, 0.0, 0.0], finest_level: 5, inner_radius: m1 };
+    let small = Puncture { pos: [d * m1, 0.0, 0.0], finest_level: 7, inner_radius: m2 };
+    let r = PunctureRefiner::new(vec![big, small], 2);
+    refine_loop(&[MortonKey::root()], domain, &r, BalanceMode::Full, 20)
+}
+
+/// The Fig. 13 grid: a post-merger remnant at the origin plus a
+/// radially outgoing wave shell refined above its surroundings.
+pub fn fig13_postmerger_leaves(domain: &Domain) -> Vec<MortonKey> {
+    let remnant = Puncture { pos: [0.0, 0.0, 0.0], finest_level: 6, inner_radius: 1.0 };
+    let r = PunctureRefiner::new(vec![remnant], 2).with_shell(8.0, 12.0, 4);
+    refine_loop(&[MortonKey::root()], domain, &r, BalanceMode::Full, 20)
 }
 
 /// BBH grids with octant counts near the requested targets (Fig. 15/16

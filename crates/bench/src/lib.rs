@@ -7,5 +7,7 @@
 pub mod grids;
 pub mod table;
 
-pub use grids::{bbh_like_grids, table3_grids, uniform_grid};
+pub use grids::{
+    bbh_like_grids, fig12_inspiral_leaves, fig13_postmerger_leaves, table3_grids, uniform_grid,
+};
 pub use table::TablePrinter;

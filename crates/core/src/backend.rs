@@ -13,9 +13,12 @@ use gw_expr::schedule::{schedule, ScheduleStrategy};
 use gw_expr::symbols::{NUM_INPUTS, NUM_VARS};
 use gw_expr::tape::Tape;
 use gw_gpu_sim::{CounterSnapshot, Device, LaunchConfig};
-use gw_mesh::scatter::{fill_boundary_padding, fill_patches_scatter, sync_interfaces};
+use gw_mesh::scatter::{fill_boundary_padding_par, fill_patches_scatter_par};
+use gw_mesh::sync_interfaces_par;
 use gw_mesh::{Field, Mesh, PatchField};
+use gw_par::{tree_reduce, ThreadPool, UnsafeSlice};
 use gw_stencil::patch::{PatchLayout, BLOCK_VOLUME, PADDING, PATCH_VOLUME, POINTS_PER_SIDE};
+use std::sync::Arc;
 
 /// Resident buffer slots used by the RK4 driver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,37 +146,47 @@ pub fn boundary_face_masks_public(mesh: &Mesh) -> Vec<u8> {
     boundary_face_masks(mesh)
 }
 
-/// Host (CPU) backend: sequential loops over octants — the reference
-/// implementation and the "CPU node" side of the paper's comparisons.
+/// Host (CPU) backend: patch-parallel loops over octants on a shared
+/// thread pool — the "CPU node" side of the paper's comparisons. With
+/// `threads = 1` it degenerates to the original sequential reference;
+/// results are bit-identical at every thread count (every output slot has
+/// exactly one writer, and reductions are fixed-order — see DESIGN.md).
 pub struct CpuBackend {
     params: BssnParams,
     tape: Option<Tape>,
     bufs: [Field; NUM_BUFS],
     patches: PatchField,
     masks: Vec<u8>,
-    ws: RhsWorkspace,
-    inputs_buf: Vec<f64>,
-    point_out: Vec<f64>,
+    pool: Arc<ThreadPool>,
     /// Accumulated (derivative flops, A flops) across eval_rhs calls.
     pub flops: (u64, u64),
 }
 
 impl CpuBackend {
+    /// Backend with the default thread count (`threads = 0` → auto).
     pub fn new(mesh: &Mesh, params: BssnParams, kind: RhsKind) -> Self {
+        Self::with_threads(mesh, params, kind, 0)
+    }
+
+    /// Backend with an explicit worker count (`0` = `GW_THREADS` env or
+    /// available parallelism).
+    pub fn with_threads(mesh: &Mesh, params: BssnParams, kind: RhsKind, threads: usize) -> Self {
         let tape = build_tape(kind, params);
         let n = mesh.n_octants();
-        let slots = tape.as_ref().map(|t| t.n_slots).unwrap_or(1);
         Self {
             params,
             tape,
             bufs: std::array::from_fn(|_| Field::zeros(NUM_VARS, n)),
             patches: PatchField::zeros(NUM_VARS, n),
             masks: boundary_face_masks(mesh),
-            ws: RhsWorkspace::new(slots),
-            inputs_buf: vec![0.0; NUM_INPUTS],
-            point_out: vec![0.0; NUM_VARS],
+            pool: ThreadPool::shared(threads),
             flops: (0, 0),
         }
+    }
+
+    /// Worker count of the backing pool.
+    pub fn n_threads(&self) -> usize {
+        self.pool.n_threads()
     }
 
     pub fn upload(&mut self, u: &Field) {
@@ -195,47 +208,71 @@ impl CpuBackend {
             let (a, b) = self.bufs.split_at_mut(bi);
             (&b[0], &mut a[bo])
         };
-        fill_patches_scatter(mesh, inp, &mut self.patches);
-        fill_boundary_padding(mesh, &mut self.patches, NUM_VARS);
-        let mode = match &self.tape {
-            Some(t) => RhsMode::Tape(t),
-            None => RhsMode::Pointwise,
-        };
-        for e in 0..mesh.n_octants() {
-            let h = mesh.octants[e].h;
-            let patch_refs: Vec<&[f64]> = (0..NUM_VARS).map(|v| self.patches.patch(v, e)).collect();
-            // Gather mutable output block views.
-            let mut out_blocks: Vec<&mut [f64]> = Vec::with_capacity(NUM_VARS);
-            // Safety: blocks (v, e) are disjoint slices of the field.
-            unsafe {
-                let base = out.as_mut_slice().as_mut_ptr();
-                for v in 0..NUM_VARS {
-                    let off = (v * mesh.n_octants() + e) * BLOCK_VOLUME;
-                    out_blocks.push(std::slice::from_raw_parts_mut(base.add(off), BLOCK_VOLUME));
-                }
+        fill_patches_scatter_par(mesh, inp, &mut self.patches, &self.pool);
+        fill_boundary_padding_par(mesh, &mut self.patches, NUM_VARS, &self.pool);
+        let n = mesh.n_octants();
+        let patches = &self.patches;
+        let masks = &self.masks;
+        let params = self.params;
+        let tape = &self.tape;
+        let out = UnsafeSlice::new(out.as_mut_slice());
+        // One task per octant, as in the GPU backend's `grid1(n)` RHS
+        // launch. Pool workers persist across backends, so the cached
+        // workspace is rebuilt whenever the tape slot count changes.
+        let per_oct: Vec<(u64, u64)> = self.pool.map(n, |e| {
+            thread_local! {
+                static WS: std::cell::RefCell<Option<(usize, RhsWorkspace)>> =
+                    const { std::cell::RefCell::new(None) };
             }
-            let (df, af) =
-                bssn_rhs_patch(&patch_refs, h, &self.params, &mode, &mut self.ws, &mut out_blocks);
-            self.flops.0 += df;
-            self.flops.1 += af;
-            sommerfeld_fix(
-                mesh,
-                e,
-                self.masks[e],
-                &patch_refs,
-                &self.ws,
-                &mut self.inputs_buf,
-                &mut self.point_out,
-                &mut out_blocks,
-            );
-        }
+            let h = mesh.octants[e].h;
+            let patch_refs: Vec<&[f64]> = (0..NUM_VARS).map(|v| patches.patch(v, e)).collect();
+            WS.with(|cell| {
+                let mut borrow = cell.borrow_mut();
+                let slots = tape.as_ref().map(|t| t.n_slots).unwrap_or(1);
+                if borrow.as_ref().map(|e| e.0 != slots).unwrap_or(true) {
+                    *borrow = Some((slots, RhsWorkspace::new(slots)));
+                }
+                let ws = &mut borrow.as_mut().expect("workspace just initialized").1;
+                let mode = match tape {
+                    Some(t) => RhsMode::Tape(t),
+                    None => RhsMode::Pointwise,
+                };
+                let mut out_blocks: Vec<&mut [f64]> = (0..NUM_VARS)
+                    .map(|v| {
+                        // Safety: task e exclusively owns octant e's output
+                        // blocks for all variables.
+                        unsafe { out.slice_mut((v * n + e) * BLOCK_VOLUME, BLOCK_VOLUME) }
+                    })
+                    .collect();
+                let (df, af) = bssn_rhs_patch(&patch_refs, h, &params, &mode, ws, &mut out_blocks);
+                let mut inputs_buf = vec![0.0; NUM_INPUTS];
+                let mut point_out = vec![0.0; NUM_VARS];
+                sommerfeld_fix(
+                    mesh,
+                    e,
+                    masks[e],
+                    &patch_refs,
+                    ws,
+                    &mut inputs_buf,
+                    &mut point_out,
+                    &mut out_blocks,
+                );
+                (df, af)
+            })
+        });
+        // Fixed-order reduction (u64 sums are order-independent anyway;
+        // kept tree-shaped for policy uniformity).
+        let (df, af) = tree_reduce(&per_oct, (0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1));
+        self.flops.0 += df;
+        self.flops.1 += af;
     }
 
     pub fn axpy(&mut self, y: Buf, a: f64, x: Buf) {
         let (yi, xi) = (buf_index(y), buf_index(x));
         assert_ne!(yi, xi);
+        let pool = self.pool.clone();
         let (ys, xs) = two_mut(&mut self.bufs, yi, xi);
-        ys.axpy(a, xs);
+        ys.axpy_par(a, xs, &pool);
     }
 
     pub fn assign_axpy(&mut self, y: Buf, base: Buf, a: f64, x: Buf) {
@@ -249,19 +286,21 @@ impl CpuBackend {
             let ys = &mut *ptr.add(yi);
             let bs = &*ptr.add(bi);
             let xs = &*ptr.add(xi);
-            ys.assign_axpy(bs, a, xs);
+            ys.assign_axpy_par(bs, a, xs, &self.pool);
         }
     }
 
     pub fn copy(&mut self, dst: Buf, src: Buf) {
         let (di, si) = (buf_index(dst), buf_index(src));
         assert_ne!(di, si);
+        let pool = self.pool.clone();
         let (d, s) = two_mut(&mut self.bufs, di, si);
-        d.as_mut_slice().copy_from_slice(s.as_slice());
+        d.copy_from_par(s, &pool);
     }
 
     pub fn sync_interfaces(&mut self, mesh: &Mesh) {
-        sync_interfaces(mesh, &mut self.bufs[0]);
+        let pool = self.pool.clone();
+        sync_interfaces_par(mesh, &mut self.bufs[0], &pool);
     }
 }
 

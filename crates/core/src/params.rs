@@ -146,6 +146,7 @@ impl RunParams {
         bssn.chi_floor = num(&map, "chi_floor", bssn.chi_floor)?;
         p.config.params = bssn;
         p.config.courant = num(&map, "courant", p.config.courant)?;
+        p.config.threads = num(&map, "threads", p.config.threads as f64)? as usize;
         p.config.extract_every = p.extract_every;
         if let Some(JsonValue::Bool(g)) = map.get("use_gpu") {
             p.config.use_gpu = *g;
@@ -318,6 +319,7 @@ mod tests {
                 "courant": 0.2,
                 "use_gpu": true,
                 "rhs": "binary-reduce",
+                "threads": 4,
                 "steps": 4
             }"#,
         )
@@ -327,6 +329,7 @@ mod tests {
         assert_eq!(p.finest_level, 6);
         assert!(p.config.use_gpu);
         assert_eq!(p.config.courant, 0.2);
+        assert_eq!(p.config.threads, 4);
         assert_eq!(p.config.params.eta, 1.5);
         assert!(matches!(p.config.rhs_kind, RhsKind::Generated(ScheduleStrategy::BinaryReduce)));
     }
@@ -387,6 +390,7 @@ mod tests {
             (r#"{ "comm.heartbeat_interval": 0.0 }"#, "comm.heartbeat_interval"),
             (r#"{ "comm.recv_timeout": -1.0 }"#, "comm.recv_timeout"),
             (r#"{ "checkpoint.distributed": true }"#, "checkpoint_dir"),
+            (r#"{ "threads": 100000 }"#, "threads"),
         ];
         for (json, needle) in cases {
             match RunParams::from_json(json) {

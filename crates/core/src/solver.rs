@@ -25,6 +25,10 @@ pub struct SolverConfig {
     pub extract_every: usize,
     /// Run on the simulated GPU device instead of host loops.
     pub use_gpu: bool,
+    /// CPU worker threads for the patch pipeline (0 = auto: `GW_THREADS`
+    /// env, else available parallelism). Results are bit-identical for
+    /// every thread count (see DESIGN.md, threading model).
+    pub threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -36,6 +40,7 @@ impl Default for SolverConfig {
             regrid_every: 0,
             extract_every: 0,
             use_gpu: false,
+            threads: 0,
         }
     }
 }
@@ -69,6 +74,13 @@ impl SolverConfig {
             return Err(format!(
                 "eta (gamma-driver damping) must be finite and >= 0, got {}",
                 self.params.eta
+            ));
+        }
+        if self.threads > gw_par::MAX_THREADS {
+            return Err(format!(
+                "threads must be <= {} (got {}); use 0 for auto",
+                gw_par::MAX_THREADS,
+                self.threads
             ));
         }
         Ok(())
@@ -129,7 +141,7 @@ impl GwSolver {
     /// Build a complete, balanced mesh for a domain with a refiner.
     pub fn build_mesh(domain: Domain, refiner: &dyn Refiner, max_sweeps: usize) -> Mesh {
         let leaves =
-            refine_loop(vec![MortonKey::root()], &domain, refiner, BalanceMode::Full, max_sweeps);
+            refine_loop(&[MortonKey::root()], &domain, refiner, BalanceMode::Full, max_sweeps);
         Mesh::build(domain, &leaves)
     }
 
@@ -193,8 +205,7 @@ impl GwSolver {
     /// movement, as in Algorithm 1).
     pub fn regrid(&mut self, refiner: &dyn Refiner) {
         let old_keys: Vec<MortonKey> = self.mesh.octants.iter().map(|o| o.key).collect();
-        let new_leaves =
-            refine_loop(old_keys.clone(), &self.mesh.domain, refiner, BalanceMode::Full, 8);
+        let new_leaves = refine_loop(&old_keys, &self.mesh.domain, refiner, BalanceMode::Full, 8);
         if new_leaves == old_keys {
             return; // grid unchanged
         }
@@ -213,6 +224,15 @@ impl GwSolver {
         self.backend.download()
     }
 
+    /// Worker threads driving the CPU patch pipeline (the simulated GPU
+    /// backend manages its own launch parallelism and reports 1 here).
+    pub fn n_threads(&self) -> usize {
+        match &self.backend {
+            Backend::Cpu(b) => b.n_threads(),
+            Backend::Gpu(_) => 1,
+        }
+    }
+
     /// Regrid driven by the **evolved solution**: refine where the
     /// interpolation detail of variable `var` of the current state
     /// exceeds `eps` (the paper's re-discretization to capture the
@@ -229,7 +249,7 @@ impl GwSolver {
                 base_level,
                 cap_level,
             );
-            refine_loop(old_keys.clone(), &self.mesh.domain, &refiner, BalanceMode::Full, 8)
+            refine_loop(&old_keys, &self.mesh.domain, &refiner, BalanceMode::Full, 8)
         };
         if new_leaves == old_keys {
             return;
@@ -245,21 +265,25 @@ impl GwSolver {
 
     /// Max Hamiltonian-constraint residual over a sample of points
     /// (diagnostic; full-field monitoring is in the constraints example).
+    ///
+    /// Octant-parallel with a fixed-order tree reduction: the max is
+    /// combined in index order, so the result (including which NaN/sign
+    /// quirks of `f64::max` win) is bit-identical at any thread count.
     pub fn constraint_sample(&self) -> f64 {
         let u = self.state();
-        let mut worst = 0.0f64;
         let l = PatchLayout::octant();
+        let pool = gw_par::ThreadPool::shared(self.config.threads);
         // One interior point per octant is enough for a monitor.
-        for oct in 0..self.mesh.n_octants() {
+        let per_oct = pool.map(self.mesh.n_octants(), |oct| {
             let mut inputs = vec![0.0; gw_expr::symbols::NUM_INPUTS];
             for (v, slot) in inputs.iter_mut().enumerate().take(NUM_VARS) {
                 *slot = u.block(v, oct)[l.idx(3, 3, 3)];
             }
             // Derivative slots left zero — this monitors only the
             // algebraic part; the examples do the full job.
-            worst = worst.max(gw_bssn::constraints::hamiltonian(&inputs).abs());
-        }
-        worst
+            gw_bssn::constraints::hamiltonian(&inputs).abs()
+        });
+        gw_par::tree_reduce(&per_oct, 0.0f64, f64::max)
     }
 }
 
@@ -267,7 +291,7 @@ fn make_backend(config: &SolverConfig, mesh: &Mesh) -> Backend {
     if config.use_gpu {
         Backend::Gpu(GpuBackend::new(mesh, config.params, config.rhs_kind, Device::a100()))
     } else {
-        Backend::Cpu(CpuBackend::new(mesh, config.params, config.rhs_kind))
+        Backend::Cpu(CpuBackend::with_threads(mesh, config.params, config.rhs_kind, config.threads))
     }
 }
 
@@ -462,6 +486,44 @@ mod tests {
         // And evolution continues stably on the new grid.
         solver.step();
         assert!(solver.state().linf_all() < 2.0);
+    }
+
+    #[test]
+    fn dt_shrinks_immediately_after_midrun_refinement() {
+        // CFL guard: a regrid that deepens the finest level must shrink
+        // the very next step — no stale-dt window. `GwSolver::step`
+        // recomputes dt from the current mesh each call; this test locks
+        // that in.
+        let domain = Domain::centered_cube(8.0);
+        let mesh = Mesh::build(domain, &uniform_leaves(1));
+        let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+        let mut solver =
+            GwSolver::new(SolverConfig::default(), mesh, |p, out| wave.evaluate(p, out));
+        solver.step();
+        let dt_coarse = solver.dt();
+        struct ToLevel2;
+        impl Refiner for ToLevel2 {
+            fn decide(&self, _d: &Domain, leaf: &MortonKey) -> gw_octree::RefineDecision {
+                if leaf.level() < 2 {
+                    gw_octree::RefineDecision::Refine
+                } else {
+                    gw_octree::RefineDecision::Keep
+                }
+            }
+        }
+        solver.regrid(&ToLevel2);
+        // `dt()` reads the post-regrid mesh immediately — no stale cache.
+        // Halving h exactly halves dt (exponent-only change).
+        assert_eq!(solver.dt(), 0.5 * dt_coarse, "deeper finest level must halve the step");
+        let t_before = solver.time;
+        solver.step();
+        let dt_taken = solver.time - t_before;
+        // `time += dt` rounds, so compare with a one-ulp-scale tolerance.
+        assert!(
+            (dt_taken - solver.dt()).abs() < 1e-15,
+            "step must use the post-regrid CFL dt (took {dt_taken}, dt() = {})",
+            solver.dt()
+        );
     }
 
     #[test]

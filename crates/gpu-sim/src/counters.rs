@@ -4,6 +4,13 @@
 //! [`crate::device::BlockCtx`]; the counters aggregate across blocks with
 //! relaxed atomics (per-block local accumulation, one flush per block, so
 //! contention is negligible).
+//!
+//! Determinism: all counters are `u64` and integer addition is exact and
+//! commutative, so the aggregate is independent of the order blocks (or
+//! host threads) flush in — snapshots are bit-identical at any thread
+//! count. This is the counter half of the pipeline's determinism policy;
+//! floating-point reductions take the other half (fixed-order trees, see
+//! `gw_par::tree_reduce`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

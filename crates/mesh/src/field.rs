@@ -1,6 +1,11 @@
 //! Block storage for octant fields.
 
+use gw_par::{ThreadPool, UnsafeSlice};
 use gw_stencil::patch::{BLOCK_VOLUME, PATCH_VOLUME};
+
+/// Chunk length for the element-wise parallel kernels (AXPY, copy): big
+/// enough to amortize task dispatch, small enough to load-balance.
+const AXPY_CHUNK: usize = 4096;
 
 /// A multi-dof field over the octants of a mesh: `dof × n_oct` blocks of
 /// `r^3 = 343` points, laid out variable-major (`[var][octant][point]`) so
@@ -64,6 +69,55 @@ impl Field {
         for ((x, b), s) in self.data.iter_mut().zip(base.data.iter()).zip(slope.data.iter()) {
             *x = b + a * s;
         }
+    }
+
+    /// Chunk-parallel [`Field::axpy`]. Each output element depends only
+    /// on its own input pair, so any chunking is bit-identical to serial.
+    pub fn axpy_par(&mut self, a: f64, other: &Field, pool: &ThreadPool) {
+        assert_eq!(self.data.len(), other.data.len());
+        let n = self.data.len();
+        let out = UnsafeSlice::new(&mut self.data);
+        pool.for_each(n.div_ceil(AXPY_CHUNK), |ci| {
+            let s = ci * AXPY_CHUNK;
+            let e = (s + AXPY_CHUNK).min(n);
+            // Safety: chunks are disjoint.
+            let dst = unsafe { out.slice_mut(s, e - s) };
+            for (x, y) in dst.iter_mut().zip(other.data[s..e].iter()) {
+                *x += a * y;
+            }
+        });
+    }
+
+    /// Chunk-parallel [`Field::assign_axpy`].
+    pub fn assign_axpy_par(&mut self, base: &Field, a: f64, slope: &Field, pool: &ThreadPool) {
+        assert_eq!(self.data.len(), base.data.len());
+        assert_eq!(self.data.len(), slope.data.len());
+        let n = self.data.len();
+        let out = UnsafeSlice::new(&mut self.data);
+        pool.for_each(n.div_ceil(AXPY_CHUNK), |ci| {
+            let s = ci * AXPY_CHUNK;
+            let e = (s + AXPY_CHUNK).min(n);
+            // Safety: chunks are disjoint.
+            let dst = unsafe { out.slice_mut(s, e - s) };
+            for ((x, b), sl) in
+                dst.iter_mut().zip(base.data[s..e].iter()).zip(slope.data[s..e].iter())
+            {
+                *x = b + a * sl;
+            }
+        });
+    }
+
+    /// Chunk-parallel copy of `other`'s contents into `self`.
+    pub fn copy_from_par(&mut self, other: &Field, pool: &ThreadPool) {
+        assert_eq!(self.data.len(), other.data.len());
+        let n = self.data.len();
+        let out = UnsafeSlice::new(&mut self.data);
+        pool.for_each(n.div_ceil(AXPY_CHUNK), |ci| {
+            let s = ci * AXPY_CHUNK;
+            let e = (s + AXPY_CHUNK).min(n);
+            // Safety: chunks are disjoint.
+            unsafe { out.slice_mut(s, e - s) }.copy_from_slice(&other.data[s..e]);
+        });
     }
 
     /// Max-norm over one variable.
@@ -163,6 +217,36 @@ mod tests {
         let mut c = Field::zeros(1, 1);
         c.assign_axpy(&a, 2.0, &b);
         assert!(c.block(0, 0).iter().all(|&v| (v - 9.5).abs() < 1e-15));
+    }
+
+    #[test]
+    fn parallel_axpy_bitwise_matches_serial() {
+        let n_oct = 5;
+        let dof = 4;
+        let mk = |seed: usize| {
+            let mut f = Field::zeros(dof, n_oct);
+            for (i, v) in f.as_mut_slice().iter_mut().enumerate() {
+                *v = ((seed * 7919 + i) as f64).cos();
+            }
+            f
+        };
+        let (x0, y, b, s) = (mk(1), mk(2), mk(3), mk(4));
+        let mut x_ref = x0.clone();
+        x_ref.axpy(0.3, &y);
+        let mut z_ref = Field::zeros(dof, n_oct);
+        z_ref.assign_axpy(&b, -1.7, &s);
+        for threads in [1usize, 2, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut x = x0.clone();
+            x.axpy_par(0.3, &y, &pool);
+            assert_eq!(x, x_ref);
+            let mut z = Field::zeros(dof, n_oct);
+            z.assign_axpy_par(&b, -1.7, &s, &pool);
+            assert_eq!(z, z_ref);
+            let mut c = Field::zeros(dof, n_oct);
+            c.copy_from_par(&y, &pool);
+            assert_eq!(c, y);
+        }
     }
 
     #[test]

@@ -1,7 +1,55 @@
 //! The computational mesh: octant geometry plus precomputed kernel maps.
 
 use gw_octree::{Domain, MortonKey, NeighborDirection, NeighborLevel, NeighborQuery};
-use gw_stencil::patch::POINTS_PER_SIDE;
+use gw_stencil::patch::{PATCH_VOLUME, POINTS_PER_SIDE};
+
+/// Structural problems with the leaf set handed to [`Mesh::try_build`].
+///
+/// These are *input* errors (a caller handed us something that is not a
+/// sorted, complete, 2:1-balanced linear octree), distinct from internal
+/// invariant violations, which stay `panic!`s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MeshError {
+    /// The leaf set is empty — there is no domain to mesh.
+    EmptyLeaves,
+    /// The leaf vector is not strictly sorted (or contains duplicates),
+    /// so neighbor lookups via binary search are meaningless.
+    UnsortedLeaves,
+    /// The leaves do not tile the domain (gaps or overlaps): not a
+    /// complete linear octree.
+    IncompleteTree,
+    /// The tree violates 2:1 balance, which the scatter-map case analysis
+    /// (Same/Inject/Prolong) relies on.
+    UnbalancedTree,
+    /// A neighbor reported by the octree query is not present in the leaf
+    /// set (defensive backstop; the up-front completeness and balance
+    /// checks should make this unreachable).
+    MissingNeighbor { of: MortonKey, missing: MortonKey },
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::EmptyLeaves => write!(f, "empty leaf set"),
+            MeshError::UnsortedLeaves => {
+                write!(f, "leaf set is not strictly sorted (balanced linear octree required)")
+            }
+            MeshError::IncompleteTree => {
+                write!(f, "leaf set does not tile the domain (not a complete linear octree)")
+            }
+            MeshError::UnbalancedTree => {
+                write!(f, "leaf set violates 2:1 balance (full face/edge/corner balance required)")
+            }
+            MeshError::MissingNeighbor { of, missing } => write!(
+                f,
+                "neighbor {missing:?} of leaf {of:?} is not in the leaf set \
+                 (tree not complete / 2:1 balanced)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
 
 /// How a scatter source relates to its destination patch (the three cases
 /// of Algorithm 2, guaranteed exhaustive by the 2:1 balance).
@@ -83,7 +131,29 @@ pub struct Mesh {
 
 impl Mesh {
     /// Build a mesh from a 2:1-balanced complete linear octree.
+    ///
+    /// Panics on malformed input; use [`Mesh::try_build`] to get a typed
+    /// [`MeshError`] instead.
     pub fn build(domain: Domain, leaves: &[MortonKey]) -> Mesh {
+        Self::try_build(domain, leaves).unwrap_or_else(|e| panic!("Mesh::build: {e}"))
+    }
+
+    /// Fallible [`Mesh::build`]: rejects empty, unsorted, and
+    /// incomplete/unbalanced leaf sets with a typed error instead of
+    /// panicking deep inside neighbor resolution.
+    pub fn try_build(domain: Domain, leaves: &[MortonKey]) -> Result<Mesh, MeshError> {
+        if leaves.is_empty() {
+            return Err(MeshError::EmptyLeaves);
+        }
+        if leaves.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(MeshError::UnsortedLeaves);
+        }
+        if !gw_octree::is_complete_linear(leaves) {
+            return Err(MeshError::IncompleteTree);
+        }
+        if !gw_octree::is_balanced(leaves, gw_octree::BalanceMode::Full) {
+            return Err(MeshError::UnbalancedTree);
+        }
         let n = leaves.len();
         let octants: Vec<OctInfo> = leaves
             .iter()
@@ -94,7 +164,12 @@ impl Mesh {
                 h: domain.grid_spacing(k.level(), POINTS_PER_SIDE),
             })
             .collect();
-        let index_of = |k: &MortonKey| leaves.binary_search(k).expect("leaf") as u32;
+        let index_of = |of: &MortonKey, k: &MortonKey| -> Result<u32, MeshError> {
+            leaves
+                .binary_search(k)
+                .map(|i| i as u32)
+                .map_err(|_| MeshError::MissingNeighbor { of: *of, missing: *k })
+        };
         let q = NeighborQuery::new(leaves);
 
         let mut per_src: Vec<Vec<ScatterOp>> = vec![Vec::new(); n];
@@ -129,8 +204,9 @@ impl Mesh {
                         boundary_regions.push((bi as u32, delta));
                     }
                     NeighborLevel::Same(e) => {
-                        per_src[index_of(&e) as usize].push(ScatterOp {
-                            src: index_of(&e),
+                        let ei = index_of(b, &e)?;
+                        per_src[ei as usize].push(ScatterOp {
+                            src: ei,
                             dst: bi as u32,
                             delta,
                             kind: ScatterKind::Same,
@@ -144,7 +220,7 @@ impl Mesh {
                     NeighborLevel::Coarser(e) => {
                         // Source coarser: offset (dst − src) in dst (fine)
                         // spacing units.
-                        let ei = index_of(&e);
+                        let ei = index_of(b, &e)?;
                         let h_b = octants[bi].h;
                         let off = off_in(&octants[bi], &octants[ei as usize], h_b);
                         per_src[ei as usize].push(ScatterOp {
@@ -159,15 +235,13 @@ impl Mesh {
                     NeighborLevel::Finer(fs) => {
                         // All sibling offsets for this (dst, delta) group,
                         // to resolve boundary-plane ownership.
-                        let offs: Vec<[i32; 3]> = fs
-                            .iter()
-                            .map(|e| {
-                                let ei = index_of(e) as usize;
-                                off_in(&octants[ei], &octants[bi], octants[ei].h)
-                            })
-                            .collect();
+                        let mut offs: Vec<[i32; 3]> = Vec::with_capacity(fs.len());
+                        for e in fs.iter() {
+                            let ei = index_of(b, e)? as usize;
+                            offs.push(off_in(&octants[ei], &octants[bi], octants[ei].h));
+                        }
                         for (e, off) in fs.iter().zip(offs.iter()) {
-                            let ei = index_of(e);
+                            let ei = index_of(b, e)?;
                             let off = *off;
                             // Own the i_src == 6 plane along axis a iff no
                             // sibling source sits at off[a] + 6 (with the
@@ -252,7 +326,7 @@ impl Mesh {
             gather_offsets.push(gather.len());
         }
 
-        Mesh {
+        let mesh = Mesh {
             domain,
             octants,
             scatter,
@@ -261,7 +335,13 @@ impl Mesh {
             syncs,
             gather_offsets,
             gather,
+        };
+        // Internal invariant, asserted in release builds too: it is what
+        // makes the octant-parallel scatter race-free (see DESIGN.md).
+        if let Err(msg) = check_write_partition(n, &mesh.gather, &mesh.gather_offsets) {
+            panic!("write-partition invariant violated: {msg}");
         }
+        Ok(mesh)
     }
 
     pub fn n_octants(&self) -> usize {
@@ -322,6 +402,44 @@ impl Mesh {
         };
         keys[idx].contains(&probe).then_some(idx)
     }
+}
+
+/// Verify the scatter write partition: within each destination patch,
+/// every padding point has **at most one** writer among the incoming ops.
+/// Interiors are written only by the owning octant, and the padding
+/// targets of distinct sources must be disjoint — this is exactly the
+/// property that lets [`crate::scatter::fill_patches_scatter_par`] run
+/// one task per source octant with no write synchronization. Enforced as
+/// a release-mode assertion at mesh construction.
+fn check_write_partition(
+    n_oct: usize,
+    gather: &[ScatterOp],
+    gather_offsets: &[usize],
+) -> Result<(), String> {
+    // Epoch-marked writer table, reused across destination octants.
+    let mut writer: Vec<u32> = vec![u32::MAX; PATCH_VOLUME];
+    let mut epoch_src: Vec<u32> = vec![u32::MAX; PATCH_VOLUME];
+    for b in 0..n_oct {
+        let epoch = b as u32;
+        for op in &gather[gather_offsets[b]..gather_offsets[b + 1]] {
+            let mut clash: Option<(usize, u32)> = None;
+            crate::scatter::for_each_scatter_point(op, |dst_idx, _src_idx| {
+                if writer[dst_idx] == epoch && epoch_src[dst_idx] != op.src {
+                    clash.get_or_insert((dst_idx, epoch_src[dst_idx]));
+                }
+                writer[dst_idx] = epoch;
+                epoch_src[dst_idx] = op.src;
+            });
+            if let Some((idx, prev)) = clash {
+                return Err(format!(
+                    "patch {b} point {idx} written by both octant {prev} and octant {} \
+                     ({:?} from delta {:?})",
+                    op.src, op.kind, op.delta
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -437,5 +555,73 @@ mod tests {
         let m = uniform_mesh(1);
         assert_eq!(m.n_points(), 8 * 343);
         assert_eq!(m.unknowns(24), 8 * 343 * 24);
+    }
+
+    #[test]
+    fn try_build_rejects_empty_leaf_set() {
+        assert_eq!(Mesh::try_build(Domain::unit(), &[]).err(), Some(MeshError::EmptyLeaves));
+    }
+
+    #[test]
+    fn try_build_rejects_unsorted_and_duplicate_leaves() {
+        let mut leaves: Vec<MortonKey> = MortonKey::root().children().to_vec();
+        leaves.swap(0, 1);
+        assert_eq!(Mesh::try_build(Domain::unit(), &leaves).err(), Some(MeshError::UnsortedLeaves));
+        let dup = vec![MortonKey::root().children()[0]; 2];
+        assert_eq!(Mesh::try_build(Domain::unit(), &dup).err(), Some(MeshError::UnsortedLeaves));
+    }
+
+    #[test]
+    fn try_build_rejects_incomplete_tree() {
+        // Drop one sibling from a uniform level-1 tree: the domain is no
+        // longer tiled, and we get a typed error instead of a panic.
+        let mut leaves: Vec<MortonKey> = MortonKey::root().children().to_vec();
+        leaves.remove(3);
+        assert_eq!(Mesh::try_build(Domain::unit(), &leaves).err(), Some(MeshError::IncompleteTree));
+    }
+
+    #[test]
+    fn try_build_rejects_unbalanced_tree() {
+        // Refine the interior corner of one level-1 octant down to level 3
+        // without rebalancing: level-3 leaves touch level-1 leaves.
+        let c = MortonKey::root().children();
+        let c0 = c[0].children();
+        let mut leaves: Vec<MortonKey> = c0[..7].to_vec();
+        leaves.extend(c0[7].children());
+        leaves.extend_from_slice(&c[1..]);
+        leaves.sort();
+        assert_eq!(Mesh::try_build(Domain::unit(), &leaves).err(), Some(MeshError::UnbalancedTree));
+    }
+
+    #[test]
+    fn single_leaf_mesh_builds() {
+        // Root-only domain: all 26 directions are boundary, no scatter.
+        let m = Mesh::build(Domain::unit(), &[MortonKey::root()]);
+        assert_eq!(m.n_octants(), 1);
+        assert!(m.scatter.is_empty());
+        assert_eq!(m.boundary_regions.len(), 26);
+        assert!(m.syncs.is_empty());
+    }
+
+    #[test]
+    fn write_partition_holds_on_adaptive_mesh() {
+        let m = adaptive_mesh();
+        assert!(check_write_partition(m.n_octants(), &m.gather, &m.gather_offsets).is_ok());
+    }
+
+    #[test]
+    fn write_partition_checker_catches_overlap() {
+        // Duplicate one incoming op under a different source id: the
+        // checker must flag the double-write.
+        let m = uniform_mesh(1);
+        let mut gather = m.gather.clone();
+        let mut offsets = m.gather_offsets.clone();
+        let mut forged = gather[0];
+        forged.src = (forged.src + 1) % m.n_octants() as u32;
+        gather.insert(1, forged);
+        for o in offsets.iter_mut().skip(1) {
+            *o += 1;
+        }
+        assert!(check_write_partition(m.n_octants(), &gather, &offsets).is_err());
     }
 }

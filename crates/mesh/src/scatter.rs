@@ -7,8 +7,10 @@
 
 use crate::field::{Field, PatchField};
 use crate::grid::{Mesh, ScatterKind, ScatterOp};
+use gw_par::{tree_reduce, ThreadPool, UnsafeSlice};
 use gw_stencil::interp::{ProlongWorkspace, Prolongation, FINE_SIDE};
-use gw_stencil::patch::{PatchLayout, PADDING, POINTS_PER_SIDE};
+use gw_stencil::patch::{PatchLayout, PADDING, PATCH_VOLUME, POINTS_PER_SIDE};
+use std::cell::RefCell;
 
 /// Per-axis padded-patch index range of the padding region in direction
 /// `delta` (−1 → `[0,3)`, 0 → `[3,10)`, +1 → `[10,13)`).
@@ -22,19 +24,16 @@ pub fn region_range(delta: i8) -> std::ops::Range<usize> {
     }
 }
 
-/// Execute one scatter op for one variable. `src_block` is the source
-/// octant's `r^3` data; `fine13` must hold the source's prolonged
-/// `(2r−1)^3` block when `kind == Prolong` (pass anything otherwise).
-/// Returns (points written, flops).
-pub fn apply_scatter_op(
-    op: &ScatterOp,
-    src_block: &[f64],
-    fine13: &[f64],
-    dst_patch: &mut [f64],
-) -> (u64, u64) {
+/// Enumerate the `(dst_idx, src_idx)` point pairs of one scatter op.
+/// `dst_idx` indexes the destination's padded patch; `src_idx` indexes the
+/// source's `r^3` block for `Same`/`Inject` and the prolonged `(2r−1)^3`
+/// block for `Prolong`. This single index walk backs both the execution
+/// kernel ([`apply_scatter_op`]) and the build-time write-partition check
+/// in `grid.rs`, so what is validated is exactly what is executed.
+#[inline]
+pub fn for_each_scatter_point(op: &ScatterOp, mut visit: impl FnMut(usize, usize)) {
     let p = PatchLayout::padded();
     let o = PatchLayout::octant();
-    let mut written = 0u64;
     match op.kind {
         ScatterKind::Same => {
             // i_src = (p − 3) + 6δ ... derived from origins: src at
@@ -46,9 +45,7 @@ pub fn apply_scatter_op(
                     let ey = py as i32 - 3 - 6 * op.delta[1] as i32;
                     for px in region_range(op.delta[0]) {
                         let ex = px as i32 - 3 - 6 * op.delta[0] as i32;
-                        dst_patch[p.idx(px, py, pz)] =
-                            src_block[o.idx(ex as usize, ey as usize, ez as usize)];
-                        written += 1;
+                        visit(p.idx(px, py, pz), o.idx(ex as usize, ey as usize, ez as usize));
                     }
                 }
             }
@@ -73,9 +70,7 @@ pub fn apply_scatter_op(
                         if !valid(ex, 0) {
                             continue;
                         }
-                        dst_patch[p.idx(px, py, pz)] =
-                            src_block[o.idx(ex as usize, ey as usize, ez as usize)];
-                        written += 1;
+                        visit(p.idx(px, py, pz), o.idx(ex as usize, ey as usize, ez as usize));
                     }
                 }
             }
@@ -98,13 +93,30 @@ pub fn apply_scatter_op(
                         if !(0..f).contains(&jx) {
                             continue;
                         }
-                        dst_patch[p.idx(px, py, pz)] = fine13[((jz * f + jy) * f + jx) as usize];
-                        written += 1;
+                        visit(p.idx(px, py, pz), ((jz * f + jy) * f + jx) as usize);
                     }
                 }
             }
         }
     }
+}
+
+/// Execute one scatter op for one variable. `src_block` is the source
+/// octant's `r^3` data; `fine13` must hold the source's prolonged
+/// `(2r−1)^3` block when `kind == Prolong` (pass anything otherwise).
+/// Returns (points written, flops).
+pub fn apply_scatter_op(
+    op: &ScatterOp,
+    src_block: &[f64],
+    fine13: &[f64],
+    dst_patch: &mut [f64],
+) -> (u64, u64) {
+    let src = if op.kind == ScatterKind::Prolong { fine13 } else { src_block };
+    let mut written = 0u64;
+    for_each_scatter_point(op, |dst_idx, src_idx| {
+        dst_patch[dst_idx] = src[src_idx];
+        written += 1;
+    });
     (written, 0)
 }
 
@@ -140,6 +152,73 @@ pub fn fill_patches_scatter(mesh: &Mesh, field: &Field, patches: &mut PatchField
     flops
 }
 
+/// Octant-parallel [`fill_patches_scatter`]: one task per source octant,
+/// mirroring the paper's one-GPU-block-per-octant kernel grid. Race
+/// freedom is structural — each task writes its own patch interior plus
+/// the padding targets of its outgoing ops, and `Mesh::build` asserts
+/// that those target sets are disjoint across sources (the write
+/// partition). Bit-identical to the serial version at any thread count:
+/// every patch point has exactly one writer and its value depends only on
+/// the source block, never on execution order.
+pub fn fill_patches_scatter_par(
+    mesh: &Mesh,
+    field: &Field,
+    patches: &mut PatchField,
+    pool: &ThreadPool,
+) -> u64 {
+    thread_local! {
+        static SCRATCH: RefCell<Option<(ProlongWorkspace, Vec<f64>)>> =
+            const { RefCell::new(None) };
+    }
+    let prolong = Prolongation::new();
+    let dof = field.dof;
+    let n_oct = patches.n_oct;
+    let n = mesh.n_octants();
+    let out = UnsafeSlice::new(patches.as_mut_slice());
+    let flops: Vec<u64> = pool.map(n, |e| {
+        SCRATCH.with(|cell| {
+            let mut guard = cell.borrow_mut();
+            let (ws, fine13) = guard.get_or_insert_with(|| {
+                (ProlongWorkspace::new(), vec![0.0f64; FINE_SIDE * FINE_SIDE * FINE_SIDE])
+            });
+            let o = PatchLayout::octant();
+            let p = PatchLayout::padded();
+            let ops = mesh.scatter_of(e);
+            let needs_prolong = ops.iter().any(|op| op.kind == ScatterKind::Prolong);
+            let mut fl = 0u64;
+            for var in 0..dof {
+                let src = field.block(var, e);
+                // Own interior: this task is the sole writer of patch
+                // (var, e)'s interior region.
+                let own = (var * n_oct + e) * PATCH_VOLUME;
+                for (i, j, k) in o.iter() {
+                    // Safety: single writer per point (see fn docs).
+                    unsafe {
+                        out.write(
+                            own + p.idx(i + PADDING, j + PADDING, k + PADDING),
+                            src[o.idx(i, j, k)],
+                        )
+                    };
+                }
+                if needs_prolong {
+                    fl += prolong.prolong3d_ws(src, fine13, ws);
+                }
+                for op in ops {
+                    let base = (var * n_oct + op.dst as usize) * PATCH_VOLUME;
+                    let sarr: &[f64] = if op.kind == ScatterKind::Prolong { fine13 } else { src };
+                    for_each_scatter_point(op, |dst_idx, src_idx| {
+                        // Safety: the write partition makes (base+dst_idx)
+                        // unique to this source octant.
+                        unsafe { out.write(base + dst_idx, sarr[src_idx]) };
+                    });
+                }
+            }
+            fl
+        })
+    });
+    tree_reduce(&flops, 0u64, |a, b| a + b)
+}
+
 /// Patch-to-octant: copy every patch interior back into the octant blocks
 /// (a pure data-movement kernel; Table III reports zero arithmetic
 /// intensity for it).
@@ -154,6 +233,27 @@ pub fn patches_to_octants(mesh: &Mesh, patches: &PatchField, field: &mut Field) 
     }
 }
 
+/// Octant-parallel [`patches_to_octants`]: octant blocks are disjoint per
+/// `(var, octant)`, so each task owns its output blocks outright.
+pub fn patches_to_octants_par(
+    mesh: &Mesh,
+    patches: &PatchField,
+    field: &mut Field,
+    pool: &ThreadPool,
+) {
+    use gw_stencil::patch::BLOCK_VOLUME;
+    let dof = field.dof;
+    let n_oct = field.n_oct;
+    let out = UnsafeSlice::new(field.as_mut_slice());
+    pool.for_each(mesh.n_octants(), |e| {
+        for var in 0..dof {
+            // Safety: block (var, e) is written by task e alone.
+            let block = unsafe { out.slice_mut((var * n_oct + e) * BLOCK_VOLUME, BLOCK_VOLUME) };
+            gw_stencil::patch::patch_interior_to_octant(patches.patch(var, e), block);
+        }
+    });
+}
+
 /// Fine→coarse interface synchronization: overwrite coarse points that
 /// coincide with fine points using the fine (authoritative) values.
 pub fn sync_interfaces(mesh: &Mesh, field: &mut Field) {
@@ -163,6 +263,33 @@ pub fn sync_interfaces(mesh: &Mesh, field: &mut Field) {
             field.block_mut(var, c.dst_oct as usize)[c.dst_idx as usize] = v;
         }
     }
+}
+
+/// Variable-parallel [`sync_interfaces`]: one task per variable, matching
+/// the GPU kernel's `grid(NUM_VARS)` launch. The copy list is applied in
+/// its serial order *within* each variable — with ≥3 refinement levels a
+/// point can be a sync destination for one interface and a sync source
+/// for another, so cross-copy order within a variable is preserved, while
+/// distinct variables touch disjoint storage.
+pub fn sync_interfaces_par(mesh: &Mesh, field: &mut Field, pool: &ThreadPool) {
+    use gw_stencil::patch::BLOCK_VOLUME;
+    let n_oct = field.n_oct;
+    let dof = field.dof;
+    let out = UnsafeSlice::new(field.as_mut_slice());
+    pool.for_each_chunked(dof, 1, |var| {
+        for c in &mesh.syncs {
+            // Safety: all accesses of task `var` stay within variable
+            // `var`'s block range; tasks are disjoint per variable.
+            unsafe {
+                let v = out
+                    .read((var * n_oct + c.src_oct as usize) * BLOCK_VOLUME + c.src_idx as usize);
+                out.write(
+                    (var * n_oct + c.dst_oct as usize) * BLOCK_VOLUME + c.dst_idx as usize,
+                    v,
+                );
+            }
+        }
+    });
 }
 
 /// Fill domain-boundary padding regions by 6th-order polynomial
@@ -204,6 +331,43 @@ pub fn fill_boundary_padding_range(
             }
         }
     }
+}
+
+/// Region-parallel [`fill_boundary_padding`]: one task per boundary
+/// `(octant, delta)` region. Regions of the same patch are disjoint, and
+/// the clamped read source is always in the patch interior, which this
+/// kernel never writes.
+pub fn fill_boundary_padding_par(
+    mesh: &Mesh,
+    patches: &mut PatchField,
+    dof: usize,
+    pool: &ThreadPool,
+) {
+    let n_oct = patches.n_oct;
+    let regions = &mesh.boundary_regions;
+    let out = UnsafeSlice::new(patches.as_mut_slice());
+    pool.for_each(regions.len(), |ri| {
+        let (oct, delta) = regions[ri];
+        let p = PatchLayout::padded();
+        for var in 0..dof {
+            let base = (var * n_oct + oct as usize) * PATCH_VOLUME;
+            for pz in region_range(delta[2]) {
+                for py in region_range(delta[1]) {
+                    for px in region_range(delta[0]) {
+                        let cx = px.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        let cy = py.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        let cz = pz.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                        // Safety: reads hit the (never-written) interior;
+                        // each padding point belongs to exactly one region.
+                        unsafe {
+                            let v = out.read(base + p.idx(cx, cy, cz));
+                            out.write(base + p.idx(px, py, pz), v);
+                        }
+                    }
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -399,6 +563,52 @@ mod tests {
         // Now no NaN anywhere.
         for oct in 0..mesh.n_octants() {
             assert!(patches.patch(0, oct).iter().all(|v| !v.is_nan()));
+        }
+    }
+
+    /// The parallel kernels must be bit-identical to the serial oracles
+    /// for every thread count — the core determinism claim of the
+    /// threading model (DESIGN.md).
+    #[test]
+    fn parallel_kernels_bitwise_match_serial_at_any_thread_count() {
+        let mesh = adaptive_mesh();
+        let dof = 3;
+        let mut f = Field::zeros(dof, mesh.n_octants());
+        for var in 0..dof {
+            for oct in 0..mesh.n_octants() {
+                for (i, v) in f.block_mut(var, oct).iter_mut().enumerate() {
+                    *v = ((var * 1009 + oct * 131 + i) as f64).sin();
+                }
+            }
+        }
+        // Serial reference pipeline.
+        let mut p_ref = PatchField::zeros(dof, mesh.n_octants());
+        p_ref.fill(f64::NAN);
+        let flops_ref = fill_patches_scatter(&mesh, &f, &mut p_ref);
+        fill_boundary_padding(&mesh, &mut p_ref, dof);
+        let mut back_ref = Field::zeros(dof, mesh.n_octants());
+        patches_to_octants(&mesh, &p_ref, &mut back_ref);
+        let mut sync_ref = f.clone();
+        sync_interfaces(&mesh, &mut sync_ref);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = gw_par::ThreadPool::new(threads);
+            let mut p = PatchField::zeros(dof, mesh.n_octants());
+            p.fill(f64::NAN);
+            let flops = fill_patches_scatter_par(&mesh, &f, &mut p, &pool);
+            assert_eq!(flops, flops_ref, "flop count differs at {threads} threads");
+            fill_boundary_padding_par(&mesh, &mut p, dof, &pool);
+            let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(p.as_slice()),
+                bits(p_ref.as_slice()),
+                "patches differ at {threads} threads"
+            );
+            let mut back = Field::zeros(dof, mesh.n_octants());
+            patches_to_octants_par(&mesh, &p, &mut back, &pool);
+            assert_eq!(bits(back.as_slice()), bits(back_ref.as_slice()));
+            let mut sync = f.clone();
+            sync_interfaces_par(&mesh, &mut sync, &pool);
+            assert_eq!(bits(sync.as_slice()), bits(sync_ref.as_slice()));
         }
     }
 

@@ -36,7 +36,9 @@ pub mod partition;
 pub mod refine;
 
 pub use balance::{balance_octree, is_balanced, BalanceMode};
-pub use build::{complete_octree, complete_region, linearize, octree_from_points};
+pub use build::{
+    complete_octree, complete_region, is_complete_linear, linearize, octree_from_points,
+};
 pub use domain::Domain;
 pub use key::{MortonKey, MAX_LEVEL};
 pub use neighbors::{NeighborDirection, NeighborLevel, NeighborQuery};

@@ -116,14 +116,17 @@ fn decide_clamped(refiner: &dyn Refiner, domain: &Domain, k: &MortonKey) -> Refi
 }
 
 /// Iterate [`refine_step`] until a fixed point (or `max_sweeps`).
+///
+/// Borrows the seed leaves — callers that keep their key vector (e.g. the
+/// solver's regrid, which compares old vs new grids) no longer clone it.
 pub fn refine_loop(
-    initial: Vec<MortonKey>,
+    initial: &[MortonKey],
     domain: &Domain,
     refiner: &dyn Refiner,
     mode: BalanceMode,
     max_sweeps: usize,
 ) -> Vec<MortonKey> {
-    let mut t = balance_octree(&complete_octree(initial), mode);
+    let mut t = balance_octree(&complete_octree(initial.to_vec()), mode);
     for _ in 0..max_sweeps {
         let next = refine_step(&t, domain, refiner, mode);
         if next == t {
@@ -314,7 +317,7 @@ mod tests {
         let domain = Domain::centered_cube(16.0);
         let p = Puncture { pos: [4.0, 0.0, 0.0], finest_level: 7, inner_radius: 0.5 };
         let r = PunctureRefiner::new(vec![p], 2);
-        let t = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
+        let t = refine_loop(&[MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
         assert!(is_complete_linear(&t));
         assert!(is_balanced(&t, BalanceMode::Full));
         // The leaf containing the puncture is at the finest level.
@@ -336,7 +339,7 @@ mod tests {
         let big = Puncture { pos: [-1.6, 0.0, 0.0], finest_level: 6, inner_radius: 0.8 };
         let small = Puncture { pos: [6.4, 0.0, 0.0], finest_level: 8, inner_radius: 0.2 };
         let r = PunctureRefiner::new(vec![big, small], 2);
-        let t = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 25);
+        let t = refine_loop(&[MortonKey::root()], &domain, &r, BalanceMode::Full, 25);
         let l_big = t.iter().find(|k| domain.distance_to_octant(k, big.pos) == 0.0).unwrap();
         let l_small = t.iter().find(|k| domain.distance_to_octant(k, small.pos) == 0.0).unwrap();
         assert_eq!(l_big.level(), 6);
@@ -347,7 +350,7 @@ mod tests {
     fn shell_refiner_creates_band() {
         let domain = Domain::centered_cube(16.0);
         let r = PunctureRefiner::new(vec![], 2).with_shell(8.0, 12.0, 5);
-        let t = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 12);
+        let t = refine_loop(&[MortonKey::root()], &domain, &r, BalanceMode::Full, 12);
         // A leaf strictly inside the shell is refined to level 5; one well
         // inside the hollow is not. (Probe points chosen off octant
         // boundaries so exactly one leaf matches.)
@@ -367,7 +370,7 @@ mod tests {
             (-r2 / 0.5).exp()
         };
         let r = InterpErrorRefiner::new(field, 3e-2, 2, 6);
-        let t = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 8);
+        let t = refine_loop(&[MortonKey::root()], &domain, &r, BalanceMode::Full, 8);
         assert!(is_complete_linear(&t));
         let center =
             t.iter().find(|k| domain.distance_to_octant(k, [0.05, 0.05, 0.05]) == 0.0).unwrap();
@@ -388,7 +391,7 @@ mod tests {
         let mut sizes = Vec::new();
         for eps in [1e-1, 3e-2, 1e-2] {
             let r = InterpErrorRefiner::new(field, eps, 2, 5);
-            let t = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 8);
+            let t = refine_loop(&[MortonKey::root()], &domain, &r, BalanceMode::Full, 8);
             sizes.push(t.len());
         }
         assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "sizes {sizes:?} not monotone");
@@ -400,7 +403,7 @@ mod tests {
         let domain = Domain::centered_cube(16.0);
         let p = Puncture { pos: [0.0, 0.0, 0.0], finest_level: 5, inner_radius: 1.0 };
         let r = PunctureRefiner::new(vec![p], 2);
-        let t = refine_loop(vec![MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
+        let t = refine_loop(&[MortonKey::root()], &domain, &r, BalanceMode::Full, 20);
         let t2 = refine_step(&t, &domain, &r, BalanceMode::Full);
         assert_eq!(t, t2, "converged grid must be a fixed point");
     }
@@ -429,7 +432,7 @@ mod tests {
                 2
             }
         }
-        let t = refine_loop(fine, &domain, &Want2, BalanceMode::Full, 10);
+        let t = refine_loop(&fine, &domain, &Want2, BalanceMode::Full, 10);
         assert!(t.iter().all(|k| k.level() == 2));
         assert_eq!(t.len(), 64);
     }

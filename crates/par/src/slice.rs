@@ -1,0 +1,136 @@
+//! Shared mutable slice for partitioned parallel writes.
+//!
+//! The same contract as a CUDA global-memory pointer handed to a kernel
+//! grid: items executing in parallel may write through it, and the
+//! *caller* (not this type) guarantees the write partition is
+//! non-overlapping. The solver stages uphold it structurally — e.g. the
+//! octant-to-patch scatter's `(destination patch, padding region)`
+//! targets are disjoint across source octants by grid construction,
+//! which `gw_mesh::Mesh::build` verifies at build time.
+
+use std::cell::UnsafeCell;
+
+/// A `&mut [T]` shareable across the participants of one parallel call.
+pub struct UnsafeSlice<'a, T> {
+    slice: &'a [UnsafeCell<T>],
+}
+
+// Safety: access discipline is delegated to callers (see module docs);
+// the type itself only hands out raw element accesses.
+unsafe impl<T: Send + Sync> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wrap a mutable slice for the duration of a parallel call.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let ptr = slice as *mut [T] as *const [UnsafeCell<T>];
+        // Safety: UnsafeCell<T> has the same layout as T.
+        Self { slice: unsafe { &*ptr } }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+
+    /// Raw pointer to element `i` (bounds-checked). The caller must
+    /// uphold the non-overlap contract when writing through it.
+    #[inline]
+    pub fn get_mut_ptr(&self, i: usize) -> *mut T {
+        self.slice[i].get()
+    }
+
+    /// Write one element.
+    ///
+    /// # Safety
+    /// No other thread may concurrently access index `i`.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        *self.slice[i].get() = value;
+    }
+
+    /// Read one element.
+    ///
+    /// # Safety
+    /// No other thread may concurrently *write* index `i`.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        *self.slice[i].get()
+    }
+
+    /// Get a mutable sub-slice.
+    ///
+    /// # Safety
+    /// The range must not be concurrently accessed by any other thread.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(start + len <= self.slice.len(), "slice_mut out of bounds");
+        std::slice::from_raw_parts_mut(self.slice[start].get(), len)
+    }
+
+    /// Get a shared sub-slice.
+    ///
+    /// # Safety
+    /// The range must not be concurrently written by any other thread.
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &[T] {
+        assert!(start + len <= self.slice.len(), "slice out of bounds");
+        std::slice::from_raw_parts(self.slice[start].get(), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0u64; 1024];
+        {
+            let s = UnsafeSlice::new(&mut data);
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let s = &s;
+                    scope.spawn(move || {
+                        for i in (t * 256)..((t + 1) * 256) {
+                            // Safety: each thread owns a disjoint quarter.
+                            unsafe { s.write(i, i as u64) };
+                        }
+                    });
+                }
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn subslice_views() {
+        let mut data = vec![1.0f64; 16];
+        let s = UnsafeSlice::new(&mut data);
+        unsafe {
+            let sub = s.slice_mut(4, 4);
+            for v in sub.iter_mut() {
+                *v = 2.0;
+            }
+            assert_eq!(s.slice(0, 4), &[1.0; 4]);
+            assert_eq!(s.slice(4, 4), &[2.0; 4]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_subslice_panics() {
+        let mut data = vec![0f64; 8];
+        let s = UnsafeSlice::new(&mut data);
+        unsafe {
+            let _ = s.slice(4, 8);
+        }
+    }
+}

@@ -43,7 +43,7 @@ fn main() {
     let domain = Domain::centered_cube(16.0);
     let finest = 6;
     let refiner = puncture_refiner(&data, finest);
-    let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 16);
+    let leaves = refine_loop(&[MortonKey::root()], &domain, &refiner, BalanceMode::Full, 16);
     let mesh = Mesh::build(domain, &leaves);
     println!(
         "\ngrid: {} octants, {} unknowns (finest level {finest})",

@@ -20,7 +20,7 @@ fn main() {
 
     // 2. Build an adaptive grid refined where the wave lives.
     let refiner = InterpErrorRefiner::new(move |p: [f64; 3]| wave.h_plus(p[2], 0.0), 1e-4, 2, 4);
-    let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+    let leaves = refine_loop(&[MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
     let mesh = Mesh::build(domain, &leaves);
     println!(
         "grid: {} octants, {} unknowns, adaptivity ratio {:.3}",

@@ -63,7 +63,7 @@ fn main() {
     println!("\n== AMR (ε-driven) vs analytic at t = {horizon} ==");
     for eps in [1e-3, 1e-4] {
         let refiner = InterpErrorRefiner::new(move |p: [f64; 3]| wave.h_plus(p[2], 0.0), eps, 2, 4);
-        let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+        let leaves = refine_loop(&[MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
         let mesh = Mesh::build(domain, &leaves);
         let n = mesh.n_octants();
         let mut s = GwSolver::new(SolverConfig::default(), mesh, |p, out| wave.evaluate(p, out));

@@ -26,7 +26,7 @@ fn wave_on_amr_matches_wave_on_uniform_where_resolved() {
         wave.evaluate(p, out)
     });
     let refiner = InterpErrorRefiner::new(move |p: [f64; 3]| wave.h_plus(p[2], 0.0), 1e-5, 2, 3);
-    let leaves = refine_loop(vec![MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
+    let leaves = refine_loop(&[MortonKey::root()], &domain, &refiner, BalanceMode::Full, 8);
     let amr_mesh = Mesh::build(domain, &leaves);
     assert!(amr_mesh.n_octants() < uni.mesh.n_octants(), "AMR must be cheaper");
     let mut amr = GwSolver::new(SolverConfig::default(), amr_mesh, |p, out| wave.evaluate(p, out));

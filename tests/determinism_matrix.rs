@@ -1,0 +1,95 @@
+//! Thread-count determinism matrix.
+//!
+//! The parallel patch pipeline promises bit-identical results at any
+//! thread count: every parallel stage is a pure slot-write with a
+//! single writer per slot, and every floating-point reduction combines
+//! per-item partials in fixed index order (see DESIGN.md, "Threading
+//! model"). This suite runs the same gauge-wave evolution at
+//! `threads` = 1, 2, 8 and compares final states bit-for-bit, plus the
+//! CRCs of full checkpoints (which also cover time/step bookkeeping).
+
+use gw_bssn::init::LinearWaveData;
+use gw_core::checkpoint;
+use gw_core::solver::{GwSolver, SolverConfig};
+use gw_expr::symbols::var;
+use gw_integration_tests::adaptive_mesh;
+use gw_octree::Domain;
+
+/// The checkpoint's embedded body CRC-32 (the trailing word of format
+/// v2). Comparing the *whole* stream's CRC would be vacuous: appending
+/// a CRC to its own body pins the total to the CRC-32 residue constant
+/// (0x2144df1c) for every valid checkpoint.
+fn checkpoint_crc(solver: &GwSolver) -> u32 {
+    let b = checkpoint::save(solver);
+    let sl = b.as_slice();
+    u32::from_le_bytes(sl[sl.len() - 4..].try_into().unwrap())
+}
+
+/// Evolve a gauge wave on an adaptive mesh (all three scatter kinds)
+/// for `steps` steps with the requested worker count, returning the
+/// solver for inspection.
+fn evolve(threads: usize, steps: usize) -> GwSolver {
+    let domain = Domain::centered_cube(8.0);
+    let mesh = adaptive_mesh(domain);
+    let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+    let config = SolverConfig { threads, ..Default::default() };
+    let mut solver = GwSolver::new(config, mesh, move |p, out| wave.evaluate(p, out));
+    for _ in 0..steps {
+        solver.step();
+    }
+    solver
+}
+
+#[test]
+fn evolution_is_bit_identical_across_thread_counts() {
+    let reference = evolve(1, 6);
+    let ref_bits: Vec<u64> = reference.state().as_slice().iter().map(|v| v.to_bits()).collect();
+    let ref_crc = checkpoint_crc(&reference);
+    let ref_h = reference.constraint_sample();
+    assert!(reference.state().linf(var::gt(0, 0)) > 1.0, "wave content expected");
+
+    for threads in [2usize, 8] {
+        let run = evolve(threads, 6);
+        assert_eq!(run.n_threads(), threads);
+        let bits: Vec<u64> = run.state().as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits, ref_bits,
+            "threads={threads}: final state must be bit-identical to the serial run"
+        );
+        assert_eq!(
+            checkpoint_crc(&run),
+            ref_crc,
+            "threads={threads}: checkpoint CRC must match the serial run"
+        );
+        assert_eq!(
+            run.constraint_sample().to_bits(),
+            ref_h.to_bits(),
+            "threads={threads}: constraint norm reduction must be order-fixed"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_determinism_across_thread_counts() {
+    // Save at threads=1 mid-run, restore under threads=8, finish, and
+    // compare against an uninterrupted serial run: restart points must
+    // not introduce thread-count-dependent state either.
+    let mut serial = evolve(1, 3);
+    let cp = checkpoint::load(checkpoint::save(&serial)).expect("roundtrip");
+    let mut resumed = checkpoint::restore(SolverConfig { threads: 8, ..Default::default() }, cp);
+    for _ in 0..3 {
+        serial.step();
+        resumed.step();
+    }
+    assert_eq!(
+        checkpoint_crc(&serial),
+        checkpoint_crc(&resumed),
+        "resume under a different thread count must stay bit-identical"
+    );
+    // Belt and braces: the full serialized streams agree byte for byte.
+    assert_eq!(
+        checkpoint::save(&serial).as_slice(),
+        checkpoint::save(&resumed).as_slice(),
+        "checkpoint byte streams must be identical"
+    );
+}
