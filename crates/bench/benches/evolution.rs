@@ -26,18 +26,18 @@ fn bench_evolution(c: &mut Criterion) {
     let rk = Rk4::default();
     let dt = rk.timestep(&mesh);
 
-    let mut cpu = Backend::Cpu(CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise));
+    let mut cpu = CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise);
     cpu.upload(&u);
     group.bench_function(format!("cpu-pointwise-{}oct", mesh.n_octants()), |b| {
         b.iter(|| rk.step(&mut cpu, &mesh, dt))
     });
 
-    let mut gpu = Backend::Gpu(GpuBackend::new(
+    let mut gpu = GpuBackend::new(
         &mesh,
         BssnParams::default(),
         RhsKind::Generated(ScheduleStrategy::StagedCse),
         Device::a100(),
-    ));
+    );
     gpu.upload(&u);
     group.bench_function(format!("gpu-sim-staged-{}oct", mesh.n_octants()), |b| {
         b.iter(|| rk.step(&mut gpu, &mesh, dt))

@@ -10,7 +10,7 @@
 use gw_bench::table::num;
 use gw_bench::{bbh_like_grids, TablePrinter};
 use gw_bssn::BssnParams;
-use gw_core::backend::{Buf, GpuBackend, RhsKind};
+use gw_core::backend::{Backend, Buf, GpuBackend, RhsKind};
 use gw_core::solver::fill_field;
 use gw_expr::schedule::ScheduleStrategy;
 use gw_gpu_sim::{Device, MachineSpec};

@@ -33,18 +33,18 @@ fn main() {
         }
         out[0] += 1e-4 * (-0.01 * (p[0] * p[0] + p[1] * p[1] + p[2] * p[2])).exp();
     });
-    let mut gpu = Backend::Gpu(GpuBackend::new(
+    let mut gpu = GpuBackend::new(
         &mesh,
         BssnParams::default(),
         RhsKind::Generated(ScheduleStrategy::StagedCse),
         Device::a100(),
-    ));
+    );
     gpu.upload(&u);
     let rk = Rk4::default();
     let dt = rk.timestep(&mesh);
-    let before = gpu.counters().unwrap();
+    let before = gpu.counters();
     rk.step(&mut gpu, &mesh, dt);
-    let d = gpu.counters().unwrap().delta_since(&before);
+    let d = gpu.counters().delta_since(&before);
     let ram = RamModel::a100();
     let t_step_1gpu = ram.kernel_time(&d);
     println!("single-device model time per RK4 step: {:.3} ms", t_step_1gpu * 1e3);

@@ -43,17 +43,17 @@ fn main() {
                 *o = if v == 0 || v == 7 || v == 9 || v == 12 || v == 14 { 1.0 } else { 0.0 };
             }
         });
-        let mut gpu = Backend::Gpu(GpuBackend::new(
+        let mut gpu = GpuBackend::new(
             &mesh,
             BssnParams::default(),
             RhsKind::Generated(ScheduleStrategy::StagedCse),
             Device::a100(),
-        ));
+        );
         gpu.upload(&u);
         let dt = rk.timestep(&mesh);
-        let before = gpu.counters().unwrap();
+        let before = gpu.counters();
         rk.step(&mut gpu, &mesh, dt);
-        let d = gpu.counters().unwrap().delta_since(&before);
+        let d = gpu.counters().delta_since(&before);
         let t_total = ram.kernel_time(&d);
         let part = partition_uniform(n, p);
         let plan = GhostSchedule::build(&part, dependencies(&mesh).iter().copied());

@@ -26,7 +26,7 @@ fn main() {
             *o = if v == 0 || v == 7 || v == 9 || v == 12 || v == 14 { 1.0 } else { 0.0 };
         }
     });
-    let mut cpu = Backend::Cpu(CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise));
+    let mut cpu = CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise);
     cpu.upload(&u);
     let rk = Rk4::default();
     let dt = rk.timestep(&mesh);

@@ -1,0 +1,80 @@
+//! Per-phase step breakdown on the Fig. 12/13 production grids.
+//!
+//! Evolves a gauge wave on the q = 8 inspiral grid (Fig. 12) and the
+//! post-merger wave-shell grid (Fig. 13) under a live observability
+//! probe, prints the per-phase timing table (the EXPERIMENTS.md
+//! "where does a step go" breakdown), and writes Chrome-trace profiles
+//! to `results/TRACE_inspiral.json` / `results/TRACE_postmerger.json`
+//! — open them in Perfetto, or validate with
+//! `trace_check results/TRACE_inspiral.json --min-coverage 0.9`.
+//!
+//! ```text
+//! cargo run --release -p gw-bench --bin profile_phases
+//! ```
+
+use gw_bench::{fig12_inspiral_leaves, fig13_postmerger_leaves, TablePrinter};
+use gw_bssn::init::LinearWaveData;
+use gw_core::run::Run;
+use gw_core::solver::SolverConfig;
+use gw_mesh::Mesh;
+use gw_obs::Probe;
+use gw_octree::{Domain, MortonKey};
+
+const STEPS: usize = 4;
+
+fn profile_grid(name: &str, domain: Domain, leaves: &[MortonKey], out_path: &str) {
+    let mesh = Mesh::build(domain, leaves);
+    println!("\n== {name}: {} octants, {STEPS} steps ==", mesh.n_octants());
+    let wave = LinearWaveData::new(1e-3, 0.0, 3.0, 0.8);
+    let probe = Probe::enabled();
+    let outcome = Run::new(SolverConfig::default())
+        .mesh(mesh)
+        .init(move |p, out| wave.evaluate(p, out))
+        .steps(STEPS)
+        .probe(probe.clone())
+        .profile(out_path)
+        .execute()
+        .expect("profiled run");
+    let trace = probe.report().expect("enabled probe reports a trace");
+
+    let step_ms = trace.step_total_ms();
+    let mut table = TablePrinter::new(&["phase", "calls", "total ms", "% of step"]);
+    for (cat, agg) in trace.phase_totals() {
+        if cat == "step" {
+            continue;
+        }
+        table.row(&[
+            cat.to_string(),
+            agg.count.to_string(),
+            format!("{:.3}", agg.total_ms),
+            format!("{:.1}", 100.0 * agg.total_ms / step_ms.max(1e-12)),
+        ]);
+    }
+    table.row(&[
+        "step (wall)".to_string(),
+        STEPS.to_string(),
+        format!("{step_ms:.3}"),
+        format!("{:.1}", 100.0 * trace.step_coverage()),
+    ]);
+    table.print(&format!("{name} — per-phase step breakdown"));
+    println!(
+        "step coverage {:.1}% (work phases vs step wall time); trace: {}",
+        100.0 * trace.step_coverage(),
+        outcome.trace_path.as_deref().unwrap_or("-")
+    );
+    assert!(trace.step_coverage() >= 0.9, "{name}: phases must cover >= 90% of step wall time");
+}
+
+fn main() {
+    if !Probe::enabled().is_enabled() {
+        println!("profile_phases: built without the `obs` feature — nothing to measure");
+        return;
+    }
+    std::fs::create_dir_all("results").expect("results dir");
+    let domain = Domain::centered_cube(16.0);
+    let inspiral = fig12_inspiral_leaves(&domain);
+    profile_grid("Fig. 12 inspiral grid", domain, &inspiral, "results/TRACE_inspiral.json");
+    let postmerger = fig13_postmerger_leaves(&domain);
+    profile_grid("Fig. 13 post-merger grid", domain, &postmerger, "results/TRACE_postmerger.json");
+    println!("\nprofiles written: results/TRACE_inspiral.json, results/TRACE_postmerger.json");
+}

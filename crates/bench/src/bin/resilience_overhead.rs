@@ -9,6 +9,10 @@
 //! All three produce bit-identical states (asserted), so the table is a
 //! pure throughput comparison of the recovery machinery.
 
+// The deprecated wrapper is exercised on purpose: this bin times the
+// driver the `Run` builder delegates to.
+#![allow(deprecated)]
+
 use gw_bench::grids::uniform_grid;
 use gw_bench::table::num;
 use gw_bench::TablePrinter;

@@ -5,7 +5,7 @@
 use gw_bench::table::num;
 use gw_bench::{table3_grids, TablePrinter};
 use gw_bssn::BssnParams;
-use gw_core::backend::{Buf, GpuBackend, RhsKind};
+use gw_core::backend::{Backend, Buf, GpuBackend, RhsKind};
 use gw_core::solver::fill_field;
 use gw_gpu_sim::Device;
 use gw_mesh::scatter::patches_to_octants;

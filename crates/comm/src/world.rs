@@ -148,8 +148,12 @@ pub struct RankTraffic {
 }
 
 /// Runtime options for a world.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct WorldConfig {
+    /// Observability probe: counts delivered halo messages/bytes,
+    /// retransmissions, and heartbeats (disabled by default; counting
+    /// never affects delivery or payload bits).
+    pub probe: gw_obs::Probe,
     /// Deterministic message-fault schedule; `None` (default) disables
     /// injection entirely.
     pub faults: Option<CommFaultPlan>,
@@ -170,6 +174,7 @@ pub struct WorldConfig {
 impl Default for WorldConfig {
     fn default() -> Self {
         Self {
+            probe: gw_obs::Probe::disabled(),
             faults: None,
             recv_timeout: Duration::from_secs(10),
             max_retransmits: 8,
@@ -395,6 +400,7 @@ impl RankCtx<'_> {
 
     fn bump_heartbeat(&self) {
         self.world.heartbeats[self.rank].fetch_add(1, Ordering::Relaxed);
+        self.world.config.probe.add(gw_obs::Counter::Heartbeats, 1);
     }
 
     /// Snapshot of the liveness view: `alive[r]` is false once rank `r`'s
@@ -425,6 +431,9 @@ impl RankCtx<'_> {
         let t = &self.world.traffic[self.rank];
         t.messages_sent.fetch_add(1, Ordering::Relaxed);
         t.bytes_sent.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let probe = &self.world.config.probe;
+        probe.add(gw_obs::Counter::HaloMessages, 1);
+        probe.add(gw_obs::Counter::HaloBytes, bytes.len() as u64);
         let link = self.rank * self.world.size + dst;
         let seq = self.world.link_seq[link].fetch_add(1, Ordering::Relaxed);
         let entry = OutboxEntry {
@@ -473,6 +482,7 @@ impl RankCtx<'_> {
                 });
             }
             self.world.traffic[dst].retransmits.fetch_add(1, Ordering::Relaxed);
+            self.world.config.probe.add(gw_obs::Counter::Retransmits, 1);
             self.world.transmit(src, dst, &entry, *attempts);
             *backoff = (*backoff * 2).min(cfg.heartbeat_interval);
             Ok(())
@@ -938,6 +948,7 @@ mod tests {
             max_retransmits: 3,
             retry_backoff: Duration::from_millis(1),
             heartbeat_interval: Duration::from_millis(5),
+            ..WorldConfig::default()
         };
         let (out, _) = World::run_cfg(2, cfg, |ctx| {
             if ctx.rank() == 0 {

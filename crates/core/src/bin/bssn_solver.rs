@@ -3,42 +3,82 @@
 //! Mirrors the paper's `bssnSolverCtx` / `bssnSolverCUDA` workflow:
 //!
 //! ```text
-//! bssn_solver pars/q1.par.json
+//! bssn_solver [--profile trace.json] pars/q1.par.json
 //! ```
 //!
 //! reads a parameter file, builds puncture initial data and the
-//! puncture-refined grid, evolves on the chosen backend, extracts the
-//! (2,2) mode at the requested radius, and prints run diagnostics.
+//! puncture-refined grid, evolves on the chosen backend via the
+//! [`Run`] builder, extracts the (2,2) mode at the requested radius,
+//! and prints run diagnostics. `--profile <path>` (or the `obs.profile`
+//! par key — the flag wins) writes a Chrome-trace JSON profile of the
+//! run; open it in `about:tracing` / Perfetto or feed it to
+//! `trace_check`.
 
 //! Exit codes (so batch schedulers and CI distinguish failure modes):
 //! `0` success, `1` bad parameter file, `2` usage, `3` retries exhausted
 //! (supervised or distributed — the message names the dead rank if one
-//! died), `4` checkpoint I/O failure.
+//! died), `4` checkpoint I/O failure, `5` invalid solver configuration.
 
 use gw_bssn::init::PunctureData;
-use gw_core::multi::{evolve_distributed_resilient, DistributedError, ResilienceConfig};
-use gw_core::params::RunParams;
-use gw_core::solver::{fill_field, GwSolver};
-use gw_core::supervisor::{Supervisor, SupervisorError, SupervisorEvent};
+use gw_core::multi::{DistributedError, ResilienceConfig};
+use gw_core::params::{ParamError, RunParams};
+use gw_core::run::{Run, RunError};
+use gw_core::solver::GwSolver;
+use gw_core::supervisor::{SupervisorError, SupervisorEvent};
 use gw_expr::symbols::var;
 use gw_octree::{Puncture, PunctureRefiner};
 use gw_waveform::{lebedev::product_rule, ExtractionSphere, ModeExtractor};
 
 const EXIT_RETRIES_EXHAUSTED: i32 = 3;
 const EXIT_CHECKPOINT_IO: i32 = 4;
+const EXIT_BAD_CONFIG: i32 = 5;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bssn_solver [--profile <trace.json>] <par-file.json>   (see pars/q1.par.json)"
+    );
+    std::process::exit(2);
+}
+
+fn exit_code(e: &RunError) -> i32 {
+    match e {
+        RunError::Config(_) => EXIT_BAD_CONFIG,
+        RunError::Supervisor(SupervisorError::RetriesExhausted { .. }) => EXIT_RETRIES_EXHAUSTED,
+        RunError::Supervisor(SupervisorError::CheckpointIo { .. }) => EXIT_CHECKPOINT_IO,
+        RunError::Distributed(DistributedError::RetriesExhausted { .. }) => EXIT_RETRIES_EXHAUSTED,
+        RunError::Distributed(DistributedError::Checkpoint(_)) => EXIT_CHECKPOINT_IO,
+        RunError::Incomplete(_) | RunError::Trace { .. } => 1,
+    }
+}
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: bssn_solver <par-file.json>   (see pars/q1.par.json)");
-        std::process::exit(2);
-    });
+    let mut par_path: Option<String> = None;
+    let mut profile_flag: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--profile" => match args.next() {
+                Some(p) => profile_flag = Some(p),
+                None => usage(),
+            },
+            _ if arg.starts_with('-') => usage(),
+            _ if par_path.is_none() => par_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(path) = par_path else { usage() };
     let params = match RunParams::from_file(&path) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error reading {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(match e {
+                ParamError::Config(_) => EXIT_BAD_CONFIG,
+                _ => 1,
+            });
         }
     };
+    // The CLI flag overrides the `obs.profile` par key.
+    let profile = profile_flag.or_else(|| params.profile.clone());
     println!(
         "bssn_solver: q = {}, d = {}, domain ±{}, levels {}..{}, backend = {}",
         params.q,
@@ -69,7 +109,6 @@ fn main() {
     // under the resilience layer (reliable halo delivery + coordinated
     // snapshots + rollback/replay).
     if params.ranks > 1 {
-        let u0 = fill_field(&mesh, &|p, out: &mut [f64]| data.evaluate(p, out));
         let resilience = ResilienceConfig {
             checkpoint_dir: if params.checkpoint_distributed {
                 params.supervisor.checkpoint_dir.clone()
@@ -86,35 +125,37 @@ fn main() {
             params.ranks,
             resilience.checkpoint_dir.as_deref().unwrap_or("off")
         );
-        match evolve_distributed_resilient(
-            &mesh,
-            &u0,
-            params.ranks,
-            params.steps,
-            params.config.courant,
-            params.config.params,
-            params.world_config(),
-            &resilience,
-        ) {
+        let mut run = Run::new(params.config)
+            .mesh(mesh)
+            .init(|p, out: &mut [f64]| data.evaluate(p, out))
+            .steps(params.steps)
+            .distributed(params.ranks)
+            .world(params.world_config())
+            .resilience(resilience);
+        if let Some(p) = &profile {
+            run = run.profile(p.clone());
+        }
+        match run.execute() {
             Ok(out) => {
-                for ev in &out.events {
+                let dist = out.distributed.expect("distributed run reports an outcome");
+                for ev in &dist.events {
                     let gw_core::multi::RecoveryEvent::RolledBack { to_step, cause } = ev;
                     println!("  [roll]  back to step {to_step} after: {cause}");
                 }
                 let (msgs, bytes) =
-                    out.result.traffic.iter().fold((0u64, 0u64), |a, t| (a.0 + t.0, a.1 + t.1));
+                    dist.result.traffic.iter().fold((0u64, 0u64), |a, t| (a.0 + t.0, a.1 + t.1));
                 println!(
                     "distributed run complete: {} steps on {} ranks, {} retries, \
                      {msgs} messages / {bytes} bytes exchanged",
                     params.steps, params.ranks, out.retries
                 );
+                if let Some(p) = &out.trace_path {
+                    println!("profile trace written to {p}");
+                }
             }
             Err(e) => {
                 eprintln!("distributed run failed: {e}");
-                std::process::exit(match e {
-                    DistributedError::RetriesExhausted { .. } => EXIT_RETRIES_EXHAUSTED,
-                    DistributedError::Checkpoint(_) => EXIT_CHECKPOINT_IO,
-                });
+                std::process::exit(exit_code(&e));
             }
         }
         return;
@@ -128,62 +169,56 @@ fn main() {
     }
 
     println!("evolving {} steps, dt = {:.5} ...", params.steps, solver.dt());
+    let mut run = Run::from_solver(solver).steps(params.steps);
     if params.supervised {
-        let mut sup = Supervisor::new(params.supervisor.clone());
-        match sup.run(&mut solver, params.steps as u64) {
-            Ok(summary) => {
-                println!(
-                    "supervised run complete: {} steps, {} retries, {} fault(s) recovered",
-                    summary.steps_completed,
-                    summary.retries,
-                    summary.failures.len()
-                );
-                for ev in &summary.events {
-                    match ev {
-                        SupervisorEvent::CheckpointWritten { step, path } => {
-                            println!("  [ckpt]  step {step}: {path}");
-                        }
-                        SupervisorEvent::FaultDetected { step, report } => {
-                            for issue in &report.issues {
-                                println!("  [fault] step {step}: {issue}");
-                            }
-                        }
-                        SupervisorEvent::RolledBack { from_step, to_step } => {
-                            println!("  [roll]  step {from_step} -> {to_step}");
-                        }
-                        SupervisorEvent::RetryStarted { attempt, courant, ko_sigma } => {
-                            println!(
-                                "  [retry] attempt {attempt}: courant = {courant}, \
-                                 ko_sigma = {ko_sigma}"
-                            );
-                        }
-                        SupervisorEvent::Completed { .. } => {}
+        run = run.supervised(params.supervisor.clone());
+    }
+    if let Some(p) = &profile {
+        run = run.profile(p.clone());
+    }
+    let out = match run.execute() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(exit_code(&e));
+        }
+    };
+    if let Some(summary) = &out.supervised {
+        println!(
+            "supervised run complete: {} steps, {} retries, {} fault(s) recovered",
+            summary.steps_completed,
+            summary.retries,
+            summary.failures.len()
+        );
+        for ev in &summary.events {
+            match ev {
+                SupervisorEvent::CheckpointWritten { step, path } => {
+                    println!("  [ckpt]  step {step}: {path}");
+                }
+                SupervisorEvent::FaultDetected { step, report } => {
+                    for issue in &report.issues {
+                        println!("  [fault] step {step}: {issue}");
                     }
                 }
-            }
-            Err(e) => {
-                eprintln!("supervised run failed: {e}");
-                std::process::exit(match e {
-                    SupervisorError::RetriesExhausted { .. } => EXIT_RETRIES_EXHAUSTED,
-                    SupervisorError::CheckpointIo { .. } => EXIT_CHECKPOINT_IO,
-                });
-            }
-        }
-    } else {
-        for s in 0..params.steps {
-            solver.step();
-            if (s + 1) % 4 == 0 || s + 1 == params.steps {
-                let u = solver.state();
-                println!(
-                    "  step {:4}: t = {:.4}  max|K| = {:.3e}  max|At| = {:.3e}",
-                    s + 1,
-                    solver.time,
-                    u.linf(var::K),
-                    u.linf(var::at(0, 1))
-                );
+                SupervisorEvent::RolledBack { from_step, to_step } => {
+                    println!("  [roll]  step {from_step} -> {to_step}");
+                }
+                SupervisorEvent::RetryStarted { attempt, courant, ko_sigma } => {
+                    println!(
+                        "  [retry] attempt {attempt}: courant = {courant}, \
+                         ko_sigma = {ko_sigma}"
+                    );
+                }
+                SupervisorEvent::Completed { .. } => {}
             }
         }
     }
+    let solver = out.solver.expect("single-process run returns its solver");
+    println!(
+        "final state: max|K| = {:.3e}  max|At| = {:.3e}",
+        out.state.linf(var::K),
+        out.state.linf(var::at(0, 1))
+    );
     if let Some(e) = solver.extractors.first() {
         if let Some(m22) = e.mode(2, 2) {
             println!("\nextracted h22 samples (t, Re, Im):");
@@ -203,5 +238,8 @@ fn main() {
             c.flops as f64 / 1e9
         );
     }
-    println!("done: t = {:.4} after {} steps", solver.time, solver.steps_taken);
+    if let Some(p) = &out.trace_path {
+        println!("profile trace written to {p}");
+    }
+    println!("done: t = {:.4} after {} steps", out.time, out.steps_completed);
 }

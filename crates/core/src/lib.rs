@@ -33,18 +33,21 @@
 //!   and rollback-based fault recovery with a degradation policy.
 
 pub mod backend;
+pub mod boundary;
 pub mod checkpoint;
 pub mod multi;
 pub mod params;
 pub mod regrid;
 pub mod rk4;
+pub mod run;
 pub mod solver;
 pub mod supervisor;
 pub mod unigrid;
 
 pub use backend::{Backend, CpuBackend, GpuBackend};
 pub use rk4::Rk4;
-pub use solver::{GwSolver, SolverConfig};
+pub use run::{Run, RunError, RunOutcome};
+pub use solver::{ConfigError, GwSolver, SolverConfig};
 pub use supervisor::{
     DegradationPolicy, HealthMonitor, HealthReport, HealthThresholds, RunSummary, Supervisor,
     SupervisorConfig, SupervisorError, SupervisorEvent,

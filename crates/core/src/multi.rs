@@ -16,6 +16,7 @@ use gw_comm::{CommError, GhostPlan, GhostSchedule, RankCtx, World};
 use gw_expr::symbols::{NUM_INPUTS, NUM_VARS};
 use gw_mesh::gather::fill_patches_gather;
 use gw_mesh::{Field, Mesh, PatchField};
+use gw_obs::{Counter, Phase};
 use gw_octree::partition::{partition_uniform, PartitionMap};
 use gw_stencil::patch::BLOCK_VOLUME;
 
@@ -129,7 +130,7 @@ fn eval_rhs_local(
             }
         }
         bssn_rhs_patch(&patch_refs, h, params, &RhsMode::Pointwise, ws, &mut out_blocks);
-        crate::backend::sommerfeld_fix_public(
+        crate::boundary::sommerfeld_fix(
             mesh,
             e,
             masks[e],
@@ -258,7 +259,10 @@ fn evolve_span(
     let part = partition_uniform(n, ranks);
     let plan = GhostSchedule::build(&part, dependencies(mesh).into_iter());
     let dt = opts.dt;
-    let masks = crate::backend::boundary_face_masks_public(mesh);
+    let masks = crate::boundary::boundary_face_masks(mesh);
+    // One probe handle per rank thread: spans carry per-thread ids, and
+    // counters are shared atomics, so concurrent ranks attribute cleanly.
+    let probe = world_cfg.probe.clone();
 
     let plan_ref = &plan;
     let part_ref = &part;
@@ -289,7 +293,10 @@ fn evolve_span(
                 }
             }
             // k1.
-            exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
+            {
+                let _s = probe.start(Phase::Halo);
+                exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
+            }
             tag += 1;
             eval_rhs_local(
                 mesh,
@@ -321,7 +328,10 @@ fn evolve_span(
             }
             // k2, k3.
             for (w_acc, w_stage) in [(dt / 3.0, dt / 2.0), (dt / 3.0, dt)] {
-                exchange(&ctx, plan_ref, part_ref, &mut stage, tag)?;
+                {
+                    let _s = probe.start(Phase::Halo);
+                    exchange(&ctx, plan_ref, part_ref, &mut stage, tag)?;
+                }
                 tag += 1;
                 eval_rhs_local(
                     mesh,
@@ -349,7 +359,10 @@ fn evolve_span(
                 }
             }
             // k4.
-            exchange(&ctx, plan_ref, part_ref, &mut stage, tag)?;
+            {
+                let _s = probe.start(Phase::Halo);
+                exchange(&ctx, plan_ref, part_ref, &mut stage, tag)?;
+            }
             tag += 1;
             eval_rhs_local(
                 mesh,
@@ -373,7 +386,10 @@ fn evolve_span(
                 }
             }
             // Interface sync needs updated ghosts.
-            exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
+            {
+                let _s = probe.start(Phase::Halo);
+                exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
+            }
             tag += 1;
             for c in &mesh.syncs {
                 if !owned.contains(&(c.dst_oct as usize)) {
@@ -392,6 +408,8 @@ fn evolve_span(
             if let Some((root, every)) = snapshot_ref {
                 let s1 = (s + 1) as u64;
                 if s1.is_multiple_of(*every) {
+                    let _s = probe.start(Phase::Checkpoint);
+                    probe.add(Counter::Checkpoints, 1);
                     let sub = checkpoint::snapshot_dir(root, s1);
                     let shard = Shard {
                         rank: r,
@@ -553,7 +571,30 @@ impl std::error::Error for DistributedError {}
 /// abort once `max_retries` world restarts are spent. The returned
 /// traffic/work meters describe the final (successful) attempt.
 #[allow(clippy::too_many_arguments)]
+#[deprecated(
+    since = "0.4.0",
+    note = "use crate::run::Run::new(config).distributed(ranks).execute() — one builder \
+            covers plain, supervised, and distributed evolution"
+)]
 pub fn evolve_distributed_resilient(
+    mesh: &Mesh,
+    u0: &Field,
+    ranks: usize,
+    steps: usize,
+    courant: f64,
+    params: BssnParams,
+    world_cfg: WorldConfig,
+    resilience: &ResilienceConfig,
+) -> Result<ResilientOutcome, DistributedError> {
+    evolve_distributed_resilient_impl(
+        mesh, u0, ranks, steps, courant, params, world_cfg, resilience,
+    )
+}
+
+/// Non-deprecated implementation behind [`evolve_distributed_resilient`];
+/// the [`crate::run::Run`] builder drives this directly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evolve_distributed_resilient_impl(
     mesh: &Mesh,
     u0: &Field,
     ranks: usize,
@@ -582,7 +623,7 @@ pub fn evolve_distributed_resilient(
                 .map(|d| (d, resilience.checkpoint_every.max(1))),
             kill,
         };
-        let failure = match evolve_span(mesh, &state, ranks, params_now, world_cfg, opts) {
+        let failure = match evolve_span(mesh, &state, ranks, params_now, world_cfg.clone(), opts) {
             Ok(result) => return Ok(ResilientOutcome { result, retries, events }),
             Err(f) => f,
         };
@@ -623,6 +664,9 @@ pub fn evolve_distributed_resilient(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `evolve_distributed_resilient` wrapper is exercised
+    // on purpose: it must keep delegating faithfully until removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::backend::{Backend, CpuBackend, RhsKind};
     use crate::rk4::Rk4;
@@ -645,7 +689,7 @@ mod tests {
         let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
         let params = BssnParams::default();
         // Reference: single-rank backend.
-        let mut backend = Backend::Cpu(CpuBackend::new(&mesh, params, RhsKind::Pointwise));
+        let mut backend = CpuBackend::new(&mesh, params, RhsKind::Pointwise);
         backend.upload(&u0);
         let rk = Rk4::default();
         let dt = rk.timestep(&mesh);

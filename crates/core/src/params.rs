@@ -7,11 +7,45 @@
 //! purpose (see DESIGN.md's dependency policy).
 
 use crate::backend::RhsKind;
-use crate::solver::SolverConfig;
+use crate::solver::{ConfigError, SolverConfig};
 use crate::supervisor::SupervisorConfig;
 use gw_bssn::BssnParams;
 use gw_expr::schedule::ScheduleStrategy;
 use std::collections::HashMap;
+
+/// A typed parameter-file failure, so callers (notably the
+/// `bssn_solver` binary's exit codes) can distinguish an unreadable file
+/// from a malformed one from a validly-parsed-but-invalid configuration.
+#[derive(Clone, Debug)]
+pub enum ParamError {
+    /// The file could not be read.
+    Io { path: String, error: String },
+    /// The text is not the supported flat-JSON subset.
+    Parse(String),
+    /// A run parameter is out of range or inconsistent.
+    Invalid(String),
+    /// The embedded [`SolverConfig`] is invalid.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::Io { path, error } => write!(f, "{path}: {error}"),
+            ParamError::Parse(e) => write!(f, "parse error: {e}"),
+            ParamError::Invalid(e) => write!(f, "{e}"),
+            ParamError::Config(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl From<ConfigError> for ParamError {
+    fn from(e: ConfigError) -> Self {
+        ParamError::Config(e)
+    }
+}
 
 /// A parsed flat JSON object.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,6 +129,11 @@ pub struct RunParams {
     /// Coordinated multi-rank snapshots (`"checkpoint.distributed"`);
     /// shards + manifest go under the supervisor's `checkpoint_dir`.
     pub checkpoint_distributed: bool,
+    /// Observability trace sink (`"obs.profile"`): write a Chrome-trace
+    /// JSON profile of the run to this path. `None` (the default) leaves
+    /// instrumentation disabled. The `--profile <path>` CLI flag
+    /// overrides this key.
+    pub profile: Option<String>,
 }
 
 impl Default for RunParams {
@@ -116,20 +155,23 @@ impl Default for RunParams {
             heartbeat_interval_ms: 50.0,
             recv_timeout_ms: 10_000.0,
             checkpoint_distributed: false,
+            profile: None,
         }
     }
 }
 
 impl RunParams {
     /// Parse a par file's text.
-    pub fn from_json(text: &str) -> Result<RunParams, String> {
-        let map = parse_flat_json(text)?;
+    pub fn from_json(text: &str) -> Result<RunParams, ParamError> {
+        let map = parse_flat_json(text).map_err(ParamError::Parse)?;
         let mut p = RunParams::default();
-        let num = |m: &HashMap<String, JsonValue>, k: &str, d: f64| -> Result<f64, String> {
+        let num = |m: &HashMap<String, JsonValue>, k: &str, d: f64| -> Result<f64, ParamError> {
             match m.get(k) {
                 None => Ok(d),
                 Some(JsonValue::Number(v)) => Ok(*v),
-                Some(other) => Err(format!("{k}: expected number, got {other:?}")),
+                Some(other) => {
+                    Err(ParamError::Invalid(format!("{k}: expected number, got {other:?}")))
+                }
             }
         };
         p.q = num(&map, "q", p.q)?;
@@ -157,7 +199,7 @@ impl RunParams {
                 "sympygr" => RhsKind::Generated(ScheduleStrategy::CseTopo),
                 "binary-reduce" => RhsKind::Generated(ScheduleStrategy::BinaryReduce),
                 "staged" | "staged+cse" => RhsKind::Generated(ScheduleStrategy::StagedCse),
-                other => return Err(format!("unknown rhs kind '{other}'")),
+                other => return Err(ParamError::Invalid(format!("unknown rhs kind '{other}'"))),
             };
         }
         if let Some(JsonValue::Bool(s)) = map.get("supervised") {
@@ -188,6 +230,9 @@ impl RunParams {
         if let Some(JsonValue::Bool(b)) = map.get("checkpoint.distributed") {
             p.checkpoint_distributed = *b;
         }
+        if let Some(JsonValue::Str(path)) = map.get("obs.profile") {
+            p.profile = Some(path.clone());
+        }
         p.validate()?;
         Ok(p)
     }
@@ -207,51 +252,52 @@ impl RunParams {
     /// Reject parameter combinations that cannot run: levels out of
     /// range, non-positive geometry, extraction sphere outside the
     /// domain, or an invalid [`SolverConfig`].
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ParamError> {
+        let invalid = |msg: String| Err(ParamError::Invalid(msg));
         if !(self.q > 0.0 && self.q.is_finite()) {
-            return Err(format!("mass ratio q must be positive and finite, got {}", self.q));
+            return invalid(format!("mass ratio q must be positive and finite, got {}", self.q));
         }
         if !(self.separation > 0.0 && self.separation.is_finite()) {
-            return Err(format!("separation must be positive, got {}", self.separation));
+            return invalid(format!("separation must be positive, got {}", self.separation));
         }
         if !(self.domain_half > 0.0 && self.domain_half.is_finite()) {
-            return Err(format!("domain_half must be positive, got {}", self.domain_half));
+            return invalid(format!("domain_half must be positive, got {}", self.domain_half));
         }
         if self.base_level > self.finest_level {
-            return Err(format!(
+            return invalid(format!(
                 "base_level ({}) must not exceed finest_level ({})",
                 self.base_level, self.finest_level
             ));
         }
         if self.finest_level as u32 > gw_octree::MAX_LEVEL as u32 {
-            return Err(format!(
+            return invalid(format!(
                 "finest_level ({}) exceeds the octree MAX_LEVEL ({})",
                 self.finest_level,
                 gw_octree::MAX_LEVEL
             ));
         }
         if !(self.extract_radius > 0.0 && self.extract_radius < self.domain_half) {
-            return Err(format!(
+            return invalid(format!(
                 "extract_radius ({}) must lie strictly inside the domain (half-width {})",
                 self.extract_radius, self.domain_half
             ));
         }
         if self.supervisor.check_every == 0 {
-            return Err("check_every must be >= 1 (steps between health checks)".into());
+            return invalid("check_every must be >= 1 (steps between health checks)".into());
         }
         let d = &self.supervisor.degradation;
         if !(d.courant_factor > 0.0 && d.courant_factor <= 1.0) {
-            return Err(format!(
+            return invalid(format!(
                 "retry_courant_factor must be in (0, 1], got {}",
                 d.courant_factor
             ));
         }
         if !d.ko_boost.is_finite() || d.ko_boost < 0.0 {
-            return Err(format!("retry_ko_boost must be finite and >= 0, got {}", d.ko_boost));
+            return invalid(format!("retry_ko_boost must be finite and >= 0, got {}", d.ko_boost));
         }
         let t = &self.supervisor.thresholds;
         if !t.chi_min.is_finite() || !t.alpha_min.is_finite() {
-            return Err(format!(
+            return invalid(format!(
                 "chi_min / alpha_min must be finite, got {} / {}",
                 t.chi_min, t.alpha_min
             ));
@@ -259,35 +305,39 @@ impl RunParams {
         if self.supervisor.thresholds.hamiltonian_max <= 0.0
             || self.supervisor.thresholds.hamiltonian_max.is_nan()
         {
-            return Err(format!(
+            return invalid(format!(
                 "hamiltonian_max must be positive, got {}",
                 self.supervisor.thresholds.hamiltonian_max
             ));
         }
         if self.ranks == 0 {
-            return Err("ranks must be >= 1".into());
+            return invalid("ranks must be >= 1".into());
         }
         if !(self.heartbeat_interval_ms > 0.0 && self.heartbeat_interval_ms.is_finite()) {
-            return Err(format!(
+            return invalid(format!(
                 "comm.heartbeat_interval must be positive milliseconds, got {}",
                 self.heartbeat_interval_ms
             ));
         }
         if !(self.recv_timeout_ms > 0.0 && self.recv_timeout_ms.is_finite()) {
-            return Err(format!(
+            return invalid(format!(
                 "comm.recv_timeout must be positive milliseconds, got {}",
                 self.recv_timeout_ms
             ));
         }
         if self.checkpoint_distributed && self.supervisor.checkpoint_dir.is_none() {
-            return Err("checkpoint.distributed requires checkpoint_dir (the snapshot root)".into());
+            return invalid(
+                "checkpoint.distributed requires checkpoint_dir (the snapshot root)".into(),
+            );
         }
-        self.config.validate()
+        self.config.validate()?;
+        Ok(())
     }
 
     /// Load from a file path.
-    pub fn from_file(path: &str) -> Result<RunParams, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    pub fn from_file(path: &str) -> Result<RunParams, ParamError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ParamError::Io { path: path.to_string(), error: e.to_string() })?;
         Self::from_json(&text)
     }
 }
@@ -394,9 +444,33 @@ mod tests {
         ];
         for (json, needle) in cases {
             match RunParams::from_json(json) {
-                Err(e) => assert!(e.contains(needle), "{json}: error '{e}' lacks '{needle}'"),
+                Err(e) => {
+                    let msg = e.to_string();
+                    assert!(msg.contains(needle), "{json}: error '{msg}' lacks '{needle}'");
+                }
                 Ok(_) => panic!("{json}: expected validation error"),
             }
         }
+    }
+
+    #[test]
+    fn typed_errors_distinguish_failure_classes() {
+        assert!(matches!(RunParams::from_json("not json"), Err(ParamError::Parse(_))));
+        assert!(matches!(RunParams::from_json(r#"{ "ranks": 0 }"#), Err(ParamError::Invalid(_))));
+        assert!(matches!(
+            RunParams::from_json(r#"{ "courant": 1.5 }"#),
+            Err(ParamError::Config(crate::solver::ConfigError::Courant(_)))
+        ));
+        assert!(matches!(
+            RunParams::from_file("/nonexistent/gw.par.json"),
+            Err(ParamError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn obs_profile_key_parses() {
+        let p = RunParams::from_json(r#"{ "obs.profile": "results/trace.json" }"#).unwrap();
+        assert_eq!(p.profile.as_deref(), Some("results/trace.json"));
+        assert_eq!(RunParams::from_json("{}").unwrap().profile, None);
     }
 }

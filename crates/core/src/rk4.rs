@@ -36,7 +36,7 @@ impl Rk4 {
     /// k3 = F(s)          acc += dt/3 k3          s = u + dt   k3
     /// k4 = F(s)          u    = acc + dt/6 k4
     /// ```
-    pub fn step(&self, backend: &mut Backend, mesh: &Mesh, dt: f64) {
+    pub fn step(&self, backend: &mut dyn Backend, mesh: &Mesh, dt: f64) {
         // k1.
         backend.eval_rhs(mesh, Buf::U, Buf::K);
         backend.assign_axpy(Buf::Acc, Buf::U, dt / 6.0, Buf::K);
@@ -102,8 +102,7 @@ mod tests {
     fn flat_space_is_preserved_exactly() {
         let mesh = uniform_mesh(1, 8.0);
         let u0 = flat_state(&mesh);
-        let mut backend =
-            Backend::Cpu(CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise));
+        let mut backend = CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise);
         backend.upload(&u0);
         let rk = Rk4::default();
         let dt = rk.timestep(&mesh);
@@ -130,8 +129,7 @@ mod tests {
                 u0.block_mut(var::ALPHA, oct)[l.idx(i, j, k)] = 1.0 + 1e-3 * (-r2 / 4.0).exp();
             }
         }
-        let mut backend =
-            Backend::Cpu(CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise));
+        let mut backend = CpuBackend::new(&mesh, BssnParams::default(), RhsKind::Pointwise);
         backend.upload(&u0);
         let rk = Rk4::default();
         let dt = rk.timestep(&mesh);
@@ -165,11 +163,11 @@ mod tests {
             f
         };
         let run = |dt: f64, steps: usize| -> f64 {
-            let mut backend = Backend::Cpu(CpuBackend::new(
+            let mut backend = CpuBackend::new(
                 &mesh,
                 BssnParams { eta: 2.0, ko_sigma: 0.0, chi_floor: 1e-4 },
                 RhsKind::Pointwise,
-            ));
+            );
             backend.upload(&make(0.1));
             let rk = Rk4::default();
             for _ in 0..steps {

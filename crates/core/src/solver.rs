@@ -7,9 +7,55 @@ use gw_bssn::BssnParams;
 use gw_expr::symbols::NUM_VARS;
 use gw_gpu_sim::Device;
 use gw_mesh::{Field, Mesh};
+use gw_obs::{Counter, Phase, Probe};
 use gw_octree::{refine_loop, BalanceMode, Domain, MortonKey, Refiner};
 use gw_stencil::patch::PatchLayout;
 use gw_waveform::ModeExtractor;
+
+/// A specific way a [`SolverConfig`] can be invalid.
+///
+/// Typed so callers can branch on the failure (the `bssn_solver` binary
+/// maps any variant to a dedicated exit code); `Display` preserves the
+/// full human-readable diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// Courant factor outside (0, 1].
+    Courant(f64),
+    /// Kreiss–Oliger dissipation strength non-finite or negative.
+    KoSigma(f64),
+    /// χ floor non-finite or non-positive.
+    ChiFloor(f64),
+    /// Gamma-driver damping non-finite or negative.
+    Eta(f64),
+    /// Worker-thread request above the pool's hard cap.
+    Threads(usize),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Courant(v) => write!(
+                f,
+                "courant factor must be in (0, 1], got {v} (RK4 with 6th-order stencils \
+                 is unstable beyond 1)"
+            ),
+            ConfigError::KoSigma(v) => {
+                write!(f, "ko_sigma (Kreiss–Oliger dissipation) must be finite and >= 0, got {v}")
+            }
+            ConfigError::ChiFloor(v) => {
+                write!(f, "chi_floor must be finite and > 0 (it guards 1/chi terms), got {v}")
+            }
+            ConfigError::Eta(v) => {
+                write!(f, "eta (gamma-driver damping) must be finite and >= 0, got {v}")
+            }
+            ConfigError::Threads(v) => {
+                write!(f, "threads must be <= {} (got {v}); use 0 for auto", gw_par::MAX_THREADS)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Solver configuration.
 #[derive(Clone, Copy, Debug)]
@@ -50,38 +96,21 @@ impl SolverConfig {
     /// or nonsensical run. Called by [`GwSolver::try_new`] and the
     /// parameter-file loader, so a typo in a par file fails loudly at
     /// construction instead of as NaNs a thousand steps in.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.courant > 0.0 && self.courant <= 1.0) {
-            return Err(format!(
-                "courant factor must be in (0, 1], got {} (RK4 with 6th-order stencils \
-                 is unstable beyond 1)",
-                self.courant
-            ));
+            return Err(ConfigError::Courant(self.courant));
         }
         if !self.params.ko_sigma.is_finite() || self.params.ko_sigma < 0.0 {
-            return Err(format!(
-                "ko_sigma (Kreiss–Oliger dissipation) must be finite and >= 0, got {}",
-                self.params.ko_sigma
-            ));
+            return Err(ConfigError::KoSigma(self.params.ko_sigma));
         }
         if !self.params.chi_floor.is_finite() || self.params.chi_floor <= 0.0 {
-            return Err(format!(
-                "chi_floor must be finite and > 0 (it guards 1/chi terms), got {}",
-                self.params.chi_floor
-            ));
+            return Err(ConfigError::ChiFloor(self.params.chi_floor));
         }
         if !self.params.eta.is_finite() || self.params.eta < 0.0 {
-            return Err(format!(
-                "eta (gamma-driver damping) must be finite and >= 0, got {}",
-                self.params.eta
-            ));
+            return Err(ConfigError::Eta(self.params.eta));
         }
         if self.threads > gw_par::MAX_THREADS {
-            return Err(format!(
-                "threads must be <= {} (got {}); use 0 for auto",
-                gw_par::MAX_THREADS,
-                self.threads
-            ));
+            return Err(ConfigError::Threads(self.threads));
         }
         Ok(())
     }
@@ -91,7 +120,7 @@ impl SolverConfig {
 pub struct GwSolver {
     pub config: SolverConfig,
     pub mesh: Mesh,
-    pub backend: Backend,
+    pub backend: Box<dyn Backend>,
     pub rk4: Rk4,
     pub time: f64,
     pub steps_taken: u64,
@@ -102,6 +131,8 @@ pub struct GwSolver {
     pub psi4_extractors: Vec<gw_waveform::Psi4Extractor>,
     /// Number of regrids performed.
     pub regrids: u64,
+    /// Observability probe (disabled by default; see [`GwSolver::set_probe`]).
+    probe: Probe,
 }
 
 impl GwSolver {
@@ -119,7 +150,7 @@ impl GwSolver {
         config: SolverConfig,
         mesh: Mesh,
         init: impl Fn([f64; 3], &mut [f64]),
-    ) -> Result<Self, String> {
+    ) -> Result<Self, ConfigError> {
         config.validate()?;
         let u0 = fill_field(&mesh, &init);
         let backend = make_backend(&config, &mesh);
@@ -133,9 +164,24 @@ impl GwSolver {
             extractors: Vec::new(),
             psi4_extractors: Vec::new(),
             regrids: 0,
+            probe: Probe::disabled(),
         };
         s.backend.upload(&u0);
         Ok(s)
+    }
+
+    /// Attach an observability probe. Propagated into the backend (and,
+    /// on the GPU backend, the device) so phase spans and counters are
+    /// attributed; survives regrids. Instrumentation is timing/counting
+    /// only and never perturbs the evolved state.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.backend.set_probe(probe.clone());
+        self.probe = probe;
+    }
+
+    /// The solver's observability probe (disabled by default).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
     }
 
     /// Build a complete, balanced mesh for a domain with a refiner.
@@ -163,7 +209,11 @@ impl GwSolver {
     /// Take one RK4 step; extract waves when due.
     pub fn step(&mut self) {
         let dt = self.dt();
-        self.rk4.step(&mut self.backend, &self.mesh, dt);
+        {
+            let _span = self.probe.start(Phase::Step);
+            self.rk4.step(self.backend.as_mut(), &self.mesh, dt);
+        }
+        self.probe.add(Counter::Steps, 1);
         self.time += dt;
         self.steps_taken += 1;
         if self.config.extract_every > 0
@@ -178,6 +228,7 @@ impl GwSolver {
     /// an asynchronous-stream device read; here it is an explicit
     /// metered device→host transfer.)
     pub fn extract_now(&mut self) {
+        let _span = self.probe.start(Phase::Extract);
         let u = self.backend.download();
         for e in &mut self.extractors {
             e.record(self.time, &self.mesh, &u);
@@ -188,7 +239,18 @@ impl GwSolver {
     }
 
     /// Take `n` steps with regridding every `config.regrid_every` steps.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use crate::run::Run::new(config).steps(n).execute() — one builder covers \
+                plain, supervised, and distributed evolution"
+    )]
     pub fn evolve_steps(&mut self, n: usize, refiner: Option<&dyn Refiner>) {
+        self.evolve_steps_inner(n, refiner);
+    }
+
+    /// Non-deprecated implementation behind [`GwSolver::evolve_steps`];
+    /// the [`crate::run::Run`] builder drives this directly.
+    pub(crate) fn evolve_steps_inner(&mut self, n: usize, refiner: Option<&dyn Refiner>) {
         for i in 0..n {
             if let Some(r) = refiner {
                 let fr = self.config.regrid_every;
@@ -204,6 +266,7 @@ impl GwSolver {
     /// rebuild the backend (the only synchronous host↔device data
     /// movement, as in Algorithm 1).
     pub fn regrid(&mut self, refiner: &dyn Refiner) {
+        let _span = self.probe.start(Phase::Regrid);
         let old_keys: Vec<MortonKey> = self.mesh.octants.iter().map(|o| o.key).collect();
         let new_leaves = refine_loop(&old_keys, &self.mesh.domain, refiner, BalanceMode::Full, 8);
         if new_leaves == old_keys {
@@ -215,8 +278,10 @@ impl GwSolver {
             transfer_state(&self.mesh, &u, &new_mesh).unwrap_or_else(|e| panic!("regrid: {e}"));
         self.mesh = new_mesh;
         self.backend = make_backend(&self.config, &self.mesh);
+        self.backend.set_probe(self.probe.clone());
         self.backend.upload(&new_u);
         self.regrids += 1;
+        self.probe.add(Counter::Regrids, 1);
     }
 
     /// Download the current state.
@@ -227,10 +292,7 @@ impl GwSolver {
     /// Worker threads driving the CPU patch pipeline (the simulated GPU
     /// backend manages its own launch parallelism and reports 1 here).
     pub fn n_threads(&self) -> usize {
-        match &self.backend {
-            Backend::Cpu(b) => b.n_threads(),
-            Backend::Gpu(_) => 1,
-        }
+        self.backend.n_threads()
     }
 
     /// Regrid driven by the **evolved solution**: refine where the
@@ -238,6 +300,7 @@ impl GwSolver {
     /// exceeds `eps` (the paper's re-discretization to capture the
     /// evolving fields, Algorithm 1 line 3).
     pub fn regrid_on_state(&mut self, var: usize, eps: f64, base_level: u8, cap_level: u8) {
+        let _span = self.probe.start(Phase::Regrid);
         let u = self.backend.download();
         let old_keys: Vec<MortonKey> = self.mesh.octants.iter().map(|o| o.key).collect();
         let new_leaves = {
@@ -259,8 +322,10 @@ impl GwSolver {
             transfer_state(&self.mesh, &u, &new_mesh).unwrap_or_else(|e| panic!("regrid: {e}"));
         self.mesh = new_mesh;
         self.backend = make_backend(&self.config, &self.mesh);
+        self.backend.set_probe(self.probe.clone());
         self.backend.upload(&new_u);
         self.regrids += 1;
+        self.probe.add(Counter::Regrids, 1);
     }
 
     /// Max Hamiltonian-constraint residual over a sample of points
@@ -287,11 +352,11 @@ impl GwSolver {
     }
 }
 
-fn make_backend(config: &SolverConfig, mesh: &Mesh) -> Backend {
+fn make_backend(config: &SolverConfig, mesh: &Mesh) -> Box<dyn Backend> {
     if config.use_gpu {
-        Backend::Gpu(GpuBackend::new(mesh, config.params, config.rhs_kind, Device::a100()))
+        Box::new(GpuBackend::new(mesh, config.params, config.rhs_kind, Device::a100()))
     } else {
-        Backend::Cpu(CpuBackend::with_threads(mesh, config.params, config.rhs_kind, config.threads))
+        Box::new(CpuBackend::with_threads(mesh, config.params, config.rhs_kind, config.threads))
     }
 }
 
@@ -539,7 +604,7 @@ mod tests {
             out[gw_expr::symbols::var::gt(2, 2)] = 1.0;
         });
         let dt = solver.dt();
-        solver.evolve_steps(3, None);
+        solver.evolve_steps_inner(3, None);
         assert_eq!(solver.steps_taken, 3);
         assert!((solver.time - 3.0 * dt).abs() < 1e-14);
     }

@@ -35,6 +35,7 @@ use crate::solver::GwSolver;
 use bytes::Bytes;
 use gw_expr::symbols::{var, NUM_INPUTS, NUM_VARS};
 use gw_mesh::Field;
+use gw_obs::{Counter, Phase};
 use gw_stencil::patch::PatchLayout;
 
 /// Limits separating a healthy state from a corrupted or diverging one.
@@ -310,7 +311,22 @@ impl<'a> Supervisor<'a> {
     /// supervision. On success the solver holds the final state; on
     /// [`SupervisorError::RetriesExhausted`] it holds the last rollback
     /// point.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use crate::run::Run::new(config).supervised(policy).execute() — one builder \
+                covers plain, supervised, and distributed evolution"
+    )]
     pub fn run(
+        &mut self,
+        solver: &mut GwSolver,
+        target_steps: u64,
+    ) -> Result<RunSummary, SupervisorError> {
+        self.run_inner(solver, target_steps)
+    }
+
+    /// Non-deprecated implementation behind [`Supervisor::run`]; the
+    /// [`crate::run::Run`] builder drives this directly.
+    pub(crate) fn run_inner(
         &mut self,
         solver: &mut GwSolver,
         target_steps: u64,
@@ -334,7 +350,11 @@ impl<'a> Supervisor<'a> {
             if !due {
                 continue;
             }
-            let report = self.monitor.check(solver);
+            let report = {
+                let _s = solver.probe().start(Phase::Health);
+                solver.probe().add(Counter::HealthChecks, 1);
+                self.monitor.check(solver)
+            };
             if report.healthy() {
                 good = checkpoint::save(solver);
                 good_step = step;
@@ -349,6 +369,7 @@ impl<'a> Supervisor<'a> {
                 continue;
             }
             // Unhealthy: log, roll back, degrade, retry (bounded).
+            solver.probe().add(Counter::FaultsDetected, 1);
             events.push(SupervisorEvent::FaultDetected { step, report: report.clone() });
             failures.push(report.clone());
             if retries >= self.config.degradation.max_retries {
@@ -386,9 +407,12 @@ impl<'a> Supervisor<'a> {
         cfg.params.ko_sigma = base.params.ko_sigma + d.ko_boost * attempt as f64;
         let extractors = std::mem::take(&mut solver.extractors);
         let psi4 = std::mem::take(&mut solver.psi4_extractors);
+        let probe = solver.probe().clone();
+        probe.add(Counter::Rollbacks, 1);
         *solver = checkpoint::restore(cfg, cp);
         solver.extractors = extractors;
         solver.psi4_extractors = psi4;
+        solver.set_probe(probe);
         debug_assert_eq!(solver.steps_taken, to_step);
         if attempt > 0 {
             events.push(SupervisorEvent::RetryStarted {
@@ -407,6 +431,8 @@ impl<'a> Supervisor<'a> {
         step: u64,
     ) -> Result<String, SupervisorError> {
         let io = |e: String| SupervisorError::CheckpointIo { step, error: e };
+        let _s = solver.probe().start(Phase::Checkpoint);
+        solver.probe().add(Counter::Checkpoints, 1);
         std::fs::create_dir_all(dir).map_err(|e| io(e.to_string()))?;
         let path = format!("{dir}/ckpt_{step:08}.gwcp");
         checkpoint::save_to_file(solver, &path).map_err(|e| io(e.to_string()))?;
@@ -421,6 +447,9 @@ impl<'a> Supervisor<'a> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `Supervisor::run` wrapper is exercised on purpose:
+    // it must keep delegating faithfully until removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::solver::SolverConfig;
     use gw_bssn::init::LinearWaveData;

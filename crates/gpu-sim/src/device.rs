@@ -19,6 +19,7 @@ pub struct Device {
     spec: MachineSpec,
     counters: Arc<Counters>,
     id: usize,
+    probe: gw_obs::Probe,
 }
 
 /// Launch geometry: a 1D or 2D grid of blocks, CUDA-style.
@@ -105,7 +106,20 @@ impl Device {
             spec,
             counters: Arc::new(Counters::new()),
             id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
+            probe: gw_obs::Probe::disabled(),
         }
+    }
+
+    /// Attach an observability probe: every subsequent launch records a
+    /// `kernel`-category span named after its [`LaunchConfig`] (timing
+    /// only — the numeric path is untouched, see gw-obs).
+    pub fn set_probe(&mut self, probe: gw_obs::Probe) {
+        self.probe = probe;
+    }
+
+    /// The attached probe (disabled by default).
+    pub fn probe(&self) -> &gw_obs::Probe {
+        &self.probe
     }
 
     pub fn a100() -> Self {
@@ -193,6 +207,8 @@ impl Device {
         F: Fn(&mut BlockCtx) + Sync,
     {
         self.counters.launches.fetch_add(1, Ordering::Relaxed);
+        self.probe.add(gw_obs::Counter::KernelLaunches, 1);
+        let _span = self.probe.start_labeled(gw_obs::Phase::Kernel, cfg.name);
         let total = cfg.total_blocks();
         if total == 0 {
             return;

@@ -1,0 +1,70 @@
+//! Validate a gw-obs trace file against the `gw-obs-trace-v1` schema
+//! and enforce the step-coverage budget.
+//!
+//! ```text
+//! trace_check <trace.json> [--min-coverage 0.9]
+//! ```
+//!
+//! Exit codes: 0 valid (and coverage ≥ threshold), 1 invalid or under
+//! the threshold, 2 usage error.
+
+use gw_obs::json::validate_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut min_coverage = 0.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--min-coverage" => {
+                let v = args.get(i + 1).and_then(|s| s.parse::<f64>().ok());
+                match v {
+                    Some(v) if (0.0..=1.0).contains(&v) => min_coverage = v,
+                    _ => usage("--min-coverage takes a value in [0, 1]"),
+                }
+                i += 2;
+            }
+            a if path.is_none() && !a.starts_with('-') => {
+                path = Some(a.to_string());
+                i += 1;
+            }
+            a => usage(&format!("unexpected argument '{a}'")),
+        }
+    }
+    let Some(path) = path else { usage("missing trace file path") };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_trace(&text) {
+        Ok(stats) => {
+            println!(
+                "{path}: {} events, wall {:.1} ms, step coverage {:.1}%",
+                stats.events,
+                stats.wall_ms,
+                stats.step_coverage * 100.0
+            );
+            if stats.step_coverage < min_coverage {
+                eprintln!(
+                    "trace_check: step coverage {:.3} below required {min_coverage:.3} — \
+                     the work phases do not account for the measured step wall time",
+                    stats.step_coverage
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: schema violation: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}\nusage: trace_check <trace.json> [--min-coverage X]");
+    std::process::exit(2);
+}

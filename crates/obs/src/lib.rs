@@ -1,0 +1,449 @@
+//! Observability: hierarchical phase timers, monotonic counters, and a
+//! structured trace sink.
+//!
+//! The paper tells its whole performance story through per-kernel
+//! breakdowns (octant-to-patch, RHS, AXPY, halo exchange — Figs. 12,
+//! 13, 19); this crate gives every backend and driver in the workspace
+//! one uniform way to produce those numbers.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never perturb results.** A probe only reads clocks and bumps
+//!    relaxed atomics / pushes to a side buffer; it takes no locks
+//!    inside parallel numeric loops and never touches solver state, so
+//!    enabling it cannot change a single bit of the evolution at any
+//!    thread count (this is locked in by `tests/determinism_matrix.rs`).
+//! 2. **Zero cost when compiled out.** With the `enabled` feature off,
+//!    [`Probe`] is a fieldless struct and every method is an empty
+//!    inlined body — the API stays identical so no caller needs `cfg`.
+//! 3. **Cheap when present but dormant.** A disabled-at-runtime probe
+//!    ([`Probe::disabled`]) is one `Option` check per call.
+//!
+//! The trace sink writes Chrome-trace-compatible JSON (`chrome://tracing`,
+//! Perfetto) with an aggregated per-phase `summary` section; see
+//! [`trace`] for the schema and [`json::validate_trace`] for the
+//! validator behind the `trace_check` binary.
+
+pub mod json;
+pub mod trace;
+
+pub use trace::{Trace, TraceEvent};
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex};
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// A phase in the span hierarchy: `step → {o2p, rhs, p2o, axpy, halo,
+/// regrid, checkpoint}` plus the cross-cutting categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// One full RK4 step (the parent of the work phases).
+    Step,
+    /// Octant-to-patch scatter (+ boundary padding fill).
+    O2p,
+    /// BSSN right-hand side evaluation.
+    Rhs,
+    /// Patch-to-octant consistency: coarse–fine interface sync. (The
+    /// fused RHS kernels write octant blocks directly, so the classic
+    /// copy-back phase reduces to this sync — see DESIGN.md §10.)
+    P2o,
+    /// AXPY-family buffer arithmetic (axpy, assign_axpy, copy).
+    Axpy,
+    /// Distributed halo exchange.
+    Halo,
+    /// Host-side re-discretization (regrid).
+    Regrid,
+    /// Checkpoint serialization / IO.
+    Checkpoint,
+    /// Waveform extraction (device→host read + projection).
+    Extract,
+    /// Supervisor health check.
+    Health,
+    /// An individual device-kernel launch (child of o2p/rhs/axpy/p2o).
+    Kernel,
+}
+
+impl Phase {
+    /// Stable lowercase name used in trace categories and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Step => "step",
+            Phase::O2p => "o2p",
+            Phase::Rhs => "rhs",
+            Phase::P2o => "p2o",
+            Phase::Axpy => "axpy",
+            Phase::Halo => "halo",
+            Phase::Regrid => "regrid",
+            Phase::Checkpoint => "checkpoint",
+            Phase::Extract => "extract",
+            Phase::Health => "health",
+            Phase::Kernel => "kernel",
+        }
+    }
+
+    /// The phases expected to account for a step's wall time (the
+    /// denominator of the trace coverage check): direct children of
+    /// `step` doing the actual work.
+    pub const WORK: [Phase; 5] = [Phase::O2p, Phase::Rhs, Phase::P2o, Phase::Axpy, Phase::Halo];
+}
+
+/// Monotonic per-kernel / per-subsystem counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// RK4 steps completed.
+    Steps,
+    /// Octant patches assembled by o2p passes.
+    PatchesProcessed,
+    /// Patch points written by o2p scatter passes.
+    PointsScattered,
+    /// Host↔device bytes moved by upload/download.
+    BytesMoved,
+    /// Device kernel launches.
+    KernelLaunches,
+    /// Point-to-point halo messages delivered.
+    HaloMessages,
+    /// Halo payload bytes delivered.
+    HaloBytes,
+    /// Reliable-delivery retransmissions.
+    Retransmits,
+    /// Liveness heartbeats emitted.
+    Heartbeats,
+    /// Supervisor health checks performed.
+    HealthChecks,
+    /// Health checks that found the state unhealthy.
+    FaultsDetected,
+    /// Rollback/retry recoveries performed.
+    Rollbacks,
+    /// Checkpoints written (in-memory or disk).
+    Checkpoints,
+    /// Regrids performed.
+    Regrids,
+}
+
+impl Counter {
+    pub const COUNT: usize = 14;
+
+    /// All counters, in declaration order (the summary emits them in
+    /// this order, so output is deterministic).
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Steps,
+        Counter::PatchesProcessed,
+        Counter::PointsScattered,
+        Counter::BytesMoved,
+        Counter::KernelLaunches,
+        Counter::HaloMessages,
+        Counter::HaloBytes,
+        Counter::Retransmits,
+        Counter::Heartbeats,
+        Counter::HealthChecks,
+        Counter::FaultsDetected,
+        Counter::Rollbacks,
+        Counter::Checkpoints,
+        Counter::Regrids,
+    ];
+
+    /// Stable snake_case name used in the summary's `counters` object.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Steps => "steps",
+            Counter::PatchesProcessed => "patches_processed",
+            Counter::PointsScattered => "points_scattered",
+            Counter::BytesMoved => "bytes_moved",
+            Counter::KernelLaunches => "kernel_launches",
+            Counter::HaloMessages => "halo_messages",
+            Counter::HaloBytes => "halo_bytes",
+            Counter::Retransmits => "retransmits",
+            Counter::Heartbeats => "heartbeats",
+            Counter::HealthChecks => "health_checks",
+            Counter::FaultsDetected => "faults_detected",
+            Counter::Rollbacks => "rollbacks",
+            Counter::Checkpoints => "checkpoints",
+            Counter::Regrids => "regrids",
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn index(self) -> usize {
+        Counter::ALL.iter().position(|&c| c == self).expect("counter in ALL")
+    }
+}
+
+#[cfg(feature = "enabled")]
+struct Inner {
+    origin: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    counters: [AtomicU64; Counter::COUNT],
+}
+
+#[cfg(feature = "enabled")]
+impl Inner {
+    fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod tls {
+    use std::cell::{Cell, RefCell};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        /// Stack of open span labels on this thread, for parent
+        /// attribution. Guards must be dropped on the thread that
+        /// created them (all our spans are lexically scoped).
+        pub static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        static TID: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+
+    /// Small dense trace thread-id for the current thread.
+    pub fn tid() -> u64 {
+        TID.with(|c| {
+            let v = c.get();
+            if v != u64::MAX {
+                return v;
+            }
+            let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+            v
+        })
+    }
+}
+
+/// A handle to one recording session, shared by every instrumented
+/// component of a run. `Clone` is a cheap `Arc` bump; all clones feed
+/// the same event buffer and counters. The default/[`Probe::disabled`]
+/// probe records nothing.
+#[derive(Clone, Default)]
+pub struct Probe {
+    #[cfg(feature = "enabled")]
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Probe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_enabled() {
+            f.write_str("Probe(enabled)")
+        } else {
+            f.write_str("Probe(disabled)")
+        }
+    }
+}
+
+impl Probe {
+    /// A probe that records nothing (the default everywhere).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A live probe. With the `enabled` feature compiled out this still
+    /// returns a disabled probe (and [`Probe::report`] returns `None`).
+    pub fn enabled() -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            Probe { inner: Some(Arc::new(Inner::new())) }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            Probe {}
+        }
+    }
+
+    /// Whether this probe is actually recording.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// Open a span for `phase`; it closes (and records one trace event)
+    /// when the returned guard drops. Guards nest: an inner span records
+    /// the enclosing span's label as its parent.
+    #[inline]
+    pub fn start(&self, phase: Phase) -> SpanGuard {
+        self.start_labeled(phase, phase.name())
+    }
+
+    /// Open a span with an explicit label (e.g. a kernel name) under
+    /// category `phase`.
+    #[inline]
+    pub fn start_labeled(&self, phase: Phase, label: &'static str) -> SpanGuard {
+        #[cfg(feature = "enabled")]
+        {
+            let rec = self.inner.as_ref().map(|inner| {
+                let parent = tls::SPAN_STACK.with(|s| s.borrow().last().copied());
+                tls::SPAN_STACK.with(|s| s.borrow_mut().push(label));
+                Rec {
+                    inner: inner.clone(),
+                    label,
+                    cat: phase.name(),
+                    parent,
+                    start: Instant::now(),
+                    tid: tls::tid(),
+                }
+            });
+            SpanGuard { rec }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (phase, label);
+            SpanGuard {}
+        }
+    }
+
+    /// Bump a monotonic counter by `n`.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(inner) = &self.inner {
+            inner.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = (counter, n);
+    }
+
+    /// Current value of a counter (0 on a disabled probe).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        #[cfg(feature = "enabled")]
+        if let Some(inner) = &self.inner {
+            return inner.counters[counter.index()].load(Ordering::Relaxed);
+        }
+        let _ = counter;
+        0
+    }
+
+    /// Snapshot the recorded events and counters. `None` on a disabled
+    /// probe (including every probe when the `enabled` feature is
+    /// compiled out), so callers can skip sink IO entirely.
+    pub fn report(&self) -> Option<Trace> {
+        #[cfg(feature = "enabled")]
+        {
+            let inner = self.inner.as_ref()?;
+            let events = inner.events.lock().expect("events lock").clone();
+            let counters: Vec<(&'static str, u64)> = Counter::ALL
+                .iter()
+                .map(|&c| (c.name(), inner.counters[c.index()].load(Ordering::Relaxed)))
+                .collect();
+            let wall_ms = inner.origin.elapsed().as_secs_f64() * 1e3;
+            Some(Trace { events, counters, wall_ms })
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            None
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+struct Rec {
+    inner: Arc<Inner>,
+    label: &'static str,
+    cat: &'static str,
+    parent: Option<&'static str>,
+    start: Instant,
+    tid: u64,
+}
+
+/// Open-span guard; records a completed trace event when dropped.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    rec: Option<Rec>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(rec) = self.rec.take() {
+            let end = Instant::now();
+            tls::SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            let ts_us = rec.start.duration_since(rec.inner.origin).as_secs_f64() * 1e6;
+            let dur_us = end.duration_since(rec.start).as_secs_f64() * 1e6;
+            rec.inner.events.lock().expect("events lock").push(TraceEvent {
+                name: rec.label,
+                cat: rec.cat,
+                parent: rec.parent,
+                ts_us,
+                dur_us,
+                tid: rec.tid,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        let p = Probe::disabled();
+        assert!(!p.is_enabled());
+        {
+            let _g = p.start(Phase::Step);
+            p.add(Counter::Steps, 1);
+        }
+        assert_eq!(p.counter(Counter::Steps), 0);
+        assert!(p.report().is_none());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_nest_with_parent_attribution() {
+        let p = Probe::enabled();
+        {
+            let _step = p.start(Phase::Step);
+            {
+                let _o2p = p.start(Phase::O2p);
+                let _k = p.start_labeled(Phase::Kernel, "octant-to-patch");
+            }
+            let _rhs = p.start(Phase::Rhs);
+        }
+        let t = p.report().expect("enabled probe reports");
+        // Events are recorded at close time: innermost first.
+        assert_eq!(t.events.len(), 4);
+        let by_name = |n: &str| t.events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("octant-to-patch").parent, Some("o2p"));
+        assert_eq!(by_name("octant-to-patch").cat, "kernel");
+        assert_eq!(by_name("o2p").parent, Some("step"));
+        assert_eq!(by_name("rhs").parent, Some("step"));
+        assert_eq!(by_name("step").parent, None);
+        // Nesting: the parent span covers the child in time.
+        let (o, k) = (by_name("o2p"), by_name("octant-to-patch"));
+        assert!(o.ts_us <= k.ts_us && k.ts_us + k.dur_us <= o.ts_us + o.dur_us + 1.0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn counters_accumulate_across_clones_and_threads() {
+        let p = Probe::enabled();
+        let q = p.clone();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = q.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        q.add(Counter::Retransmits, 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.counter(Counter::Retransmits), 800);
+    }
+}

@@ -1,0 +1,297 @@
+//! The trace model and Chrome-trace JSON sink.
+//!
+//! A trace file is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "traceEvents": [
+//!     {"name":"o2p","cat":"o2p","ph":"X","ts":12.5,"dur":803.1,
+//!      "pid":1,"tid":0,"args":{"parent":"step"}},
+//!     ...
+//!   ],
+//!   "summary": {
+//!     "schema": "gw-obs-trace-v1",
+//!     "wall_ms": ..., "steps": ...,
+//!     "step_total_ms": ..., "step_coverage": 0.97,
+//!     "phases":  {"o2p": {"count":32,"total_ms":...,"mean_ms":...}, ...},
+//!     "kernels": {"bssn-rhs": {"count":32,"total_ms":...}, ...},
+//!     "counters": {"steps":8, "retransmits":0, ...}
+//!   }
+//! }
+//! ```
+//!
+//! The `traceEvents` half is the standard Chrome trace-event array
+//! (complete `"X"` events, microsecond timestamps) and loads directly
+//! into `chrome://tracing` / Perfetto; the object form tolerates the
+//! extra `summary` member. `step_coverage` is the fraction of measured
+//! `step` wall time accounted for by the work phases (o2p, rhs, p2o,
+//! axpy, halo) that are *direct children* of a step span — the CI smoke
+//! gate requires ≥ 0.9.
+
+use crate::json::{Value, TRACE_SCHEMA};
+use crate::Phase;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// One completed span.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Span label (phase name, or kernel name for `cat == "kernel"`).
+    pub name: &'static str,
+    /// Phase category.
+    pub cat: &'static str,
+    /// Label of the span that enclosed this one on the same thread.
+    pub parent: Option<&'static str>,
+    /// Start, microseconds since the probe was created.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Dense per-thread id.
+    pub tid: u64,
+}
+
+/// Per-label aggregate used in the summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseAgg {
+    pub count: u64,
+    pub total_ms: f64,
+}
+
+/// A snapshot of a probe's recorded events and counters
+/// (see [`crate::Probe::report`]).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+    /// Counter values in [`crate::Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Wall time from probe creation to the report call (ms).
+    pub wall_ms: f64,
+}
+
+impl Trace {
+    /// Aggregate events by phase category.
+    pub fn phase_totals(&self) -> BTreeMap<&'static str, PhaseAgg> {
+        let mut out: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
+        for e in &self.events {
+            let agg = out.entry(e.cat).or_default();
+            agg.count += 1;
+            agg.total_ms += e.dur_us / 1e3;
+        }
+        out
+    }
+
+    /// Aggregate kernel-category events by kernel name.
+    pub fn kernel_totals(&self) -> BTreeMap<&'static str, PhaseAgg> {
+        let mut out: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
+        for e in &self.events {
+            if e.cat == Phase::Kernel.name() {
+                let agg = out.entry(e.name).or_default();
+                agg.count += 1;
+                agg.total_ms += e.dur_us / 1e3;
+            }
+        }
+        out
+    }
+
+    /// Total measured step time (ms).
+    pub fn step_total_ms(&self) -> f64 {
+        self.events.iter().filter(|e| e.cat == Phase::Step.name()).map(|e| e.dur_us / 1e3).sum()
+    }
+
+    /// Fraction of step wall time covered by work phases that are
+    /// direct children of a step span. 1.0 when no steps were recorded
+    /// (nothing to cover).
+    pub fn step_coverage(&self) -> f64 {
+        let step_ms = self.step_total_ms();
+        if step_ms <= 0.0 {
+            return 1.0;
+        }
+        let work: Vec<&'static str> = Phase::WORK.iter().map(|p| p.name()).collect();
+        let covered: f64 = self
+            .events
+            .iter()
+            .filter(|e| e.parent == Some(Phase::Step.name()) && work.contains(&e.cat))
+            .map(|e| e.dur_us / 1e3)
+            .sum();
+        (covered / step_ms).min(1.0)
+    }
+
+    fn agg_value(aggs: &BTreeMap<&'static str, PhaseAgg>, with_mean: bool) -> Value {
+        Value::Obj(
+            aggs.iter()
+                .map(|(name, a)| {
+                    let mut m = vec![
+                        ("count".to_string(), Value::Num(a.count as f64)),
+                        ("total_ms".to_string(), Value::Num(a.total_ms)),
+                    ];
+                    if with_mean && a.count > 0 {
+                        m.push(("mean_ms".to_string(), Value::Num(a.total_ms / a.count as f64)));
+                    }
+                    (name.to_string(), Value::Obj(m))
+                })
+                .collect(),
+        )
+    }
+
+    /// Build the full trace document. `extra` sections (e.g. `device`
+    /// counter snapshots, `model` roofline predictions) are appended to
+    /// the summary verbatim.
+    pub fn to_value(&self, extra: &[(&str, Value)]) -> Value {
+        let events: Vec<Value> = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut m = vec![
+                    ("name", Value::Str(e.name.to_string())),
+                    ("cat", Value::Str(e.cat.to_string())),
+                    ("ph", Value::Str("X".to_string())),
+                    ("ts", Value::Num(e.ts_us)),
+                    ("dur", Value::Num(e.dur_us)),
+                    ("pid", Value::Num(1.0)),
+                    ("tid", Value::Num(e.tid as f64)),
+                ];
+                if let Some(p) = e.parent {
+                    m.push(("args", Value::obj(vec![("parent", Value::Str(p.to_string()))])));
+                }
+                Value::obj(m)
+            })
+            .collect();
+        let steps = self.counters.iter().find(|(n, _)| *n == "steps").map(|(_, v)| *v).unwrap_or(0);
+        let mut summary = vec![
+            ("schema", Value::Str(TRACE_SCHEMA.to_string())),
+            ("wall_ms", Value::Num(self.wall_ms)),
+            ("steps", Value::Num(steps as f64)),
+            ("step_total_ms", Value::Num(self.step_total_ms())),
+            ("step_coverage", Value::Num(self.step_coverage())),
+            ("phases", Self::agg_value(&self.phase_totals(), true)),
+            ("kernels", Self::agg_value(&self.kernel_totals(), false)),
+            (
+                "counters",
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.to_string(), Value::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+        ];
+        for (k, v) in extra {
+            summary.push((k, v.clone()));
+        }
+        Value::obj(vec![("traceEvents", Value::Arr(events)), ("summary", Value::obj(summary))])
+    }
+
+    /// Render the trace document as JSON text.
+    pub fn render(&self, extra: &[(&str, Value)]) -> String {
+        self.to_value(extra).to_string()
+    }
+
+    /// Write the trace document to `path` (creating parent directories).
+    pub fn write_to(&self, path: &Path, extra: &[(&str, Value)]) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render(extra).as_bytes())?;
+        f.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_trace;
+
+    fn synthetic() -> Trace {
+        // A known two-step workload: each step has 80 µs of o2p, 300 µs
+        // of rhs, 40 µs of axpy, 10 µs of p2o under a 450 µs step, plus
+        // a kernel child and an uncovered top-level checkpoint.
+        let mut events = Vec::new();
+        for s in 0..2u64 {
+            let t0 = s as f64 * 1000.0;
+            events.push(TraceEvent {
+                name: "octant-to-patch",
+                cat: "kernel",
+                parent: Some("o2p"),
+                ts_us: t0 + 1.0,
+                dur_us: 70.0,
+                tid: 0,
+            });
+            for (name, ts, dur) in [
+                ("o2p", 0.0, 80.0),
+                ("rhs", 80.0, 300.0),
+                ("axpy", 380.0, 40.0),
+                ("p2o", 420.0, 10.0),
+            ] {
+                events.push(TraceEvent {
+                    name,
+                    cat: name,
+                    parent: Some("step"),
+                    ts_us: t0 + ts,
+                    dur_us: dur,
+                    tid: 0,
+                });
+            }
+            events.push(TraceEvent {
+                name: "step",
+                cat: "step",
+                parent: None,
+                ts_us: t0,
+                dur_us: 450.0,
+                tid: 0,
+            });
+        }
+        events.push(TraceEvent {
+            name: "checkpoint",
+            cat: "checkpoint",
+            parent: None,
+            ts_us: 2000.0,
+            dur_us: 100.0,
+            tid: 0,
+        });
+        Trace { events, counters: vec![("steps", 2), ("retransmits", 0)], wall_ms: 2.2 }
+    }
+
+    #[test]
+    fn aggregation_and_coverage_on_synthetic_workload() {
+        let t = synthetic();
+        let phases = t.phase_totals();
+        assert_eq!(phases["rhs"], PhaseAgg { count: 2, total_ms: 0.6 });
+        assert_eq!(phases["step"].count, 2);
+        assert_eq!(t.kernel_totals()["octant-to-patch"].count, 2);
+        // Covered: (80+300+40+10)*2 = 860 of 900 µs of step time. The
+        // kernel child must NOT double-count (its parent is o2p, and
+        // its cat is "kernel"), nor the top-level checkpoint.
+        let expect = 860.0 / 900.0;
+        assert!((t.step_coverage() - expect).abs() < 1e-12, "{}", t.step_coverage());
+    }
+
+    #[test]
+    fn rendered_trace_validates_and_round_trips() {
+        let t = synthetic();
+        let extra = [(
+            "device",
+            Value::obj(vec![("flops", Value::Num(12345.0)), ("launches", Value::Num(6.0))]),
+        )];
+        let text = t.render(&extra);
+        let stats = validate_trace(&text).expect("schema-valid");
+        assert_eq!(stats.events, t.events.len());
+        assert!((stats.step_coverage - t.step_coverage()).abs() < 1e-12);
+        assert!((stats.phase_ms["rhs"] - 0.6).abs() < 1e-12);
+        assert_eq!(stats.counters["steps"], 2.0);
+        // Extra sections survive verbatim.
+        let doc = crate::json::parse(&text).expect("parse");
+        let flops = doc.get("summary").unwrap().get("device").unwrap().get("flops").unwrap();
+        assert_eq!(flops.as_f64(), Some(12345.0));
+    }
+
+    #[test]
+    fn coverage_is_one_without_steps() {
+        let t = Trace { events: vec![], counters: vec![], wall_ms: 0.0 };
+        assert_eq!(t.step_coverage(), 1.0);
+        assert!(validate_trace(&t.render(&[])).is_ok());
+    }
+}

@@ -27,17 +27,25 @@ fn checkpoint_crc(solver: &GwSolver) -> u32 {
 
 /// Evolve a gauge wave on an adaptive mesh (all three scatter kinds)
 /// for `steps` steps with the requested worker count, returning the
-/// solver for inspection.
-fn evolve(threads: usize, steps: usize) -> GwSolver {
+/// solver for inspection. With `profiled`, a live observability probe
+/// is installed first — spans and counters fire on every step.
+fn evolve_probed(threads: usize, steps: usize, profiled: bool) -> GwSolver {
     let domain = Domain::centered_cube(8.0);
     let mesh = adaptive_mesh(domain);
     let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
     let config = SolverConfig { threads, ..Default::default() };
     let mut solver = GwSolver::new(config, mesh, move |p, out| wave.evaluate(p, out));
+    if profiled {
+        solver.set_probe(gw_obs::Probe::enabled());
+    }
     for _ in 0..steps {
         solver.step();
     }
     solver
+}
+
+fn evolve(threads: usize, steps: usize) -> GwSolver {
+    evolve_probed(threads, steps, false)
 }
 
 #[test]
@@ -66,6 +74,34 @@ fn evolution_is_bit_identical_across_thread_counts() {
             ref_h.to_bits(),
             "threads={threads}: constraint norm reduction must be order-fixed"
         );
+    }
+}
+
+#[test]
+fn profiling_never_perturbs_the_evolution() {
+    // The observability layer is timing and counting only: a run with a
+    // live probe must be bit-identical — state AND checkpoint body CRC —
+    // to the unprofiled run, serial and threaded alike. This is the
+    // guarantee that makes `--profile` safe on production runs.
+    for threads in [1usize, 8] {
+        let plain = evolve_probed(threads, 4, false);
+        let profiled = evolve_probed(threads, 4, true);
+        let plain_bits: Vec<u64> = plain.state().as_slice().iter().map(|v| v.to_bits()).collect();
+        let prof_bits: Vec<u64> = profiled.state().as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            prof_bits, plain_bits,
+            "threads={threads}: profiling must not perturb the state"
+        );
+        assert_eq!(
+            checkpoint_crc(&profiled),
+            checkpoint_crc(&plain),
+            "threads={threads}: profiling must not perturb the checkpoint body"
+        );
+        // And the probe really was live (unless obs is compiled out).
+        if profiled.probe().is_enabled() {
+            assert_eq!(profiled.probe().counter(gw_obs::Counter::Steps), 4);
+            assert!(profiled.probe().report().is_some(), "enabled probe reports a trace");
+        }
     }
 }
 

@@ -1,6 +1,10 @@
 //! Distributed-evolution integration: multi-rank runs against the
 //! single-rank reference, ghost-plan properties, scaling-model inputs.
 
+// The deprecated wrappers are exercised on purpose: they must keep
+// delegating to the same implementation the `Run` builder drives.
+#![allow(deprecated)]
+
 use gw_bssn::init::LinearWaveData;
 use gw_bssn::BssnParams;
 use gw_comm::world::WorldConfig;
@@ -35,7 +39,7 @@ fn four_ranks_match_reference_on_uniform_grid() {
     let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
     let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
     let params = BssnParams::default();
-    let mut backend = Backend::Cpu(CpuBackend::new(&mesh, params, RhsKind::Pointwise));
+    let mut backend = CpuBackend::new(&mesh, params, RhsKind::Pointwise);
     backend.upload(&u0);
     let rk = Rk4::default();
     let dt = rk.timestep(&mesh);
@@ -138,6 +142,7 @@ fn unrecoverable_faults_surface_typed_errors_never_hang() {
         max_retransmits: 2,
         retry_backoff: Duration::from_millis(1),
         heartbeat_interval: Duration::from_millis(5),
+        ..WorldConfig::default()
     };
     let err = evolve_distributed_cfg(&mesh, &u0, 3, 1, 0.25, BssnParams::default(), cfg)
         .expect_err("total loss cannot be recovered");
