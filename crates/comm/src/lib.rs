@@ -31,4 +31,4 @@ pub mod world;
 
 pub use fault::{CommFaultPlan, FaultAction};
 pub use ghost::{GhostPlan, GhostSchedule};
-pub use world::{CommError, RankCtx, RankTraffic, TrafficStats, World, WorldConfig};
+pub use world::{CommError, RankCtx, RankTraffic, RecvHandle, TrafficStats, World, WorldConfig};

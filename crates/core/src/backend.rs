@@ -271,46 +271,53 @@ impl Backend for CpuBackend {
         let masks = &self.masks;
         let params = self.params;
         let tape = &self.tape;
+        let probe = self.probe.clone();
         let out = UnsafeSlice::new(self.bufs[buf_index(output)].as_mut_slice());
         // One task per octant, as in the GPU backend's `grid1(n)` RHS
         // launch. Pool workers persist across backends, so the cached
-        // workspace is rebuilt whenever the tape slot count changes.
+        // workspace (and the Sommerfeld staging buffers riding with it)
+        // is rebuilt whenever the tape slot count changes — never per
+        // octant, which `Counter::WorkspaceAllocs` asserts.
         let per_oct: Vec<(u64, u64)> = self.pool.map(n, |e| {
+            type Cached = (usize, RhsWorkspace, Vec<f64>, Vec<f64>);
             thread_local! {
-                static WS: std::cell::RefCell<Option<(usize, RhsWorkspace)>> =
+                static WS: std::cell::RefCell<Option<Cached>> =
                     const { std::cell::RefCell::new(None) };
             }
             let h = mesh.octants[e].h;
-            let patch_refs: Vec<&[f64]> = (0..NUM_VARS).map(|v| patches.patch(v, e)).collect();
+            let patch_refs: [&[f64]; NUM_VARS] = std::array::from_fn(|v| patches.patch(v, e));
             WS.with(|cell| {
                 let mut borrow = cell.borrow_mut();
                 let slots = tape.as_ref().map(|t| t.n_slots).unwrap_or(1);
                 if borrow.as_ref().map(|e| e.0 != slots).unwrap_or(true) {
-                    *borrow = Some((slots, RhsWorkspace::new(slots)));
+                    probe.add(Counter::WorkspaceAllocs, 1);
+                    *borrow = Some((
+                        slots,
+                        RhsWorkspace::new(slots),
+                        vec![0.0; NUM_INPUTS],
+                        vec![0.0; NUM_VARS],
+                    ));
                 }
-                let ws = &mut borrow.as_mut().expect("workspace just initialized").1;
+                let (_, ws, inputs_buf, point_out) =
+                    borrow.as_mut().expect("workspace just initialized");
                 let mode = match tape {
                     Some(t) => RhsMode::Tape(t),
                     None => RhsMode::Pointwise,
                 };
-                let mut out_blocks: Vec<&mut [f64]> = (0..NUM_VARS)
-                    .map(|v| {
-                        // Safety: task e exclusively owns octant e's output
-                        // blocks for all variables.
-                        unsafe { out.slice_mut((v * n + e) * BLOCK_VOLUME, BLOCK_VOLUME) }
-                    })
-                    .collect();
+                let mut out_blocks: [&mut [f64]; NUM_VARS] = std::array::from_fn(|v| {
+                    // Safety: task e exclusively owns octant e's output
+                    // blocks for all variables.
+                    unsafe { out.slice_mut((v * n + e) * BLOCK_VOLUME, BLOCK_VOLUME) }
+                });
                 let (df, af) = bssn_rhs_patch(&patch_refs, h, &params, &mode, ws, &mut out_blocks);
-                let mut inputs_buf = vec![0.0; NUM_INPUTS];
-                let mut point_out = vec![0.0; NUM_VARS];
                 sommerfeld_fix(
                     mesh,
                     e,
                     masks[e],
                     &patch_refs,
                     ws,
-                    &mut inputs_buf,
-                    &mut point_out,
+                    inputs_buf,
+                    point_out,
                     &mut out_blocks,
                 );
                 (df, af)
@@ -488,33 +495,36 @@ impl GpuBackend {
             .as_ref()
             .map(|t| (t.spill_stats.spill_load_bytes, t.spill_stats.spill_store_bytes))
             .unwrap_or((0, 0));
+        let probe = self.probe.clone();
         self.device.launch(LaunchConfig::grid1(n, "bssn-rhs"), |ctx| {
             let e = ctx.bx;
             let h = mesh.octants[e].h;
-            let patch_refs: Vec<&[f64]> = (0..NUM_VARS)
-                .map(|v| &patches[(v * n + e) * PATCH_VOLUME..(v * n + e + 1) * PATCH_VOLUME])
-                .collect();
+            let patch_refs: [&[f64]; NUM_VARS] = std::array::from_fn(|v| {
+                &patches[(v * n + e) * PATCH_VOLUME..(v * n + e + 1) * PATCH_VOLUME]
+            });
             ctx.global_load(NUM_VARS * PATCH_VOLUME);
+            type Cached = (RhsWorkspace, Vec<f64>, Vec<f64>);
             thread_local! {
-                static WS: std::cell::RefCell<Option<RhsWorkspace>> =
+                static WS: std::cell::RefCell<Option<Cached>> =
                     const { std::cell::RefCell::new(None) };
             }
             WS.with(|cell| {
                 let mut borrow = cell.borrow_mut();
                 let slots = tape.as_ref().map(|t| t.n_slots).unwrap_or(1);
-                let ws = borrow.get_or_insert_with(|| RhsWorkspace::new(slots));
+                let (ws, inputs_buf, point_out) = borrow.get_or_insert_with(|| {
+                    probe.add(Counter::WorkspaceAllocs, 1);
+                    (RhsWorkspace::new(slots), vec![0.0; NUM_INPUTS], vec![0.0; NUM_VARS])
+                });
                 let mode = match tape {
                     Some(t) => RhsMode::Tape(t),
                     None => RhsMode::Pointwise,
                 };
-                let mut out_blocks: Vec<&mut [f64]> = (0..NUM_VARS)
-                    .map(|v| {
-                        let off = (v * n + e) * BLOCK_VOLUME;
-                        // Safety: block (e) exclusively owns octant e's
-                        // output blocks for all variables.
-                        unsafe { out.slice_mut(off, BLOCK_VOLUME) }
-                    })
-                    .collect();
+                let mut out_blocks: [&mut [f64]; NUM_VARS] = std::array::from_fn(|v| {
+                    let off = (v * n + e) * BLOCK_VOLUME;
+                    // Safety: block (e) exclusively owns octant e's
+                    // output blocks for all variables.
+                    unsafe { out.slice_mut(off, BLOCK_VOLUME) }
+                });
                 let (df, af) = bssn_rhs_patch(&patch_refs, h, &params, &mode, ws, &mut out_blocks);
                 ctx.flops(df + af);
                 // Derivative staging traffic (thread-local stores+loads of
@@ -524,16 +534,14 @@ impl GpuBackend {
                     spill_per_point.0 * BLOCK_VOLUME as u64,
                     spill_per_point.1 * BLOCK_VOLUME as u64,
                 );
-                let mut inputs_buf = vec![0.0; NUM_INPUTS];
-                let mut point_out = vec![0.0; NUM_VARS];
                 sommerfeld_fix(
                     mesh,
                     e,
                     masks[e],
                     &patch_refs,
                     ws,
-                    &mut inputs_buf,
-                    &mut point_out,
+                    inputs_buf,
+                    point_out,
                     &mut out_blocks,
                 );
             });
@@ -811,6 +819,48 @@ mod tests {
         gpu.upload(&u);
         let back = gpu.download();
         assert_eq!(u.as_slice(), back.as_slice());
+    }
+
+    #[test]
+    fn steady_state_rhs_reuses_per_worker_workspaces() {
+        // The RHS hot loop must stage through per-worker cached buffers:
+        // workspace (re)builds are counted, and the count is bounded by
+        // the worker set — never by octants × steps.
+        let mesh = adaptive_mesh();
+        let u = wavey_state(&mesh);
+        let params = BssnParams::default();
+        let mut backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(CpuBackend::new(&mesh, params, RhsKind::Pointwise)),
+            Box::new(GpuBackend::new(&mesh, params, RhsKind::Pointwise, Device::a100())),
+        ];
+        for b in &mut backends {
+            let probe = Probe::enabled();
+            b.set_probe(probe.clone());
+            b.upload(&u);
+            for _ in 0..3 {
+                b.eval_rhs(&mesh, Buf::U, Buf::K);
+            }
+            if !probe.is_enabled() {
+                continue; // obs compiled out: the counter is a no-op
+            }
+            let evals = 3 * mesh.n_octants() as u64;
+            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let bound = match b.name() {
+                // Persistent pool: one workspace per worker (+ the
+                // submitter), for the life of the process.
+                "cpu" => (b.n_threads() + 1) as u64,
+                // gpu-sim scopes its block executors to each launch
+                // (kernel-launch semantics), so the cache lives
+                // per launch per executor — still never per octant.
+                _ => 3 * (workers + 1) as u64,
+            };
+            let allocs = probe.counter(Counter::WorkspaceAllocs);
+            assert!(
+                (1..=bound).contains(&allocs),
+                "{}: {allocs} workspace allocs for {evals} octant evals (worker bound {bound})",
+                b.name()
+            );
+        }
     }
 
     #[test]

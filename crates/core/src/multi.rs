@@ -7,18 +7,31 @@
 //! single-rank run — the per-point arithmetic is unchanged — which the
 //! tests assert; the value of this module for the paper's experiments is
 //! the *metered traffic* feeding the scaling models (Figs. 17/18/20).
+//!
+//! With [`WorldConfig::overlap`] set, each RK stage runs the
+//! dependency-aware overlapped schedule instead of the blocking one:
+//! sends are posted first, the rank's *interior* octants (those whose
+//! gather stencil reads only owned blocks) are evaluated on a worker
+//! pool while the ghosts are in flight, and the *boundary* octants
+//! finish after the nonblocking receives complete. The classification
+//! is static per partition, every output slot keeps exactly one writer,
+//! and reductions stay fixed-order, so the overlapped result is
+//! bit-identical to the blocking one (see DESIGN.md §11).
 
 use crate::checkpoint::{self, CheckpointError, DistManifest, Shard};
 use gw_bssn::rhs::{bssn_rhs_patch, RhsMode, RhsWorkspace};
 use gw_bssn::BssnParams;
 use gw_comm::world::WorldConfig;
-use gw_comm::{CommError, GhostPlan, GhostSchedule, RankCtx, World};
+use gw_comm::{CommError, GhostPlan, GhostSchedule, RankCtx, RecvHandle, World};
 use gw_expr::symbols::{NUM_INPUTS, NUM_VARS};
 use gw_mesh::gather::fill_patches_gather;
 use gw_mesh::{Field, Mesh, PatchField};
-use gw_obs::{Counter, Phase};
+use gw_obs::{Counter, Phase, Probe};
 use gw_octree::partition::{partition_uniform, PartitionMap};
-use gw_stencil::patch::BLOCK_VOLUME;
+use gw_par::{ThreadPool, UnsafeSlice};
+use gw_stencil::interp::{ProlongWorkspace, Prolongation, FINE_SIDE};
+use gw_stencil::patch::{PatchLayout, BLOCK_VOLUME, PADDING, PATCH_VOLUME, POINTS_PER_SIDE};
+use std::time::Instant;
 
 /// Result of a distributed run.
 #[derive(Debug)]
@@ -98,6 +111,276 @@ fn exchange(
     Ok(())
 }
 
+/// Message tag for RK stage `stage` (0..=3) or the interface sync
+/// (`STAGE_SYNC`) of global step `step`. Qualifying tags with the stage
+/// *and* step keeps a retransmitted straggler from one stage from ever
+/// matching the next stage's receive, on both the blocking and the
+/// overlapped path, and stays well below the collective tag space
+/// (`1 << 63`).
+fn stage_tag(step: usize, stage: u64) -> u64 {
+    debug_assert!(stage <= STAGE_SYNC);
+    ((step as u64) << 3) | stage
+}
+
+/// The post-update interface-sync exchange slot of [`stage_tag`].
+const STAGE_SYNC: u64 = 4;
+
+/// Post the sends and nonblocking receives of one halo exchange and
+/// return the in-flight receive handles (one per neighbor, in rank
+/// order). The payload schedule is exactly [`exchange`]'s.
+fn post_exchange<'c>(
+    ctx: &'c RankCtx<'c>,
+    plan: &GhostPlan,
+    field: &Field,
+    tag: u64,
+) -> Vec<RecvHandle<'c, 'c>> {
+    let r = ctx.rank();
+    for q in 0..ctx.size() {
+        let list = &plan.sends[r][q];
+        if list.is_empty() {
+            continue;
+        }
+        let mut payload = Vec::with_capacity(list.len() * NUM_VARS * BLOCK_VOLUME);
+        for &oct in list {
+            for v in 0..NUM_VARS {
+                payload.extend_from_slice(field.block(v, oct as usize));
+            }
+        }
+        ctx.isend(q, tag, &payload);
+    }
+    (0..ctx.size()).filter(|&q| !plan.recvs[r][q].is_empty()).map(|q| ctx.irecv(q, tag)).collect()
+}
+
+/// Complete the receives posted by [`post_exchange`], copying ghost
+/// blocks into `field` with the same checks as the blocking
+/// [`exchange`] — a bad payload never partially updates the field.
+fn finish_exchange(
+    ctx: &RankCtx<'_>,
+    plan: &GhostPlan,
+    field: &mut Field,
+    tag: u64,
+    handles: Vec<RecvHandle<'_, '_>>,
+) -> Result<(), CommError> {
+    let r = ctx.rank();
+    for mut h in handles {
+        let q = h.src();
+        let list = &plan.recvs[r][q];
+        let payload = h.wait()?;
+        if payload.len() != list.len() * NUM_VARS * BLOCK_VOLUME {
+            return Err(CommError::Truncated {
+                src: q,
+                dst: r,
+                tag,
+                declared: list.len() * NUM_VARS * BLOCK_VOLUME * 8,
+                got: payload.len() * 8,
+            });
+        }
+        let mut off = 0;
+        for &oct in list {
+            for v in 0..NUM_VARS {
+                field.block_mut(v, oct as usize).copy_from_slice(&payload[off..off + BLOCK_VOLUME]);
+                off += BLOCK_VOLUME;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Static dependency classification of one rank's owned octants,
+/// built once per partition for the overlapped exchange path.
+struct OwnedSplit {
+    /// Owned octants whose gather stencil reads only owned blocks —
+    /// safe to evaluate while ghosts are still in flight.
+    interior: Vec<usize>,
+    /// Owned octants with at least one ghost gather source — must wait
+    /// for the exchange to complete.
+    boundary: Vec<usize>,
+    /// Indices into `mesh.syncs` (owned dst) whose source is owned —
+    /// applicable before ghost arrival. Empty when the owned sync set
+    /// chains or duplicates destinations (then order matters and
+    /// everything stays in `syncs_ghost`, in original order).
+    syncs_local: Vec<usize>,
+    /// Indices into `mesh.syncs` (owned dst) applied after the
+    /// exchange completes, in original `mesh.syncs` order.
+    syncs_ghost: Vec<usize>,
+    /// Physical-boundary padding regions per octant id (from
+    /// `mesh.boundary_regions`), so the per-octant pipeline can pad
+    /// without a second sweep.
+    regions_of: Vec<Vec<[i8; 3]>>,
+}
+
+fn classify_owned(mesh: &Mesh, owned: &std::ops::Range<usize>) -> OwnedSplit {
+    let is_owned = |o: u32| owned.contains(&(o as usize));
+    let mut interior = Vec::new();
+    let mut boundary = Vec::new();
+    for e in owned.clone() {
+        if mesh.gather_of(e).iter().all(|op| is_owned(op.src)) {
+            interior.push(e);
+        } else {
+            boundary.push(e);
+        }
+    }
+    let mut regions_of = vec![Vec::new(); mesh.n_octants()];
+    for &(b, delta) in &mesh.boundary_regions {
+        regions_of[b as usize].push(delta);
+    }
+    // Interface syncs may chain (a sync destination read as a later
+    // sync's source — possible at ≥ 3 refinement levels) or duplicate a
+    // destination; either makes application order observable, so the
+    // split is only taken when the owned sync set is provably
+    // order-free. Otherwise all owned syncs run post-arrival in the
+    // blocking path's original order — bit-identical by construction.
+    let owned_syncs: Vec<usize> = (0..mesh.syncs.len())
+        .filter(|&i| owned.contains(&(mesh.syncs[i].dst_oct as usize)))
+        .collect();
+    let mut written = std::collections::HashSet::new();
+    let mut order_sensitive = false;
+    for &i in &owned_syncs {
+        let c = &mesh.syncs[i];
+        if !written.insert((c.dst_oct, c.dst_idx)) {
+            order_sensitive = true;
+            break;
+        }
+    }
+    if !order_sensitive {
+        order_sensitive = owned_syncs
+            .iter()
+            .any(|&i| written.contains(&(mesh.syncs[i].src_oct, mesh.syncs[i].src_idx)));
+    }
+    let (syncs_local, syncs_ghost) = if order_sensitive {
+        (Vec::new(), owned_syncs)
+    } else {
+        owned_syncs.into_iter().partition(|&i| is_owned(mesh.syncs[i].src_oct))
+    };
+    OwnedSplit { interior, boundary, syncs_local, syncs_ghost, regions_of }
+}
+
+/// Apply the listed `mesh.syncs` entries (same copy as the blocking
+/// path's sync loop: sync-outer, variable-inner).
+fn apply_syncs(mesh: &Mesh, indices: &[usize], u: &mut Field) {
+    for &i in indices {
+        let c = &mesh.syncs[i];
+        for v in 0..NUM_VARS {
+            let sv = u.block(v, c.src_oct as usize)[c.src_idx as usize];
+            u.block_mut(v, c.dst_oct as usize)[c.dst_idx as usize] = sv;
+        }
+    }
+}
+
+/// Reusable per-evaluator scratch: the gather/prolongation buffers plus
+/// the per-point input/output staging of the Sommerfeld fix. Allocated
+/// once per rank (serial path) or once per worker thread (overlapped
+/// path) and counted in [`Counter::WorkspaceAllocs`] — the hot loop
+/// itself never allocates.
+struct EvalScratch {
+    inputs: Vec<f64>,
+    point: Vec<f64>,
+    prolong: Prolongation,
+    pws: ProlongWorkspace,
+    fine13: Vec<f64>,
+}
+
+impl EvalScratch {
+    fn new() -> Self {
+        Self {
+            inputs: vec![0.0; NUM_INPUTS],
+            point: vec![0.0; NUM_VARS],
+            prolong: Prolongation::new(),
+            pws: ProlongWorkspace::new(),
+            fine13: vec![0.0f64; FINE_SIDE * FINE_SIDE * FINE_SIDE],
+        }
+    }
+}
+
+/// Parallel octant→patch + RHS pipeline over an explicit octant list, on
+/// the shared worker pool. Per octant: interior copy, gather (with
+/// prolongation), physical-boundary padding, fused RHS, Sommerfeld fix.
+/// Each octant's patch and output blocks have exactly one writer and the
+/// per-point arithmetic matches [`eval_rhs_local`] exactly, so the
+/// result is bit-identical to the serial sweep at any thread count and
+/// any list order.
+#[allow(clippy::too_many_arguments)]
+fn eval_rhs_list(
+    mesh: &Mesh,
+    list: &[usize],
+    regions_of: &[Vec<[i8; 3]>],
+    params: &BssnParams,
+    input: &Field,
+    patches: &mut PatchField,
+    masks: &[u8],
+    out: &mut Field,
+    pool: &ThreadPool,
+    probe: &Probe,
+) {
+    let n_oct = mesh.n_octants();
+    let patches_s = UnsafeSlice::new(patches.as_mut_slice());
+    let out_s = UnsafeSlice::new(out.as_mut_slice());
+    pool.for_each(list.len(), |i| {
+        let e = list[i];
+        let h = mesh.octants[e].h;
+        thread_local! {
+            static WS: std::cell::RefCell<Option<(RhsWorkspace, EvalScratch)>> =
+                const { std::cell::RefCell::new(None) };
+        }
+        WS.with(|cell| {
+            let mut borrow = cell.borrow_mut();
+            let (ws, scratch) = borrow.get_or_insert_with(|| {
+                probe.add(Counter::WorkspaceAllocs, 1);
+                (RhsWorkspace::new(1), EvalScratch::new())
+            });
+            let p = PatchLayout::padded();
+            for v in 0..NUM_VARS {
+                // Safety: octants in `list` are distinct and slot
+                // (v, e) belongs to this iteration alone.
+                let patch =
+                    unsafe { patches_s.slice_mut((v * n_oct + e) * PATCH_VOLUME, PATCH_VOLUME) };
+                gw_stencil::patch::octant_to_patch_interior(input.block(v, e), patch);
+                for op in mesh.gather_of(e) {
+                    let src = input.block(v, op.src as usize);
+                    if op.kind == gw_mesh::ScatterKind::Prolong {
+                        scratch.prolong.prolong3d_ws(src, &mut scratch.fine13, &mut scratch.pws);
+                    }
+                    gw_mesh::scatter::apply_scatter_op(op, src, &scratch.fine13, patch);
+                }
+                // Physical-boundary padding: clamp-copy from the
+                // interior, same as fill_boundary_padding_range.
+                for delta in &regions_of[e] {
+                    for pz in gw_mesh::scatter::region_range(delta[2]) {
+                        for py in gw_mesh::scatter::region_range(delta[1]) {
+                            for px in gw_mesh::scatter::region_range(delta[0]) {
+                                let cx = px.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                                let cy = py.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                                let cz = pz.clamp(PADDING, PADDING + POINTS_PER_SIDE - 1);
+                                patch[p.idx(px, py, pz)] = patch[p.idx(cx, cy, cz)];
+                            }
+                        }
+                    }
+                }
+            }
+            // Safety: the (v, e) patch slots were fully written above and
+            // no other iteration touches them; output blocks (v, e) are
+            // disjoint per octant.
+            let patch_refs: [&[f64]; NUM_VARS] = std::array::from_fn(|v| unsafe {
+                patches_s.slice((v * n_oct + e) * PATCH_VOLUME, PATCH_VOLUME)
+            });
+            let mut out_blocks: [&mut [f64]; NUM_VARS] = std::array::from_fn(|v| unsafe {
+                out_s.slice_mut((v * n_oct + e) * BLOCK_VOLUME, BLOCK_VOLUME)
+            });
+            bssn_rhs_patch(&patch_refs, h, params, &RhsMode::Pointwise, ws, &mut out_blocks);
+            crate::boundary::sommerfeld_fix(
+                mesh,
+                e,
+                masks[e],
+                &patch_refs,
+                ws,
+                &mut scratch.inputs,
+                &mut scratch.point,
+                &mut out_blocks,
+            );
+        });
+    });
+}
+
 /// Local RHS evaluation over owned octants (gather-based padding so only
 /// owned patches are touched).
 #[allow(clippy::too_many_arguments)]
@@ -108,27 +391,23 @@ fn eval_rhs_local(
     input: &Field,
     patches: &mut PatchField,
     ws: &mut RhsWorkspace,
+    scratch: &mut EvalScratch,
     masks: &[u8],
     out: &mut Field,
 ) {
     // Padding for owned patches (gather touches exactly dst ∈ owned).
     // We reuse the full-mesh gather but restrict to the owned range.
-    fill_patches_gather_range(mesh, input, patches, owned.clone());
+    fill_patches_gather_range(mesh, input, patches, owned.clone(), scratch);
     gw_mesh::scatter::fill_boundary_padding_range(mesh, patches, NUM_VARS, owned.clone());
-    let mut inputs_buf = vec![0.0; NUM_INPUTS];
-    let mut point_out = vec![0.0; NUM_VARS];
+    let n = mesh.n_octants();
     for e in owned {
         let h = mesh.octants[e].h;
-        let patch_refs: Vec<&[f64]> = (0..NUM_VARS).map(|v| patches.patch(v, e)).collect();
-        let mut out_blocks: Vec<&mut [f64]> = Vec::with_capacity(NUM_VARS);
+        let patch_refs: [&[f64]; NUM_VARS] = std::array::from_fn(|v| patches.patch(v, e));
+        let base = out.as_mut_slice().as_mut_ptr();
         // Safety: blocks (v, e) are disjoint slices.
-        unsafe {
-            let base = out.as_mut_slice().as_mut_ptr();
-            for v in 0..NUM_VARS {
-                let off = (v * mesh.n_octants() + e) * BLOCK_VOLUME;
-                out_blocks.push(std::slice::from_raw_parts_mut(base.add(off), BLOCK_VOLUME));
-            }
-        }
+        let mut out_blocks: [&mut [f64]; NUM_VARS] = std::array::from_fn(|v| unsafe {
+            std::slice::from_raw_parts_mut(base.add((v * n + e) * BLOCK_VOLUME), BLOCK_VOLUME)
+        });
         bssn_rhs_patch(&patch_refs, h, params, &RhsMode::Pointwise, ws, &mut out_blocks);
         crate::boundary::sommerfeld_fix(
             mesh,
@@ -136,8 +415,8 @@ fn eval_rhs_local(
             masks[e],
             &patch_refs,
             ws,
-            &mut inputs_buf,
-            &mut point_out,
+            &mut scratch.inputs,
+            &mut scratch.point,
             &mut out_blocks,
         );
     }
@@ -149,13 +428,10 @@ fn fill_patches_gather_range(
     field: &Field,
     patches: &mut PatchField,
     range: std::ops::Range<usize>,
+    scratch: &mut EvalScratch,
 ) {
     // Equivalent to gw_mesh::gather::fill_patches_gather but only for
     // dst ∈ range.
-    use gw_stencil::interp::{ProlongWorkspace, Prolongation, FINE_SIDE};
-    let prolong = Prolongation::new();
-    let mut ws = ProlongWorkspace::new();
-    let mut fine13 = vec![0.0f64; FINE_SIDE * FINE_SIDE * FINE_SIDE];
     for var in 0..field.dof {
         for b in range.clone() {
             gw_stencil::patch::octant_to_patch_interior(
@@ -165,14 +441,146 @@ fn fill_patches_gather_range(
             for op in mesh.gather_of(b) {
                 let src = field.block(var, op.src as usize);
                 if op.kind == gw_mesh::ScatterKind::Prolong {
-                    prolong.prolong3d_ws(src, &mut fine13, &mut ws);
+                    scratch.prolong.prolong3d_ws(src, &mut scratch.fine13, &mut scratch.pws);
                 }
                 let dst = patches.patch_mut(var, op.dst as usize);
-                gw_mesh::scatter::apply_scatter_op(op, src, &fine13, dst);
+                gw_mesh::scatter::apply_scatter_op(op, src, &scratch.fine13, dst);
             }
         }
     }
     let _ = fill_patches_gather; // same algorithm, range-restricted
+}
+
+/// Everything one RK stage needs besides the fields: the exchange plan,
+/// the evaluator state, and (when overlapping) the static classification
+/// plus the worker pool.
+struct StageCtx<'a, 'w> {
+    ctx: &'a RankCtx<'w>,
+    plan: &'a GhostPlan,
+    part: &'a PartitionMap,
+    mesh: &'a Mesh,
+    params: &'a BssnParams,
+    owned: std::ops::Range<usize>,
+    masks: &'a [u8],
+    probe: &'a Probe,
+    /// `Some` = overlapped path (classification + pool).
+    ov: Option<(&'a OwnedSplit, &'a ThreadPool)>,
+}
+
+/// One halo exchange + RHS evaluation: `out = rhs(field)` over the owned
+/// octants, with ghosts of `field` refreshed under `tag`. Dispatches to
+/// the blocking schedule or the overlapped one; both produce bit-identical
+/// `out` (single-writer slots, unchanged per-point arithmetic).
+fn rhs_stage(
+    st: &StageCtx<'_, '_>,
+    field: &mut Field,
+    patches: &mut PatchField,
+    ws: &mut RhsWorkspace,
+    scratch: &mut EvalScratch,
+    out: &mut Field,
+    tag: u64,
+) -> Result<(), CommError> {
+    match st.ov {
+        None => {
+            {
+                let _s = st.probe.start(Phase::Halo);
+                exchange(st.ctx, st.plan, st.part, field, tag)?;
+            }
+            let _s = st.probe.start(Phase::Rhs);
+            eval_rhs_local(
+                st.mesh,
+                st.owned.clone(),
+                st.params,
+                field,
+                patches,
+                ws,
+                scratch,
+                st.masks,
+                out,
+            );
+        }
+        Some((split, pool)) => {
+            let handles = post_exchange(st.ctx, st.plan, field, tag);
+            let t0 = Instant::now();
+            {
+                let _s = st.probe.start(Phase::HaloOverlap);
+                eval_rhs_list(
+                    st.mesh,
+                    &split.interior,
+                    &split.regions_of,
+                    st.params,
+                    field,
+                    patches,
+                    st.masks,
+                    out,
+                    pool,
+                    st.probe,
+                );
+            }
+            st.probe.add(Counter::HaloOverlapUs, t0.elapsed().as_micros() as u64);
+            let t1 = Instant::now();
+            {
+                let _s = st.probe.start(Phase::Halo);
+                finish_exchange(st.ctx, st.plan, field, tag, handles)?;
+            }
+            st.probe.add(Counter::HaloWaitUs, t1.elapsed().as_micros() as u64);
+            let _s = st.probe.start(Phase::Rhs);
+            eval_rhs_list(
+                st.mesh,
+                &split.boundary,
+                &split.regions_of,
+                st.params,
+                field,
+                patches,
+                st.masks,
+                out,
+                pool,
+                st.probe,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The post-update ghost refresh + interface sync closing each step.
+/// Overlapped: owned-source syncs run while the ghosts travel, the rest
+/// after arrival (or, if the sync set is order-sensitive, everything
+/// runs post-arrival in original order — see [`classify_owned`]).
+fn sync_stage(st: &StageCtx<'_, '_>, u: &mut Field, tag: u64) -> Result<(), CommError> {
+    match st.ov {
+        None => {
+            {
+                let _s = st.probe.start(Phase::Halo);
+                exchange(st.ctx, st.plan, st.part, u, tag)?;
+            }
+            for c in &st.mesh.syncs {
+                if !st.owned.contains(&(c.dst_oct as usize)) {
+                    continue;
+                }
+                for v in 0..NUM_VARS {
+                    let sv = u.block(v, c.src_oct as usize)[c.src_idx as usize];
+                    u.block_mut(v, c.dst_oct as usize)[c.dst_idx as usize] = sv;
+                }
+            }
+        }
+        Some((split, _)) => {
+            let handles = post_exchange(st.ctx, st.plan, u, tag);
+            let t0 = Instant::now();
+            {
+                let _s = st.probe.start(Phase::HaloOverlap);
+                apply_syncs(st.mesh, &split.syncs_local, u);
+            }
+            st.probe.add(Counter::HaloOverlapUs, t0.elapsed().as_micros() as u64);
+            let t1 = Instant::now();
+            {
+                let _s = st.probe.start(Phase::Halo);
+                finish_exchange(st.ctx, st.plan, u, tag, handles)?;
+            }
+            st.probe.add(Counter::HaloWaitUs, t1.elapsed().as_micros() as u64);
+            apply_syncs(st.mesh, &split.syncs_ghost, u);
+        }
+    }
+    Ok(())
 }
 
 /// Evolve `steps` RK4 steps on `ranks` simulated ranks. Panics on a
@@ -272,6 +680,8 @@ fn evolve_span(
     let snapshot = opts.snapshot;
     let kill = opts.kill;
     let snapshot_ref = &snapshot;
+    let overlap = world_cfg.overlap;
+    let overlap_threads = world_cfg.overlap_threads;
     let (mut results, traffic) = World::run_cfg(ranks, world_cfg, move |ctx| {
         let r = ctx.rank();
         let owned = part_ref.range(r);
@@ -281,8 +691,24 @@ fn evolve_span(
         let mut acc = Field::zeros(NUM_VARS, n);
         let mut patches = PatchField::zeros(NUM_VARS, n);
         let mut ws = RhsWorkspace::new(1);
+        let mut scratch = EvalScratch::new();
+        probe.add(Counter::WorkspaceAllocs, 1);
+        // Overlapped path: static interior/boundary classification plus
+        // the shared worker pool, both built once per span.
+        let split = overlap.then(|| classify_owned(mesh, &owned));
+        let pool = overlap.then(|| ThreadPool::shared(overlap_threads));
+        let st = StageCtx {
+            ctx: &ctx,
+            plan: plan_ref,
+            part: part_ref,
+            mesh,
+            params: &params,
+            owned: owned.clone(),
+            masks: masks_ref,
+            probe: &probe,
+            ov: split.as_ref().zip(pool.as_deref()),
+        };
         let mut work = 0u64;
-        let mut tag = 0u64;
         for s in start_step..steps {
             // Injected fail-stop: the rank dies here, visibly to the
             // liveness view, exactly as if its process were killed.
@@ -293,21 +719,7 @@ fn evolve_span(
                 }
             }
             // k1.
-            {
-                let _s = probe.start(Phase::Halo);
-                exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
-            }
-            tag += 1;
-            eval_rhs_local(
-                mesh,
-                owned.clone(),
-                &params,
-                &u,
-                &mut patches,
-                &mut ws,
-                masks_ref,
-                &mut k,
-            );
+            rhs_stage(&st, &mut u, &mut patches, &mut ws, &mut scratch, &mut k, stage_tag(s, 0))?;
             for e in owned.clone() {
                 for v in 0..NUM_VARS {
                     for (a, (b, kk)) in acc
@@ -327,22 +739,18 @@ fn evolve_span(
                 }
             }
             // k2, k3.
-            for (w_acc, w_stage) in [(dt / 3.0, dt / 2.0), (dt / 3.0, dt)] {
-                {
-                    let _s = probe.start(Phase::Halo);
-                    exchange(&ctx, plan_ref, part_ref, &mut stage, tag)?;
-                }
-                tag += 1;
-                eval_rhs_local(
-                    mesh,
-                    owned.clone(),
-                    &params,
-                    &stage,
+            for (si, (w_acc, w_stage)) in
+                [(dt / 3.0, dt / 2.0), (dt / 3.0, dt)].into_iter().enumerate()
+            {
+                rhs_stage(
+                    &st,
+                    &mut stage,
                     &mut patches,
                     &mut ws,
-                    masks_ref,
+                    &mut scratch,
                     &mut k,
-                );
+                    stage_tag(s, 1 + si as u64),
+                )?;
                 for e in owned.clone() {
                     for v in 0..NUM_VARS {
                         for (a, kk) in acc.block_mut(v, e).iter_mut().zip(k.block(v, e).iter()) {
@@ -359,21 +767,15 @@ fn evolve_span(
                 }
             }
             // k4.
-            {
-                let _s = probe.start(Phase::Halo);
-                exchange(&ctx, plan_ref, part_ref, &mut stage, tag)?;
-            }
-            tag += 1;
-            eval_rhs_local(
-                mesh,
-                owned.clone(),
-                &params,
-                &stage,
+            rhs_stage(
+                &st,
+                &mut stage,
                 &mut patches,
                 &mut ws,
-                masks_ref,
+                &mut scratch,
                 &mut k,
-            );
+                stage_tag(s, 3),
+            )?;
             for e in owned.clone() {
                 for v in 0..NUM_VARS {
                     for (uu, (a, kk)) in u
@@ -386,20 +788,7 @@ fn evolve_span(
                 }
             }
             // Interface sync needs updated ghosts.
-            {
-                let _s = probe.start(Phase::Halo);
-                exchange(&ctx, plan_ref, part_ref, &mut u, tag)?;
-            }
-            tag += 1;
-            for c in &mesh.syncs {
-                if !owned.contains(&(c.dst_oct as usize)) {
-                    continue;
-                }
-                for v in 0..NUM_VARS {
-                    let sv = u.block(v, c.src_oct as usize)[c.src_idx as usize];
-                    u.block_mut(v, c.dst_oct as usize)[c.dst_idx as usize] = sv;
-                }
-            }
+            sync_stage(&st, &mut u, stage_tag(s, STAGE_SYNC))?;
             work += owned.len() as u64;
             // Coordinated snapshot: two-phase commit. Every rank writes
             // its shard atomically, the allgather proves all shards are
@@ -707,6 +1096,63 @@ mod tests {
                 let total_msgs: u64 = result.traffic.iter().map(|t| t.0).sum();
                 assert!(total_msgs > 0, "multi-rank must exchange ghosts");
             }
+        }
+    }
+
+    #[test]
+    fn overlapped_exchange_is_bit_identical_and_counts_messages_identically() {
+        let mesh = adaptive_mesh();
+        let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+        let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+        let params = BssnParams::default();
+        let steps = 2;
+        for ranks in [1usize, 2, 3] {
+            let blocking = evolve_distributed(&mesh, &u0, ranks, steps, 0.25, params);
+            for threads in [1usize, 4] {
+                let cfg = WorldConfig {
+                    overlap: true,
+                    overlap_threads: threads,
+                    ..WorldConfig::default()
+                };
+                let overlapped =
+                    evolve_distributed_cfg(&mesh, &u0, ranks, steps, 0.25, params, cfg).unwrap();
+                assert_eq!(
+                    blocking.state.as_slice(),
+                    overlapped.state.as_slice(),
+                    "overlap must not change results (ranks {ranks}, threads {threads})"
+                );
+                assert_eq!(
+                    blocking.traffic, overlapped.traffic,
+                    "overlap must not change the message schedule"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_boundary_classification_covers_owned_range() {
+        let mesh = adaptive_mesh();
+        let part = partition_uniform(mesh.n_octants(), 3);
+        for r in 0..3 {
+            let owned = part.range(r);
+            let split = classify_owned(&mesh, &owned);
+            let mut all: Vec<usize> =
+                split.interior.iter().chain(split.boundary.iter()).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, owned.clone().collect::<Vec<_>>(), "rank {r} split is a partition");
+            for &e in &split.interior {
+                assert!(
+                    mesh.gather_of(e).iter().all(|op| owned.contains(&(op.src as usize))),
+                    "interior octant {e} must not read ghosts"
+                );
+            }
+            let mut syncs: Vec<usize> =
+                split.syncs_local.iter().chain(split.syncs_ghost.iter()).copied().collect();
+            syncs.sort_unstable();
+            let expected: Vec<usize> = (0..mesh.syncs.len())
+                .filter(|&i| owned.contains(&(mesh.syncs[i].dst_oct as usize)))
+                .collect();
+            assert_eq!(syncs, expected, "rank {r} sync split covers exactly the owned-dst syncs");
         }
     }
 

@@ -279,6 +279,13 @@ impl<'a> Run<'a> {
         let u0 = fill_field(&mesh, &init);
         let mut world = self.world.clone().unwrap_or_default();
         world.probe = probe.clone();
+        // One thread setting drives both drivers: unless the caller
+        // pinned an explicit overlap pool size in the WorldConfig, the
+        // overlapped path sizes its workers from `config.threads`,
+        // exactly like the single-rank backend.
+        if world.overlap_threads == 0 {
+            world.overlap_threads = self.config.threads;
+        }
         let resilience = self.resilience.clone().unwrap_or_else(|| match &self.supervised {
             Some(sup) => ResilienceConfig {
                 checkpoint_dir: sup.checkpoint_dir.clone(),
@@ -448,6 +455,77 @@ mod tests {
             .unwrap();
         assert!(dist.distributed.is_some());
         assert_eq!(plain.state.as_slice(), dist.state.as_slice());
+    }
+
+    #[test]
+    fn distributed_builder_matches_deprecated_wrapper_wiring() {
+        // Config-drift guard: threads (the overlap pool size), the
+        // supervised checkpoint keys, and the obs probe must reach the
+        // unified driver exactly as the deprecated entry point passed
+        // them — spelled out by hand here on the wrapper side.
+        let dir = std::env::temp_dir().join("gw_run_parity_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = dir.join("ckpt").to_str().unwrap().to_string();
+        let sup = SupervisorConfig {
+            checkpoint_dir: Some(ckpt.clone()),
+            checkpoint_every: 1,
+            ..SupervisorConfig::default()
+        };
+        let resilience = ResilienceConfig {
+            checkpoint_dir: sup.checkpoint_dir.clone(),
+            checkpoint_every: sup.checkpoint_every.max(1),
+            degradation: sup.degradation,
+            kill_once: None,
+        };
+        let config = SolverConfig { threads: 2, ..SolverConfig::default() };
+        let mesh = small_mesh();
+        let wave = wave_init();
+        let u0 = fill_field(&mesh, &wave);
+        let world = WorldConfig {
+            overlap: true,
+            overlap_threads: config.threads, // what the builder must derive
+            ..WorldConfig::default()
+        };
+        #[allow(deprecated)]
+        let reference = crate::multi::evolve_distributed_resilient(
+            &mesh,
+            &u0,
+            2,
+            2,
+            config.courant,
+            config.params,
+            world,
+            &resilience,
+        )
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let probe = Probe::enabled();
+        let path = dir.join("trace.json").to_str().unwrap().to_string();
+        let out = Run::new(config)
+            .mesh(small_mesh())
+            .init(wave_init())
+            .steps(2)
+            .distributed(2)
+            // overlap_threads left 0: the builder must fill it from
+            // config.threads, matching the hand wiring above.
+            .world(WorldConfig { overlap: true, ..WorldConfig::default() })
+            .supervised(sup)
+            .probe(probe.clone())
+            .profile(path.clone())
+            .execute()
+            .unwrap();
+        assert_eq!(
+            out.state.as_slice(),
+            reference.result.state.as_slice(),
+            "builder and deprecated wrapper must drive the evolution identically"
+        );
+        assert_eq!(out.retries, reference.retries);
+        if probe.is_enabled() {
+            let text = std::fs::read_to_string(&path).unwrap();
+            let stats = gw_obs::json::validate_trace(&text).expect("builder trace is schema-valid");
+            assert!(stats.overlap_ratio() > 0.0, "overlapped run must meter hidden halo time");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -338,15 +338,28 @@ impl GwSolver {
         let u = self.state();
         let l = PatchLayout::octant();
         let pool = gw_par::ThreadPool::shared(self.config.threads);
-        // One interior point per octant is enough for a monitor.
+        // One interior point per octant is enough for a monitor. The
+        // input staging buffer is per-worker, not per-octant.
+        let probe = &self.probe;
         let per_oct = pool.map(self.mesh.n_octants(), |oct| {
-            let mut inputs = vec![0.0; gw_expr::symbols::NUM_INPUTS];
-            for (v, slot) in inputs.iter_mut().enumerate().take(NUM_VARS) {
-                *slot = u.block(v, oct)[l.idx(3, 3, 3)];
+            thread_local! {
+                static INPUTS: std::cell::RefCell<Option<Vec<f64>>> =
+                    const { std::cell::RefCell::new(None) };
             }
-            // Derivative slots left zero — this monitors only the
-            // algebraic part; the examples do the full job.
-            gw_bssn::constraints::hamiltonian(&inputs).abs()
+            INPUTS.with(|cell| {
+                let mut borrow = cell.borrow_mut();
+                let inputs = borrow.get_or_insert_with(|| {
+                    probe.add(Counter::WorkspaceAllocs, 1);
+                    vec![0.0; gw_expr::symbols::NUM_INPUTS]
+                });
+                inputs.fill(0.0);
+                for (v, slot) in inputs.iter_mut().enumerate().take(NUM_VARS) {
+                    *slot = u.block(v, oct)[l.idx(3, 3, 3)];
+                }
+                // Derivative slots left zero — this monitors only the
+                // algebraic part; the examples do the full job.
+                gw_bssn::constraints::hamiltonian(inputs).abs()
+            })
         });
         gw_par::tree_reduce(&per_oct, 0.0f64, f64::max)
     }
@@ -364,7 +377,7 @@ fn make_backend(config: &SolverConfig, mesh: &Mesh) -> Box<dyn Backend> {
 pub fn fill_field(mesh: &Mesh, init: &impl Fn([f64; 3], &mut [f64])) -> Field {
     let mut f = Field::zeros(NUM_VARS, mesh.n_octants());
     let l = PatchLayout::octant();
-    let mut vals = vec![0.0; NUM_VARS];
+    let mut vals = [0.0; NUM_VARS];
     for oct in 0..mesh.n_octants() {
         for (i, j, k) in l.iter() {
             init(mesh.point_coords(oct, i, j, k), &mut vals);

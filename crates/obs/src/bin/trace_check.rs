@@ -2,11 +2,15 @@
 //! and enforce the step-coverage budget.
 //!
 //! ```text
-//! trace_check <trace.json> [--min-coverage 0.9]
+//! trace_check <trace.json> [--min-coverage 0.9] [--min-overlap 0.3]
 //! ```
 //!
-//! Exit codes: 0 valid (and coverage ≥ threshold), 1 invalid or under
-//! the threshold, 2 usage error.
+//! `--min-overlap` additionally requires the halo overlap ratio
+//! (`halo_overlap_us / (halo_overlap_us + halo_wait_us)`) to meet the
+//! threshold — the gate for the overlapped-exchange CI smoke.
+//!
+//! Exit codes: 0 valid (and thresholds met), 1 invalid or under a
+//! threshold, 2 usage error.
 
 use gw_obs::json::validate_trace;
 
@@ -14,6 +18,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
     let mut min_coverage = 0.0f64;
+    let mut min_overlap: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -22,6 +27,14 @@ fn main() {
                 match v {
                     Some(v) if (0.0..=1.0).contains(&v) => min_coverage = v,
                     _ => usage("--min-coverage takes a value in [0, 1]"),
+                }
+                i += 2;
+            }
+            "--min-overlap" => {
+                let v = args.get(i + 1).and_then(|s| s.parse::<f64>().ok());
+                match v {
+                    Some(v) if (0.0..=1.0).contains(&v) => min_overlap = Some(v),
+                    _ => usage("--min-overlap takes a value in [0, 1]"),
                 }
                 i += 2;
             }
@@ -43,10 +56,11 @@ fn main() {
     match validate_trace(&text) {
         Ok(stats) => {
             println!(
-                "{path}: {} events, wall {:.1} ms, step coverage {:.1}%",
+                "{path}: {} events, wall {:.1} ms, step coverage {:.1}%, overlap {:.1}%",
                 stats.events,
                 stats.wall_ms,
-                stats.step_coverage * 100.0
+                stats.step_coverage * 100.0,
+                stats.overlap_ratio() * 100.0
             );
             if stats.step_coverage < min_coverage {
                 eprintln!(
@@ -55,6 +69,16 @@ fn main() {
                     stats.step_coverage
                 );
                 std::process::exit(1);
+            }
+            if let Some(min) = min_overlap {
+                let r = stats.overlap_ratio();
+                if r < min {
+                    eprintln!(
+                        "trace_check: halo overlap ratio {r:.3} below required {min:.3} — \
+                         interior compute is not hiding enough of the halo exchange"
+                    );
+                    std::process::exit(1);
+                }
             }
         }
         Err(e) => {
@@ -65,6 +89,8 @@ fn main() {
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!("trace_check: {msg}\nusage: trace_check <trace.json> [--min-coverage X]");
+    eprintln!(
+        "trace_check: {msg}\nusage: trace_check <trace.json> [--min-coverage X] [--min-overlap X]"
+    );
     std::process::exit(2);
 }

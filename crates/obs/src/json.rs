@@ -334,6 +334,20 @@ pub struct TraceStats {
     pub counters: BTreeMap<String, f64>,
 }
 
+impl TraceStats {
+    /// Fraction of halo latency hidden behind interior compute, derived
+    /// from the `halo_overlap_us` / `halo_wait_us` counters. 0.0 when
+    /// the overlapped exchange path never ran.
+    pub fn overlap_ratio(&self) -> f64 {
+        let hidden = self.counters.get("halo_overlap_us").copied().unwrap_or(0.0);
+        let wait = self.counters.get("halo_wait_us").copied().unwrap_or(0.0);
+        if hidden + wait <= 0.0 {
+            return 0.0;
+        }
+        hidden / (hidden + wait)
+    }
+}
+
 /// Schema identifier written by (and required of) every trace file.
 pub const TRACE_SCHEMA: &str = "gw-obs-trace-v1";
 

@@ -52,8 +52,11 @@ pub enum Phase {
     P2o,
     /// AXPY-family buffer arithmetic (axpy, assign_axpy, copy).
     Axpy,
-    /// Distributed halo exchange.
+    /// Distributed halo exchange (the blocking receive/copy part).
     Halo,
+    /// Interior compute overlapped with an in-flight halo exchange (the
+    /// dependency-aware overlap path of the distributed driver).
+    HaloOverlap,
     /// Host-side re-discretization (regrid).
     Regrid,
     /// Checkpoint serialization / IO.
@@ -76,6 +79,7 @@ impl Phase {
             Phase::P2o => "p2o",
             Phase::Axpy => "axpy",
             Phase::Halo => "halo",
+            Phase::HaloOverlap => "halo_overlap",
             Phase::Regrid => "regrid",
             Phase::Checkpoint => "checkpoint",
             Phase::Extract => "extract",
@@ -87,7 +91,8 @@ impl Phase {
     /// The phases expected to account for a step's wall time (the
     /// denominator of the trace coverage check): direct children of
     /// `step` doing the actual work.
-    pub const WORK: [Phase; 5] = [Phase::O2p, Phase::Rhs, Phase::P2o, Phase::Axpy, Phase::Halo];
+    pub const WORK: [Phase; 6] =
+        [Phase::O2p, Phase::Rhs, Phase::P2o, Phase::Axpy, Phase::Halo, Phase::HaloOverlap];
 }
 
 /// Monotonic per-kernel / per-subsystem counters.
@@ -121,10 +126,19 @@ pub enum Counter {
     Checkpoints,
     /// Regrids performed.
     Regrids,
+    /// Microseconds of interior compute overlapped with an in-flight
+    /// halo exchange (the hidden portion of the halo latency).
+    HaloOverlapUs,
+    /// Microseconds spent stalled waiting for ghosts *after* the
+    /// overlapped interior compute finished (the exposed portion).
+    HaloWaitUs,
+    /// Reusable per-worker workspaces (re)allocated — a steady-state hot
+    /// loop must not bump this (asserted by the backend tests).
+    WorkspaceAllocs,
 }
 
 impl Counter {
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 17;
 
     /// All counters, in declaration order (the summary emits them in
     /// this order, so output is deterministic).
@@ -143,6 +157,9 @@ impl Counter {
         Counter::Rollbacks,
         Counter::Checkpoints,
         Counter::Regrids,
+        Counter::HaloOverlapUs,
+        Counter::HaloWaitUs,
+        Counter::WorkspaceAllocs,
     ];
 
     /// Stable snake_case name used in the summary's `counters` object.
@@ -162,6 +179,9 @@ impl Counter {
             Counter::Rollbacks => "rollbacks",
             Counter::Checkpoints => "checkpoints",
             Counter::Regrids => "regrids",
+            Counter::HaloOverlapUs => "halo_overlap_us",
+            Counter::HaloWaitUs => "halo_wait_us",
+            Counter::WorkspaceAllocs => "workspace_allocs",
         }
     }
 

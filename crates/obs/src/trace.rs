@@ -117,6 +117,21 @@ impl Trace {
         (covered / step_ms).min(1.0)
     }
 
+    /// Fraction of halo latency hidden behind interior compute:
+    /// `halo_overlap_us / (halo_overlap_us + halo_wait_us)`. 0.0 when
+    /// the overlapped exchange path never ran (both counters zero).
+    pub fn overlap_ratio(&self) -> f64 {
+        let get = |name: &str| {
+            self.counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v as f64).unwrap_or(0.0)
+        };
+        let hidden = get("halo_overlap_us");
+        let wait = get("halo_wait_us");
+        if hidden + wait <= 0.0 {
+            return 0.0;
+        }
+        hidden / (hidden + wait)
+    }
+
     fn agg_value(aggs: &BTreeMap<&'static str, PhaseAgg>, with_mean: bool) -> Value {
         Value::Obj(
             aggs.iter()
@@ -164,6 +179,7 @@ impl Trace {
             ("steps", Value::Num(steps as f64)),
             ("step_total_ms", Value::Num(self.step_total_ms())),
             ("step_coverage", Value::Num(self.step_coverage())),
+            ("overlap_ratio", Value::Num(self.overlap_ratio())),
             ("phases", Self::agg_value(&self.phase_totals(), true)),
             ("kernels", Self::agg_value(&self.kernel_totals(), false)),
             (
@@ -286,6 +302,20 @@ mod tests {
         let doc = crate::json::parse(&text).expect("parse");
         let flops = doc.get("summary").unwrap().get("device").unwrap().get("flops").unwrap();
         assert_eq!(flops.as_f64(), Some(12345.0));
+    }
+
+    #[test]
+    fn overlap_ratio_from_counters() {
+        let mut t = synthetic();
+        assert_eq!(t.overlap_ratio(), 0.0, "no overlap counters → 0");
+        t.counters.push(("halo_overlap_us", 300));
+        t.counters.push(("halo_wait_us", 100));
+        assert!((t.overlap_ratio() - 0.75).abs() < 1e-12);
+        let doc = crate::json::parse(&t.render(&[])).expect("parse");
+        let r = doc.get("summary").unwrap().get("overlap_ratio").unwrap().as_f64().unwrap();
+        assert!((r - 0.75).abs() < 1e-12);
+        let stats = validate_trace(&t.render(&[])).expect("valid");
+        assert!((stats.overlap_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]

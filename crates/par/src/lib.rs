@@ -419,4 +419,39 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.n_threads(), 2);
     }
+
+    #[test]
+    fn concurrent_submissions_from_many_threads_are_isolated() {
+        // The overlapped halo path has every simulated rank thread driving
+        // the *same* shared pool concurrently (one `for_each` per RK stage
+        // per rank). Submissions must serialize without deadlock, and each
+        // caller must see exactly its own work completed — never a slot
+        // written by another caller's closure.
+        let pool = ThreadPool::shared(4);
+        let results: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6u64)
+                .map(|caller| {
+                    let pool = Arc::clone(&pool);
+                    s.spawn(move || {
+                        let mut acc = vec![0u64; 257];
+                        for round in 0..8u64 {
+                            let slots = UnsafeSlice::new(&mut acc);
+                            pool.for_each(257, |i| {
+                                let out = unsafe { slots.slice_mut(i, 1) };
+                                out[0] = caller * 1_000_000 + round * 1_000 + i as u64;
+                            });
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (caller, acc) in results.iter().enumerate() {
+            for (i, &v) in acc.iter().enumerate() {
+                let expect = caller as u64 * 1_000_000 + 7 * 1_000 + i as u64;
+                assert_eq!(v, expect, "caller {caller} slot {i} was cross-written");
+            }
+        }
+    }
 }

@@ -10,6 +10,7 @@ use gw_bssn::BssnParams;
 use gw_comm::world::WorldConfig;
 use gw_comm::{CommFaultPlan, GhostSchedule};
 use gw_core::backend::{Backend, CpuBackend, RhsKind};
+use gw_core::checkpoint::{latest_snapshot, load_distributed};
 use gw_core::multi::{
     dependencies, evolve_distributed, evolve_distributed_cfg, evolve_distributed_resilient,
     DistributedError, KillSpec, RecoveryEvent, ResilienceConfig,
@@ -234,6 +235,101 @@ fn chaos_kill_plus_message_faults_recovers_via_manifest() {
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn overlapped_chaos_matrix_matches_blocking_bitwise() {
+    // The overlapped exchange must survive the same chaos the blocking
+    // path does, and land on the *same bits*: for every seed and worker
+    // count, a run with `overlap: true` under seeded drop/truncate/corrupt
+    // faults must match the fault-free blocking run both in final state
+    // and in the committed checkpoint bodies (manifest shard CRCs) — the
+    // overlap window must never reorder a reduction or let a retransmitted
+    // ghost land in a different slot.
+    let domain = Domain::centered_cube(8.0);
+    let mesh = uniform_mesh(domain, 2);
+    let wave = LinearWaveData::new(1e-3, 0.0, 2.0, 1.0);
+    let u0 = fill_field(&mesh, &|p, out: &mut [f64]| wave.evaluate(p, out));
+    let params = BssnParams::default();
+
+    let tmp = std::env::temp_dir();
+    let ref_dir = tmp.join("gw_amr_overlap_ref").to_str().unwrap().to_string();
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let resilience_for = |dir: &str| ResilienceConfig {
+        checkpoint_dir: Some(dir.to_string()),
+        checkpoint_every: 1,
+        degradation: DegradationPolicy { courant_factor: 1.0, ko_boost: 0.0, max_retries: 2 },
+        kill_once: None,
+    };
+    let reference = evolve_distributed_resilient(
+        &mesh,
+        &u0,
+        3,
+        2,
+        0.25,
+        params,
+        WorldConfig::default(),
+        &resilience_for(&ref_dir),
+    )
+    .expect("fault-free blocking reference");
+    let ref_snap = latest_snapshot(&ref_dir)
+        .expect("reference snapshot root readable")
+        .expect("reference run committed a snapshot");
+    let ref_ck = load_distributed(&ref_snap).expect("reference manifest loads");
+
+    for seed in chaos_seeds() {
+        for threads in [1usize, 2, 8] {
+            let dir = tmp
+                .join(format!("gw_amr_overlap_chaos_{seed}_{threads}"))
+                .to_str()
+                .unwrap()
+                .to_string();
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg = WorldConfig {
+                overlap: true,
+                overlap_threads: threads,
+                faults: Some(
+                    CommFaultPlan::new(seed)
+                        .with_drop_rate(0.02)
+                        .with_truncate_rate(0.02)
+                        .with_corrupt_rate(0.02),
+                ),
+                recv_timeout: Duration::from_secs(5),
+                heartbeat_interval: Duration::from_millis(5),
+                ..WorldConfig::default()
+            };
+            let out = evolve_distributed_resilient(
+                &mesh,
+                &u0,
+                3,
+                2,
+                0.25,
+                params,
+                cfg,
+                &resilience_for(&dir),
+            )
+            .unwrap_or_else(|e| {
+                panic!("seed {seed} threads {threads}: overlapped chaos run must recover: {e}")
+            });
+            for (a, b) in
+                reference.result.state.as_slice().iter().zip(out.result.state.as_slice().iter())
+            {
+                assert_eq!(a, b, "seed {seed} threads {threads}: state must match blocking");
+            }
+            let snap = latest_snapshot(&dir)
+                .expect("overlap snapshot root readable")
+                .unwrap_or_else(|| panic!("seed {seed} threads {threads}: no snapshot committed"));
+            let ck = load_distributed(&snap).expect("overlap manifest loads");
+            assert_eq!(
+                ck.manifest.shard_crcs, ref_ck.manifest.shard_crcs,
+                "seed {seed} threads {threads}: checkpoint body CRCs must match blocking"
+            );
+            assert_eq!(ck.manifest.shard_lens, ref_ck.manifest.shard_lens);
+            assert_eq!(ck.manifest.steps_taken, ref_ck.manifest.steps_taken);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
 }
 
 #[test]
